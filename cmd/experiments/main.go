@@ -1,0 +1,46 @@
+// Command experiments regenerates the paper's tables and figures on
+// the synthetic cohort. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig6a|...] [-scale quick|default|full] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stsmatch/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(experiments.Names(), "|")+"|all)")
+	scaleName := flag.String("scale", "default", "workload scale (quick|default|full)")
+	check := flag.Bool("check", false, "fail when a paper-shape assertion does not hold")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	env, err := experiments.Setup(scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# scale=%s patients=%d sessions=%d dur=%.0fs vertices=%d (setup %.1fs)\n\n",
+		scale.Name, scale.Patients, scale.Sessions, scale.SessionDur,
+		env.DB.NumVertices(), time.Since(start).Seconds())
+
+	r := &experiments.Runner{Env: env, Out: os.Stdout, CheckShapes: *check}
+	if err := r.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+// Command motiongen generates a synthetic respiratory-motion cohort
+// and writes it as raw sample CSV files (one per session) plus a
+// cohort manifest, or as a segmented PLR database in the JSON
+// interchange format consumed by cmd/predictd and cmd/clusterpat.
+//
+// Usage:
+//
+//	motiongen -patients 12 -sessions 4 -dur 90 -seed 42 -o cohort.json
+//	motiongen -raw -dir ./rawdata        # per-session CSVs instead
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"stsmatch/internal/dataset"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/signal"
+)
+
+func main() {
+	patients := flag.Int("patients", 12, "number of synthetic patients")
+	sessions := flag.Int("sessions", 4, "treatment sessions per patient")
+	dur := flag.Float64("dur", 90, "seconds of motion per session")
+	dims := flag.Int("dims", 1, "spatial dimensions (1-3)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "cohort.json", "output path for the segmented PLR database (.json or .bin)")
+	raw := flag.Bool("raw", false, "write raw 30 Hz sample CSVs instead of a segmented database")
+	dir := flag.String("dir", "rawdata", "output directory for -raw mode")
+	flag.Parse()
+
+	cfg := signal.CohortConfig{
+		NumPatients: *patients,
+		SessionsPer: *sessions,
+		SessionDur:  *dur,
+		Dims:        *dims,
+		Seed:        *seed,
+	}
+	cohort, err := signal.GenerateCohort(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *raw {
+		if err := writeRaw(cohort, *dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	db, err := dataset.FromCohort(cohort, fsm.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".bin") {
+		err = db.WriteBinary(f)
+	} else {
+		err = db.WriteJSON(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d patients, %d streams, %d PLR vertices\n",
+		*out, db.NumPatients(), len(db.Streams()), db.NumVertices())
+}
+
+// writeRaw emits one CSV per session (t, pos0, pos1, ...) and a
+// manifest of patient covariates.
+func writeRaw(cohort []signal.PatientData, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(dir, "manifest.csv"))
+	if err != nil {
+		return err
+	}
+	defer manifest.Close()
+	mw := csv.NewWriter(manifest)
+	defer mw.Flush()
+	if err := mw.Write([]string{"patient", "class", "age", "tumorSite", "session", "file", "samples"}); err != nil {
+		return err
+	}
+
+	total := 0
+	for _, pd := range cohort {
+		for _, sess := range pd.Sessions {
+			name := sess.SessionID + ".csv"
+			if err := writeSessionCSV(filepath.Join(dir, name), sess); err != nil {
+				return err
+			}
+			total += len(sess.Samples)
+			if err := mw.Write([]string{
+				pd.Profile.ID, pd.Profile.Class.String(),
+				strconv.Itoa(pd.Profile.Age), pd.Profile.TumorSite,
+				sess.SessionID, name, strconv.Itoa(len(sess.Samples)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("wrote %d sessions (%d raw samples) under %s\n",
+		len(cohort[0].Sessions)*len(cohort), total, dir)
+	return nil
+}
+
+func writeSessionCSV(path string, sess signal.SessionData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	for _, s := range sess.Samples {
+		row := make([]string, 0, 1+len(s.Pos))
+		row = append(row, strconv.FormatFloat(s.T, 'f', 4, 64))
+		for _, p := range s.Pos {
+			row = append(row, strconv.FormatFloat(p, 'f', 4, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "motiongen:", err)
+	os.Exit(1)
+}

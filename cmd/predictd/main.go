@@ -1,0 +1,167 @@
+// Command predictd replays a PLR database through the online
+// prediction pipeline and reports accuracy — the operational loop of
+// image-guided dynamic radiation treatment: at each evaluation point
+// it forms a stability-driven dynamic query from the history, retrieves
+// similar subsequences, and predicts the position delta seconds ahead.
+//
+// Usage:
+//
+//	motiongen -o cohort.json
+//	predictd -db cohort.json -delta 200ms -queries 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/store"
+)
+
+func main() {
+	dbPath := flag.String("db", "cohort.json", "PLR database (from motiongen or segmenter)")
+	delta := flag.Duration("delta", 200*time.Millisecond, "prediction horizon")
+	queries := flag.Int("queries", 12, "evaluation points per stream")
+	eps := flag.Float64("eps", core.DefaultParams().DistThreshold, "distance threshold")
+	theta := flag.Float64("theta", core.DefaultParams().StabilityThreshold, "stability threshold")
+	verbose := flag.Bool("v", false, "print every prediction")
+	adapt := flag.Float64("adapt", 0, "adapt epsilon online to this target coverage (0 disables)")
+	flag.Parse()
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := store.ReadAny(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	db.EnableIndexes()
+
+	params := core.DefaultParams()
+	params.DistThreshold = *eps
+	params.StabilityThreshold = *theta
+	m, err := core.NewMatcher(db, params)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultEvalOptions()
+	opts.Deltas = []float64{delta.Seconds()}
+	opts.QueriesPerStream = *queries
+
+	if *adapt > 0 {
+		runAdaptive(m, delta.Seconds(), *queries, *adapt)
+		return
+	}
+	if *verbose {
+		runVerbose(m, delta.Seconds(), *queries)
+		return
+	}
+
+	start := time.Now()
+	res, err := m.Evaluate(opts)
+	if err != nil {
+		fatal(err)
+	}
+	d := res.PerDelta[0]
+	fmt.Printf("database: %d patients, %d streams, %d vertices\n",
+		db.NumPatients(), len(db.Streams()), db.NumVertices())
+	fmt.Printf("horizon:  %v\n", *delta)
+	fmt.Printf("queries:  %d (%d predicted, coverage %.1f%%)\n",
+		d.Attempts, d.Predictions, 100*d.Coverage())
+	fmt.Printf("error:    mean %.3f mm, sd %.3f, max %.3f\n",
+		d.MeanError(), d.Err.StdDev(), d.Err.Max())
+	fmt.Printf("queries:  mean length %.1f vertices (%d/%d stable strips)\n",
+		res.QueryLen.Mean(), res.StableQueries, res.TotalQueries)
+	fmt.Printf("elapsed:  %.2fs total, %.2f ms per evaluation point\n",
+		time.Since(start).Seconds(),
+		1000*time.Since(start).Seconds()/float64(max(d.Attempts, 1)))
+}
+
+// runAdaptive replays the database with the online epsilon controller
+// (the paper's "dynamically adjust their values during online
+// procedures" future work) and reports where it settles.
+func runAdaptive(m *core.Matcher, delta float64, queries int, target float64) {
+	ctl, err := core.NewCoverageController(target, m.Params.DistThreshold,
+		m.Params.DistThreshold/8, m.Params.DistThreshold*4)
+	if err != nil {
+		fatal(err)
+	}
+	var errSum float64
+	var predicted int
+	for _, st := range m.DB.Streams() {
+		seq := st.Seq()
+		minCut := m.Params.MaxQueryVertices() + 2
+		if minCut >= len(seq)-2 {
+			continue
+		}
+		for qi := 0; qi < queries; qi++ {
+			cut := minCut + (len(seq)-1-minCut)*qi/queries
+			prefix := seq[:cut+1]
+			qseq, _ := m.Params.DynamicQuery(prefix)
+			q := core.NewQuery(qseq, st.PatientID, st.SessionID)
+			pred, err := m.PredictAdaptive(q, delta, ctl)
+			if err != nil {
+				continue
+			}
+			if truth, inside := seq.PositionAt(q.Now + delta); inside {
+				errSum += abs(pred.Pos[0] - truth[0])
+				predicted++
+			}
+		}
+	}
+	fmt.Printf("adaptive epsilon: target coverage %.0f%%, achieved %.1f%% over %d attempts\n",
+		100*target, 100*ctl.Coverage(), ctl.Attempts())
+	fmt.Printf("epsilon settled at %.2f (started %.2f)\n", ctl.Epsilon(), m.Params.DistThreshold)
+	if predicted > 0 {
+		fmt.Printf("mean error %.3f mm over %d scored predictions\n", errSum/float64(predicted), predicted)
+	}
+}
+
+// runVerbose prints each prediction as it would stream during
+// treatment.
+func runVerbose(m *core.Matcher, delta float64, queries int) {
+	for _, st := range m.DB.Streams() {
+		seq := st.Seq()
+		minCut := m.Params.MaxQueryVertices() + 2
+		if minCut >= len(seq)-2 {
+			continue
+		}
+		for qi := 0; qi < queries; qi++ {
+			cut := minCut + (len(seq)-1-minCut)*qi/queries
+			prefix := seq[:cut+1]
+			qseq, info := m.Params.DynamicQuery(prefix)
+			q := core.NewQuery(qseq, st.PatientID, st.SessionID)
+			pred, err := m.Predict(q, delta, nil)
+			now := q.Now
+			truth, inside := seq.PositionAt(now + delta)
+			switch {
+			case err == core.ErrNoMatches:
+				fmt.Printf("%s t=%7.2fs query=%2dv stable=%-5v -> no prediction\n",
+					st.SessionID, now, len(qseq), info.Stable)
+			case err != nil:
+				fatal(err)
+			case inside:
+				fmt.Printf("%s t=%7.2fs query=%2dv stable=%-5v -> pred %7.2f truth %7.2f err %5.2f mm (%d matches)\n",
+					st.SessionID, now, len(qseq), info.Stable, pred.Pos[0], truth[0],
+					abs(pred.Pos[0]-truth[0]), pred.NumMatches)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predictd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command segmenter converts a raw motion CSV (t, pos0[, pos1, ...])
+// into its piecewise linear representation using the online finite-
+// state segmenter, writing one vertex per line (t, state, pos...).
+//
+// It processes the input in a streaming fashion — constant memory, one
+// pass — exactly as the online algorithm runs during treatment.
+//
+// Usage:
+//
+//	segmenter -in session.csv -out session.plr.csv
+//	motiongen -raw -dir raw && segmenter -in raw/P01-S01.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/plr"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV of raw samples (t, pos...); empty = stdin")
+	out := flag.String("out", "", "output CSV of PLR vertices; empty = stdout")
+	slopeWin := flag.Int("slopewin", fsm.DefaultConfig().SlopeWindow, "trend window (samples)")
+	slopeThr := flag.Float64("slopethr", fsm.DefaultConfig().SlopeThreshold, "slope threshold (units/s)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := fsm.DefaultConfig()
+	cfg.SlopeWindow = *slopeWin
+	cfg.SlopeThreshold = *slopeThr
+	seg, err := fsm.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	nIn, nOut := 0, 0
+	emit := func(vs []plr.Vertex) error {
+		for _, v := range vs {
+			row := []string{strconv.FormatFloat(v.T, 'f', 4, 64), v.State.String()}
+			for _, p := range v.Pos {
+				row = append(row, strconv.FormatFloat(p, 'f', 4, 64))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+			nOut++
+		}
+		return nil
+	}
+
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if len(rec) < 2 {
+			fatal(fmt.Errorf("row %d: need at least (t, pos)", nIn+1))
+		}
+		sm := plr.Sample{Pos: make([]float64, len(rec)-1)}
+		if sm.T, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			fatal(fmt.Errorf("row %d: bad time: %w", nIn+1, err))
+		}
+		for i, cell := range rec[1:] {
+			if sm.Pos[i], err = strconv.ParseFloat(cell, 64); err != nil {
+				fatal(fmt.Errorf("row %d: bad position: %w", nIn+1, err))
+			}
+		}
+		nIn++
+		vs, err := seg.Push(sm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(vs); err != nil {
+			fatal(err)
+		}
+	}
+	if err := emit(seg.Flush()); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "segmenter: %d samples -> %d vertices (%.1fx compression)\n",
+		nIn, nOut, float64(nIn)/float64(max(nOut, 1)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "segmenter:", err)
+	os.Exit(1)
+}

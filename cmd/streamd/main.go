@@ -1,0 +1,169 @@
+// Command streamd serves the online ingestion and prediction HTTP API:
+// the deployment shape of the paper's real-time system. A treatment
+// console (or the demo client below) opens a session, streams samples
+// as they are imaged, and polls predictions.
+//
+//	streamd -listen :8750 -db cohort.json     # preload history
+//
+//	curl -X POST localhost:8750/v1/sessions \
+//	     -d '{"patientId":"P01","sessionId":"live"}'
+//	curl -X POST localhost:8750/v1/sessions/live/samples \
+//	     -d '[{"t":0.0,"pos":[12.1]},{"t":0.033,"pos":[11.8]}]'
+//	curl 'localhost:8750/v1/sessions/live/predict?delta=200ms'
+//	curl localhost:8750/v1/stats
+//
+// With -demo, streamd instead runs an in-process end-to-end demo
+// against its own API: it starts the server on the listen address,
+// streams a synthetic session in real-time order, and prints
+// predictions alongside the later-observed truth.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/server"
+	"stsmatch/internal/signal"
+	"stsmatch/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", ":8750", "HTTP listen address")
+	dbPath := flag.String("db", "", "optional PLR database to preload as history")
+	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
+	flag.Parse()
+
+	var db *store.DB
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+		db, err = store.ReadAny(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		db.EnableIndexes()
+		fmt.Printf("preloaded %d patients, %d vertices from %s\n",
+			db.NumPatients(), db.NumVertices(), *dbPath)
+	}
+
+	srv, err := server.New(db, core.DefaultParams(), fsm.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *demo {
+		runDemo(srv)
+		return
+	}
+	fmt.Printf("streamd listening on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// runDemo drives the API in-process: ingest a synthetic session in
+// chunks and request a prediction after each chunk, comparing it with
+// what actually arrives next.
+func runDemo(h http.Handler) {
+	call := func(method, path string, body any) (*http.Response, error) {
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequest(method, "http://demo"+path, &buf)
+		if err != nil {
+			return nil, err
+		}
+		rec := newRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.result(), nil
+	}
+
+	if _, err := call("POST", "/v1/sessions", server.CreateSessionRequest{
+		PatientID: "DEMO", SessionID: "demo-live",
+	}); err != nil {
+		fatal(err)
+	}
+
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 42)
+	if err != nil {
+		fatal(err)
+	}
+	samples := gen.Generate(90)
+	const chunk = 150 // ~5 s of data per ingest call
+	for i := 0; i < len(samples); i += chunk {
+		end := min(i+chunk, len(samples))
+		batch := make([]server.SampleIn, 0, end-i)
+		for _, s := range samples[i:end] {
+			batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
+		}
+		if _, err := call("POST", "/v1/sessions/demo-live/samples", batch); err != nil {
+			fatal(err)
+		}
+		resp, err := call("GET", "/v1/sessions/demo-live/predict?delta=200ms", nil)
+		if err != nil {
+			fatal(err)
+		}
+		now := samples[end-1].T
+		if resp.StatusCode != http.StatusOK {
+			fmt.Printf("t=%5.1fs  no prediction yet (%d)\n", now, resp.StatusCode)
+			continue
+		}
+		var pred server.PredictionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+			fatal(err)
+		}
+		// Truth: the raw sample nearest now+200ms, if already generated.
+		truthIdx := end - 1 + 6 // 200 ms at 30 Hz
+		truthStr := "   (future unknown)"
+		if truthIdx < len(samples) {
+			truthStr = fmt.Sprintf("truth %6.2f mm", samples[truthIdx].Pos[0])
+		}
+		fmt.Printf("t=%5.1fs  predict(+200ms) %6.2f mm  %s  (%d matches, query %d vertices)\n",
+			now, pred.Pos[0], truthStr, pred.NumMatches, pred.QueryLen)
+	}
+	fmt.Println("demo complete")
+}
+
+// recorder is a minimal in-process ResponseWriter (httptest lives in
+// net/http/httptest but is conventionally test-only; this demo stays
+// self-contained).
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{code: 200, header: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+func (r *recorder) result() *http.Response {
+	return &http.Response{
+		StatusCode: r.code,
+		Header:     r.header,
+		Body:       readCloser{&r.body},
+	}
+}
+
+type readCloser struct{ *bytes.Buffer }
+
+func (readCloser) Close() error { return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+package stsmatch_test
+
+// Runnable godoc examples for the public API. Outputs are verified by
+// `go test`, so the documentation cannot rot. The examples use fixed
+// seeds and print only values that are stable across platforms
+// (counts, orderings, booleans).
+
+import (
+	"fmt"
+	"log"
+
+	"stsmatch"
+	"stsmatch/gatingsim"
+	"stsmatch/synth"
+)
+
+// Example shows the minimal end-to-end pipeline: generate motion,
+// segment it online, and ask whether prediction is available.
+func Example() {
+	cfg := synth.DefaultRespiration()
+	cfg.IrregularProb = 0 // keep the doc example fully regular
+	gen, err := synth.NewRespiration(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := gen.Generate(60)
+
+	seq, err := stsmatch.SegmentAll(stsmatch.DefaultSegmenterConfig(), samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db := stsmatch.NewDB()
+	p, err := db.AddPatient(stsmatch.PatientInfo{ID: "P01"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AddStream("S01").Append(seq...); err != nil {
+		log.Fatal(err)
+	}
+
+	matcher, err := stsmatch.NewMatcher(db, stsmatch.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	qseq, _ := matcher.Params.DynamicQuery(seq[:len(seq)-2])
+	q := stsmatch.NewQuery(qseq, "P01", "S01")
+	matches, err := matcher.FindSimilar(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := matcher.PredictPosition(q, matches, 0.2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted dims:", len(pred.Pos))
+	fmt.Println("used matches:", pred.NumMatches >= 3)
+	// Output:
+	// predicted dims: 1
+	// used matches: true
+}
+
+// ExampleParams_DynamicQuery demonstrates stability-driven query
+// generation: regular motion yields the minimum-length query.
+func ExampleParams_DynamicQuery() {
+	params := stsmatch.DefaultParams()
+	// A perfectly regular PLR: EX -> EOE -> IN cycles, amplitude 10.
+	var seq stsmatch.Sequence
+	states := []stsmatch.State{stsmatch.EX, stsmatch.EOE, stsmatch.IN}
+	ys := []float64{10, 0, 0}
+	for i := 0; i < 40; i++ {
+		seq = append(seq, stsmatch.Vertex{
+			T: float64(i), Pos: []float64{ys[i%3]}, State: states[i%3],
+		})
+	}
+	q, info := params.DynamicQuery(seq)
+	fmt.Println("query vertices:", len(q))
+	fmt.Println("minimum length:", params.MinQueryVertices())
+	fmt.Println("stable:", info.Stable)
+	// Output:
+	// query vertices: 10
+	// minimum length: 10
+	// stable: true
+}
+
+// ExampleParams_Distance shows the state-order precondition of
+// Definition 2: windows with different meanings are incomparable.
+func ExampleParams_Distance() {
+	params := stsmatch.DefaultParams()
+	mk := func(first stsmatch.State) stsmatch.Sequence {
+		states := []stsmatch.State{stsmatch.EX, stsmatch.EOE, stsmatch.IN}
+		// Rotate so the window starts with the requested state.
+		for states[0] != first {
+			states = append(states[1:], states[0])
+		}
+		var seq stsmatch.Sequence
+		ys := map[stsmatch.State]float64{stsmatch.EX: 10, stsmatch.EOE: 0, stsmatch.IN: 0}
+		for i := 0; i < 7; i++ {
+			st := states[i%3]
+			seq = append(seq, stsmatch.Vertex{T: float64(i), Pos: []float64{ys[st]}, State: st})
+		}
+		return seq
+	}
+	exhaleFirst := mk(stsmatch.EX)
+	inhaleFirst := mk(stsmatch.IN)
+
+	if _, err := params.Distance(exhaleFirst, inhaleFirst, stsmatch.SameSession); err != nil {
+		fmt.Println("exhale vs inhale: incomparable")
+	}
+	d, err := params.Distance(exhaleFirst, exhaleFirst, stsmatch.SameSession)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exhale vs itself:", d)
+	// Output:
+	// exhale vs inhale: incomparable
+	// exhale vs itself: 0
+}
+
+// ExampleStreamDistance compares whole sessions (Definition 3): a
+// stream is closer to a similar stream than to a very different one.
+func ExampleStreamDistance() {
+	db := stsmatch.NewDB()
+	mk := func(id string, amp, period float64, seed int64) *stsmatch.Stream {
+		cfg := synth.DefaultRespiration()
+		cfg.Amplitude = amp
+		cfg.Period = period
+		cfg.IrregularProb = 0
+		gen, err := synth.NewRespiration(cfg, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err := stsmatch.SegmentAll(stsmatch.DefaultSegmenterConfig(), gen.Generate(60))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := db.AddPatient(stsmatch.PatientInfo{ID: id})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := p.AddStream(id + "-S1")
+		if err := st.Append(seq...); err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	base := mk("base", 15, 3.8, 1)
+	near := mk("near", 16, 3.8, 2)
+	far := mk("far", 24, 3.0, 3) // deeper and faster breathing
+
+	cfg := stsmatch.DefaultClusterConfig()
+	cfg.QueryStride = 2
+	dNear, err := stsmatch.StreamDistance(base, near, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dFar, err := stsmatch.StreamDistance(base, far, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("similar stream is closer:", dNear < dFar)
+	// Output:
+	// similar stream is closer: true
+}
+
+// ExampleSimulateGating quantifies the latency problem of Figure 1:
+// gating on a delayed position irradiates tissue the ideal controller
+// would not.
+func ExampleSimulateGating() {
+	cfg := synth.DefaultRespiration()
+	cfg.IrregularProb = 0
+	gen, err := synth.NewRespiration(cfg, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := gen.Generate(60)
+	window := gatingsim.Window{Lo: -3, Hi: 3}
+
+	ideal, err := gatingsim.SimulateGating(truth, window, gatingsim.OraclePositioner(truth, 0), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delayed, err := gatingsim.SimulateGating(truth, window, gatingsim.LastObservedPositioner(truth, 0.3, 0), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ideal accuracy is perfect:", ideal.Accuracy() == 1)
+	fmt.Println("latency reduces accuracy:", delayed.Accuracy() < ideal.Accuracy())
+	// Output:
+	// ideal accuracy is perfect: true
+	// latency reduces accuracy: true
+}

@@ -1,0 +1,141 @@
+// Gated radiotherapy with latency compensation — the paper's Figure 1
+// scenario end to end.
+//
+// A radiation system observes the tumor through an imaging chain with
+// ~200 ms of total latency. Gating on the *last observed* position
+// therefore irradiates healthy tissue whenever the tumor has moved on.
+// This example compares three beam controllers on the same ground-truth
+// motion:
+//
+//  1. ideal     — zero-latency oracle (upper bound),
+//  2. delayed   — last observed position, latency uncompensated,
+//  3. predicted — the library's online subsequence-matching predictor
+//     forecasting the present position from the delayed stream.
+//
+// It reports gating duty cycle / accuracy and beam-tracking error for
+// each controller.
+//
+//	go run ./examples/gating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsmatch"
+	"stsmatch/gatingsim"
+	"stsmatch/synth"
+)
+
+const (
+	latency    = 0.200 // seconds of imaging + system delay
+	sessionDur = 150   // seconds of treatment
+	historyDur = 60    // seconds of same-session history before beam-on
+)
+
+func main() {
+	// Ground-truth tumor motion for one fraction.
+	cfg := synth.DefaultRespiration()
+	cfg.IrregularProb = 0.01
+	gen, err := synth.NewRespiration(cfg, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := gen.Generate(sessionDur)
+
+	ideal := gatingsim.OraclePositioner(truth, 0)
+	delayed := gatingsim.LastObservedPositioner(truth, latency, 0)
+
+	// Gate around the end-of-exhale plateau (where the tumor dwells).
+	window := gatingsim.Window{Lo: -3, Hi: 3}
+	eval := truth[int(historyDur*cfg.SampleRate):] // score after warm-up
+
+	fmt.Printf("gating window [%.0f, %.0f] mm, latency %.0f ms, %d scored samples\n\n",
+		window.Lo, window.Hi, latency*1000, len(eval))
+	fmt.Println("controller   duty    beam-on accuracy   tracking error (mean/max mm)")
+	for _, c := range []struct {
+		name string
+		pos  func() gatingsim.Positioner
+	}{
+		{"ideal", func() gatingsim.Positioner { return ideal }},
+		{"delayed", func() gatingsim.Positioner { return delayed }},
+		{"predicted", func() gatingsim.Positioner { return newPredictor(truth) }},
+	} {
+		g, err := gatingsim.SimulateGating(eval, window, c.pos(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := gatingsim.SimulateTracking(eval, c.pos(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %5.1f%%        %5.1f%%             %6.2f / %.2f\n",
+			c.name, 100*g.DutyCycle(), 100*g.Accuracy(), tr.MeanError, tr.MaxError)
+	}
+	fmt.Println("\nprediction recovers most of the accuracy the latency destroyed,")
+	fmt.Println("without sacrificing duty cycle — the motivation of Section 1.")
+}
+
+// newPredictor builds a latency-compensating positioner with its own
+// fresh online pipeline (segmenter, stream database, matcher). It
+// replays the delayed observation stream into the segmenter as
+// simulation time advances, then forecasts the *present* position by
+// subsequence matching — exactly the online loop of Section 4.
+func newPredictor(truth []synth.Sample) gatingsim.Positioner {
+	db := stsmatch.NewDB()
+	patient, err := db.AddPatient(stsmatch.PatientInfo{ID: "P01"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := patient.AddStream("P01-S01")
+	seg, err := stsmatch.NewSegmenter(stsmatch.DefaultSegmenterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	matcher, err := stsmatch.NewMatcher(db, stsmatch.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fed := 0
+	lastObs := 0.0
+	return gatingsim.PositionerFunc(func(t float64) (float64, bool) {
+		for fed < len(truth) && truth[fed].T <= t-latency {
+			vs, err := seg.Push(truth[fed])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := stream.Append(vs...); err != nil {
+				log.Fatal(err)
+			}
+			lastObs = truth[fed].Pos[0]
+			fed++
+		}
+		if t < historyDur || fed == 0 {
+			return 0, false // still accumulating history; beam held
+		}
+		seq := stream.Seq()
+		qseq, _ := matcher.Params.DynamicQuery(seq)
+		if len(qseq) < 2 {
+			return 0, false
+		}
+		q := stsmatch.NewQuery(qseq, "P01", "P01-S01")
+		matches, err := matcher.FindSimilar(q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The newest observation is the position at t-latency. Matched
+		// histories estimate how far the target moves across the
+		// latency gap; adding that displacement to the observation
+		// forecasts the present.
+		tObs := truth[fed-1].T
+		disp, err := matcher.PredictDisplacement(q, matches, tObs-q.Now, t-q.Now, 0)
+		if err != nil {
+			// No similar history right now (e.g. irregular breathing):
+			// fall back to the last observed position, like the
+			// uncompensated controller, rather than holding the beam.
+			return lastObs, true
+		}
+		return lastObs + disp[0], true
+	})
+}

@@ -1,0 +1,104 @@
+// Quickstart: the full pipeline on one synthetic patient — generate a
+// breathing signal, segment it online into the finite-state PLR, store
+// it, build a stability-driven dynamic query, retrieve similar
+// subsequences and predict future positions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsmatch"
+	"stsmatch/synth"
+)
+
+func main() {
+	// 1. A breathing signal: two minutes at 30 Hz with realistic
+	// noise (cardiac oscillation, spikes, drifting amplitude). The
+	// irregular-episode rate is kept low so the demo ends in regular
+	// breathing; see examples/gating for irregular cases.
+	cfg := synth.DefaultRespiration()
+	cfg.IrregularProb = 0.005
+	gen, err := synth.NewRespiration(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := gen.Generate(120)
+	fmt.Printf("generated %d raw samples over %.0f s\n", len(samples), samples[len(samples)-1].T)
+
+	// 2. Online segmentation: raw samples -> PLR vertices, streaming.
+	// In a real deployment Push runs per-frame during treatment; here
+	// we replay the recording.
+	seg, err := stsmatch.NewSegmenter(stsmatch.DefaultSegmenterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := stsmatch.NewDB()
+	patient, err := db.AddPatient(stsmatch.PatientInfo{ID: "P01"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := patient.AddStream("P01-S01")
+	for _, s := range samples {
+		vs, err := seg.Push(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stream.Append(vs...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := stream.Append(seg.Flush()...); err != nil {
+		log.Fatal(err)
+	}
+	seq := stream.Seq()
+	fmt.Printf("segmented into %d vertices (%.0fx compression); state string:\n%s\n",
+		stream.Len(), float64(len(samples))/float64(stream.Len()), seq.StateString())
+
+	// 3. Dynamic query generation (Definition 1 + Section 4.1): the
+	// query covers the most recent stable window of motion.
+	params := stsmatch.DefaultParams()
+	history := seq[:len(seq)-2] // pretend the last vertices are "the future"
+	qseq, info := params.DynamicQuery(history)
+	fmt.Printf("dynamic query: %d vertices, stable=%v (sigma=%.2f, theta=%.1f)\n",
+		len(qseq), info.Stable, info.StripStability, params.StabilityThreshold)
+
+	// 4. Retrieval (Definition 2): same state order, weighted distance
+	// within the threshold.
+	matcher, err := stsmatch.NewMatcher(db, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := stsmatch.NewQuery(qseq, "P01", "P01-S01")
+	matches, err := matcher.FindSimilar(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieved %d similar subsequences", len(matches))
+	if len(matches) > 0 {
+		fmt.Printf(" (best distance %.3f, %s)", matches[0].Distance, matches[0].Relation)
+	}
+	fmt.Println()
+
+	// 5. Prediction (Section 4.3): where will the tumor be in 200 ms?
+	for _, ms := range []int{100, 200, 300} {
+		delta := float64(ms) / 1000
+		pred, err := matcher.PredictPosition(query, matches, delta, 0)
+		if err != nil {
+			fmt.Printf("  +%3d ms: no prediction (%v)\n", ms, err)
+			continue
+		}
+		truth, _ := seq.PositionAt(query.Now + delta)
+		fmt.Printf("  +%3d ms: predicted %6.2f mm, actual %6.2f mm, error %.2f mm (%d matches)\n",
+			ms, pred.Pos[0], truth[0], abs(pred.Pos[0]-truth[0]), pred.NumMatches)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,171 @@
+// Robot-arm monitoring — the mechanical generalization of Section 6.
+//
+// "In an assembly line, the motion of a robot arm may be limited to a
+// finite set of predefined states. We can pursue dynamic robot control
+// and automatic robot manipulation through motion prediction and
+// corresponding response actions."
+//
+// A pick-and-place axis cycles advance -> dwell -> return -> dwell.
+// The advance maps to IN (rising position), the return to EX, dwells
+// to EOE. The example:
+//
+//   - segments the axis trace with the shared online segmenter,
+//
+//   - predicts the axis position ahead of time (for motion
+//     coordination with a downstream conveyor),
+//
+//   - detects fault cycles (mid-travel stalls) as IRR states, and
+//
+//   - compares two machines by whole-stream distance (a healthy twin
+//     versus a worn one), the Definition 3 application.
+//
+//     go run ./examples/robotarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsmatch"
+	"stsmatch/synth"
+)
+
+func main() {
+	// A healthy axis and a worn twin (more timing jitter, occasional
+	// stalls).
+	healthyCfg := synth.DefaultRobotArm()
+	healthyCfg.FaultProb = 0
+	wornCfg := healthyCfg
+	wornCfg.Jitter = 0.12
+	wornCfg.FaultProb = 0.06
+
+	healthy := mustGenerate(healthyCfg, 1, 300)
+	healthy2 := mustGenerate(healthyCfg, 2, 300)
+	worn := mustGenerate(wornCfg, 3, 300)
+
+	// Segmenter settings for the axis: 50 Hz, 120 mm travel in 0.8 s
+	// (~150 mm/s move slope), dwells of ~0.5 s.
+	segCfg := stsmatch.DefaultSegmenterConfig()
+	segCfg.SlopeWindow = 9     // 180 ms at 50 Hz
+	segCfg.SlopeThreshold = 40 // mm/s
+	segCfg.MinSegmentDur = 0.12
+	segCfg.SmoothAlpha = 0.4
+	segCfg.MaxCycleDeviation = 2.0
+	// Step 1 of the Section 6 framework: the axis's own finite state
+	// model. Unlike breathing, the cycle dwells at *both* ends:
+	// advance (IN) -> dwell (EOE) -> return (EX) -> dwell (EOE) -> ...
+	segCfg.Transitions = [][2]stsmatch.State{
+		{stsmatch.IN, stsmatch.EOE},
+		{stsmatch.EOE, stsmatch.EX},
+		{stsmatch.EX, stsmatch.EOE},
+		{stsmatch.EOE, stsmatch.IN},
+	}
+
+	db := stsmatch.NewDB()
+	machine, err := db.AddPatient(stsmatch.PatientInfo{ID: "axis-A"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqH := mustSegment(segCfg, healthy)
+	seqH2 := mustSegment(segCfg, healthy2)
+	seqW := mustSegment(segCfg, worn)
+	streamH := machine.AddStream("axis-A-shift1")
+	if err := streamH.Append(seqH...); err != nil {
+		log.Fatal(err)
+	}
+	machineB, err := db.AddPatient(stsmatch.PatientInfo{ID: "axis-B"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamH2 := machineB.AddStream("axis-B-shift1")
+	if err := streamH2.Append(seqH2...); err != nil {
+		log.Fatal(err)
+	}
+	machineC, err := db.AddPatient(stsmatch.PatientInfo{ID: "axis-C-worn"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamW := machineC.AddStream("axis-C-shift1")
+	if err := streamW.Append(seqW...); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("segmented: healthy %d vertices, twin %d, worn %d\n",
+		len(seqH), len(seqH2), len(seqW))
+
+	// Fault detection: stalls surface as IRR segments.
+	fmt.Printf("IRR segments: healthy=%d, worn=%d (stalls break the FSA order)\n",
+		countIRR(seqH), countIRR(seqW))
+
+	// Position prediction for conveyor coordination: where will the
+	// axis be in 150 ms?
+	params := stsmatch.DefaultParams()
+	params.DistThreshold = 20 // 120 mm travel vs 15 mm breathing
+	matcher, err := stsmatch.NewMatcher(db, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history := seqH[:len(seqH)-2]
+	qseq, _ := params.DynamicQuery(history)
+	query := stsmatch.NewQuery(qseq, "axis-A", "axis-A-shift1")
+	matches, err := matcher.FindSimilar(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nonline query: %d vertices, %d similar windows\n", len(qseq), len(matches))
+	for _, ms := range []int{50, 150, 300} {
+		delta := float64(ms) / 1000
+		pred, err := matcher.PredictPosition(query, matches, delta, 0)
+		if err != nil {
+			fmt.Printf("  +%3d ms: no prediction (%v)\n", ms, err)
+			continue
+		}
+		truth, _ := seqH.PositionAt(query.Now + delta)
+		fmt.Printf("  +%3d ms: predicted %6.1f mm, actual %6.1f mm\n", ms, pred.Pos[0], truth[0])
+	}
+
+	// Machine health comparison by whole-stream distance: the healthy
+	// twin should sit much closer than the worn axis.
+	clCfg := stsmatch.DefaultClusterConfig()
+	clCfg.Params = params
+	dTwin, err := stsmatch.StreamDistance(streamH, streamH2, clCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dWorn, err := stsmatch.StreamDistance(streamH, streamW, clCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstream distance (Definition 3):\n")
+	fmt.Printf("  healthy vs healthy twin: %6.2f\n", dTwin)
+	fmt.Printf("  healthy vs worn axis:    %6.2f\n", dWorn)
+	if dWorn > dTwin {
+		fmt.Println("the worn axis is clearly separated -> schedule maintenance")
+	}
+}
+
+func mustGenerate(cfg synth.RobotArmConfig, seed int64, dur float64) []synth.Sample {
+	gen, err := synth.NewRobotArm(cfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return gen.Generate(dur)
+}
+
+func mustSegment(cfg stsmatch.SegmenterConfig, samples []synth.Sample) stsmatch.Sequence {
+	seq, err := stsmatch.SegmentAll(cfg, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return seq
+}
+
+func countIRR(seq stsmatch.Sequence) int {
+	n := 0
+	for _, v := range seq {
+		if v.State == stsmatch.IRR {
+			n++
+		}
+	}
+	return n
+}

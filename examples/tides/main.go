@@ -1,0 +1,121 @@
+// Tidal analysis — the fourth generalization of Section 6.
+//
+// "The tide's rhythmic rise and fall is in a predictive pattern,
+// mostly following the moon's motion and position. ... By learning
+// more about tidal motion, we can discover how the phases of the moon
+// or the moon's distance from Earth affects the tidal range. We can
+// also correlate tides with coastal catastrophes."
+//
+// A tide gauge samples water height every six minutes. The framework
+// instantiates directly: rising water is IN, falling water is EX,
+// slack water around high/low tide is EOE, and storm surges appear as
+// IRR. The example predicts the water level hours ahead and flags
+// surge periods.
+//
+//	go run ./examples/tides
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stsmatch"
+	"stsmatch/synth"
+)
+
+func main() {
+	// Ten days of tide-gauge readings, with weather-driven surge.
+	cfg := synth.DefaultTide()
+	cfg.WeatherStd = 0.25
+	samples := synth.GenerateTide(cfg, 10*24*3600, 11)
+	fmt.Printf("generated %d tide readings over %.0f days\n",
+		len(samples), samples[len(samples)-1].T/86400)
+
+	// Step 1+2: the tide's own finite state model and segmenter
+	// configuration. Semidiurnal tides rise/fall over ~6.2 h with
+	// ~1.6 m range: peak rates ~0.4 m/h = 1.1e-4 m/s. Slack water is
+	// the analogue of end-of-exhale and occurs at BOTH high and low
+	// tide, like the robot arm's two dwells.
+	segCfg := stsmatch.DefaultSegmenterConfig()
+	segCfg.SlopeWindow = 10        // one hour of readings
+	segCfg.SlopeThreshold = 5.5e-5 // m/s; half of peak rate
+	segCfg.MinSegmentDur = 1800    // 30 min
+	segCfg.SmoothAlpha = 0.3
+	segCfg.MaxCycleDeviation = 2.4
+	segCfg.Transitions = [][2]stsmatch.State{
+		{stsmatch.IN, stsmatch.EOE}, // rise -> slack (high water)
+		{stsmatch.EOE, stsmatch.EX}, // slack -> fall
+		{stsmatch.EX, stsmatch.EOE}, // fall -> slack (low water)
+		{stsmatch.EOE, stsmatch.IN}, // slack -> rise
+	}
+	seq, err := stsmatch.SegmentAll(segCfg, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmented into %d vertices; state string (one char per segment):\n%s\n",
+		len(seq), seq.StateString())
+
+	// Step 3: similarity thresholds on the tide's scale (metres and
+	// hours instead of millimetres and seconds).
+	params := stsmatch.DefaultParams()
+	params.DistThreshold = 1.2 // m-scale amplitude differences
+	params.WeightFreq = 0.0001 // durations are ~10^4 s; keep the terms balanced
+	params.StabilityThreshold = 2.5
+
+	db := stsmatch.NewDB()
+	gauge, err := db.AddPatient(stsmatch.PatientInfo{ID: "gauge-042"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gauge.AddStream("2026-06").Append(seq...); err != nil {
+		log.Fatal(err)
+	}
+	matcher, err := stsmatch.NewMatcher(db, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4a: forecast the water level 1-3 hours out.
+	history := seq[:len(seq)-3]
+	qseq, info := params.DynamicQuery(history)
+	q := stsmatch.NewQuery(qseq, "gauge-042", "2026-06")
+	matches, err := matcher.FindSimilar(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery: %d vertices (stable=%v), %d similar windows\n",
+		len(qseq), info.Stable, len(matches))
+	for _, hours := range []float64{1, 2, 3} {
+		delta := hours * 3600
+		pred, err := matcher.PredictPosition(q, matches, delta, 0)
+		if err != nil {
+			fmt.Printf("  +%.0f h: no prediction (%v)\n", hours, err)
+			continue
+		}
+		truth, _ := seq.PositionAt(q.Now + delta)
+		fmt.Printf("  +%.0f h: predicted %+.2f m, actual %+.2f m\n", hours, pred.Pos[0], truth[0])
+	}
+
+	// Step 4b: surge screening via IRR fraction per day.
+	fmt.Println("\nsurge screening (IRR time per day):")
+	for day := 0; day < 10; day++ {
+		lo, hi := float64(day)*86400, float64(day+1)*86400
+		var irr, total float64
+		for i := 0; i < seq.NumSegments(); i++ {
+			s, e := seq[i].T, seq[i+1].T
+			if e < lo || s > hi {
+				continue
+			}
+			ov := min(e, hi) - max(s, lo)
+			total += ov
+			if seq[i].State == stsmatch.IRR {
+				irr += ov
+			}
+		}
+		bar := ""
+		for b := 0.0; b < irr/3600; b++ {
+			bar += "#"
+		}
+		fmt.Printf("  day %2d: %4.1f h irregular %s\n", day+1, irr/3600, bar)
+	}
+}

@@ -1,0 +1,46 @@
+// Package gatingsim exposes the clinical delivery simulators built on
+// the motion library: respiration-gated treatment and beam tracking
+// under system latency (the paper's Figure 1 scenario). It is the
+// public face of internal/gating; see examples/gating for a complete
+// program that closes the loop with online prediction.
+package gatingsim
+
+import (
+	"stsmatch/internal/gating"
+	"stsmatch/internal/plr"
+)
+
+// Re-exported simulator types; see internal/gating for field details.
+type (
+	// Window is a gating window on the primary motion axis.
+	Window = gating.Window
+	// Positioner supplies position estimates for the beam decision.
+	Positioner = gating.Positioner
+	// PositionerFunc adapts a function to Positioner.
+	PositionerFunc = gating.PositionerFunc
+	// GatingResult scores a gated delivery.
+	GatingResult = gating.GatingResult
+	// TrackingResult scores a beam-tracking delivery.
+	TrackingResult = gating.TrackingResult
+)
+
+// SimulateGating replays true motion against a gated delivery.
+func SimulateGating(truth []plr.Sample, w Window, pos Positioner, dim int) (GatingResult, error) {
+	return gating.SimulateGating(truth, w, pos, dim)
+}
+
+// SimulateTracking replays true motion against a tracking delivery.
+func SimulateTracking(truth []plr.Sample, pos Positioner, dim int) (TrackingResult, error) {
+	return gating.SimulateTracking(truth, pos, dim)
+}
+
+// LastObservedPositioner acts on the position from latency seconds ago
+// (the uncompensated "real treatment" of Figure 1).
+func LastObservedPositioner(truth []plr.Sample, latency float64, dim int) Positioner {
+	return gating.LastObservedPositioner(truth, latency, dim)
+}
+
+// OraclePositioner is the zero-latency ideal ("ideal treatment").
+func OraclePositioner(truth []plr.Sample, dim int) Positioner {
+	return gating.OraclePositioner(truth, dim)
+}

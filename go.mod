@@ -1,0 +1,3 @@
+module stsmatch
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package baseline implements the comparison methods the paper
+// positions itself against (Sections 2 and 7): Euclidean and weighted
+// Euclidean distance over resampled subsequences, Dynamic Time Warping
+// (DTW), the Longest Common Subsequence measure (LCSS), and a
+// fixed-length query strategy. These exist so the evaluation harness
+// can reproduce the paper's comparative claims — "the weighted distance
+// function outperforms the corresponding weighted Euclidean distance
+// function" (Figure 6) and "the running time of DTW is very
+// computationally expensive" (Section 7.2).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"stsmatch/internal/plr"
+)
+
+// Resample converts the primary dimension of a PLR window into a
+// fixed-length vector of n evenly spaced interpolated values across the
+// window's time span. This is the dimensionality normalization the
+// Euclidean-family distances need.
+func Resample(seq plr.Sequence, n int, dim int) ([]float64, error) {
+	if len(seq) < 2 {
+		return nil, fmt.Errorf("baseline: cannot resample a window of %d vertices", len(seq))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 resample points, got %d", n)
+	}
+	if dim < 0 || dim >= seq.Dims() {
+		return nil, fmt.Errorf("baseline: dimension %d out of range (%d dims)", dim, seq.Dims())
+	}
+	t0 := seq[0].T
+	span := seq.Duration()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := t0 + span*float64(i)/float64(n-1)
+		pos, _ := seq.PositionAt(t)
+		out[i] = pos[dim]
+	}
+	return out, nil
+}
+
+// Euclidean returns the L2 distance between equal-length vectors,
+// normalized by sqrt(len) so values are comparable across lengths.
+func Euclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a))), nil
+}
+
+// WeightedEuclidean returns the recency-weighted L2 distance: the
+// "corresponding weighted Euclidean distance" of Section 7.2, using the
+// same linear recency ramp as the core distance. w must match the
+// vector length; pass nil for a ramp from w0 to 1.
+func WeightedEuclidean(a, b, w []float64, w0 float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	if w == nil {
+		w = RecencyRamp(len(a), w0)
+	}
+	if len(w) != len(a) {
+		return 0, fmt.Errorf("baseline: weight length mismatch %d vs %d", len(w), len(a))
+	}
+	var s, ws float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += w[i] * d * d
+		ws += w[i]
+	}
+	return math.Sqrt(s / ws), nil
+}
+
+// RecencyRamp builds the linear weight ramp from w0 (oldest) to 1
+// (newest) over n points.
+func RecencyRamp(n int, w0 float64) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = w0 + (1-w0)*float64(i)/float64(n-1)
+	}
+	return w
+}
+
+// DTW returns the Dynamic Time Warping distance between two vectors
+// with a Sakoe-Chiba band of the given half-width (<= 0 means
+// unconstrained). Cost is the band-constrained cumulative absolute
+// difference, normalized by the warping path length.
+func DTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if window <= 0 {
+		window = max(n, m)
+	}
+	// Ensure the band can reach the corner.
+	if d := abs(n - m); window < d {
+		window = d
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := max(1, i-window)
+		hi := min(m, i+window)
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m] / float64(n+m)
+}
+
+// LCSS returns the Longest-Common-Subsequence dissimilarity between
+// two vectors: 1 - LCSS/min(n,m), where points match if they are
+// within eps in value and delta in index. 0 means one sequence is a
+// (tolerant) subsequence of the other; 1 means no common structure.
+func LCSS(a, b []float64, eps float64, delta int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	if delta <= 0 {
+		delta = max(n, m)
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			switch {
+			case abs(i-j) > delta:
+				cur[j] = max(prev[j], cur[j-1])
+			case math.Abs(a[i-1]-b[j-1]) <= eps:
+				cur[j] = prev[j-1] + 1
+			default:
+				cur[j] = max(prev[j], cur[j-1])
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	lcs := prev[m]
+	return 1 - float64(lcs)/float64(min(n, m))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Feature-extraction baselines from the related work the paper builds
+// on (Section 2): Piecewise Aggregate Approximation (PAA; Keogh et al.)
+// and the Discrete Fourier Transform used by the GEMINI line of
+// subsequence matching (Faloutsos et al. [7], Agrawal et al. [1]).
+// Both reduce a length-n window to a k-dimensional feature vector whose
+// Euclidean distance lower-bounds (PAA) or approximates (truncated DFT)
+// the full Euclidean distance.
+
+// PAA reduces v to k segment means. k must be in [1, len(v)]; segments
+// are as equal as possible (the last one absorbs the remainder).
+func PAA(v []float64, k int) ([]float64, error) {
+	n := len(v)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: PAA k=%d out of range for n=%d", k, n)
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		var s float64
+		for _, x := range v[lo:hi] {
+			s += x
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// PAADistance is the lower-bounding distance between two PAA vectors
+// computed from length-n windows: sqrt(n/k) * ||a-b|| (Keogh's lemma).
+func PAADistance(a, b []float64, n int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: PAA length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(float64(n) / float64(len(a)) * s), nil
+}
+
+// DFT returns the first k complex Fourier coefficients of v
+// (coefficient 0 is the mean component). Naive O(n*k) evaluation —
+// windows here are tens of points, so an FFT would be overkill.
+func DFT(v []float64, k int) ([]complex128, error) {
+	n := len(v)
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty DFT input")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("baseline: DFT k=%d out of range for n=%d", k, n)
+	}
+	out := make([]complex128, k)
+	for f := 0; f < k; f++ {
+		var acc complex128
+		for t, x := range v {
+			angle := -2 * math.Pi * float64(f) * float64(t) / float64(n)
+			acc += complex(x, 0) * cmplx.Exp(complex(0, angle))
+		}
+		out[f] = acc / complex(math.Sqrt(float64(n)), 0)
+	}
+	return out, nil
+}
+
+// DFTDistance is the Euclidean distance in the truncated frequency
+// domain. By Parseval's theorem it lower-bounds the time-domain
+// Euclidean distance (up to the shared normalization), which is what
+// makes the GEMINI index sound.
+func DFTDistance(a, b []complex128) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("baseline: DFT length mismatch %d vs %d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(s), nil
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPAABasics(t *testing.T) {
+	v := []float64{1, 1, 2, 2, 3, 3}
+	got, err := PAA(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("PAA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// k = n is the identity.
+	id, err := PAA(v, len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if id[i] != v[i] {
+			t.Errorf("identity PAA differs at %d", i)
+		}
+	}
+	// k = 1 is the global mean.
+	one, err := PAA(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one[0]-2) > 1e-12 {
+		t.Errorf("PAA(1) = %v, want 2", one[0])
+	}
+	// Uneven split still covers every point.
+	if _, err := PAA(v, 4); err != nil {
+		t.Errorf("uneven k rejected: %v", err)
+	}
+	if _, err := PAA(v, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PAA(v, 7); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+// Property: the PAA distance lower-bounds the full Euclidean distance
+// (both unnormalized; Euclidean here is sqrt of the sum, so compare
+// against the raw form).
+func TestPAALowerBoundsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, kRaw uint8) bool {
+		n := 32
+		a := make([]float64, n)
+		b := make([]float64, n)
+		r := rand.New(rand.NewSource(seed))
+		for i := range a {
+			a[i] = r.NormFloat64() * 5
+			b[i] = r.NormFloat64() * 5
+		}
+		k := 1 << (kRaw % 6) // 1,2,4,8,16,32: divides n evenly
+		pa, err := PAA(a, k)
+		if err != nil {
+			return false
+		}
+		pb, err := PAA(b, k)
+		if err != nil {
+			return false
+		}
+		lb, err := PAADistance(pa, pb, n)
+		if err != nil {
+			return false
+		}
+		var full float64
+		for i := range a {
+			d := a[i] - b[i]
+			full += d * d
+		}
+		return lb <= math.Sqrt(full)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFTBasics(t *testing.T) {
+	// A constant signal has all its energy in coefficient 0.
+	v := []float64{3, 3, 3, 3}
+	c, err := DFT(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(c[0])-6) > 1e-9 { // 3*4/sqrt(4)
+		t.Errorf("c0 = %v, want 6", c[0])
+	}
+	for i := 1; i < 4; i++ {
+		if math.Hypot(real(c[i]), imag(c[i])) > 1e-9 {
+			t.Errorf("c%d = %v, want 0", i, c[i])
+		}
+	}
+	if _, err := DFT(nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DFT(v, 5); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+// Property: Parseval — the full-k DFT distance equals the time-domain
+// Euclidean distance.
+func TestDFTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 16
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		ca, err := DFT(a, n)
+		if err != nil {
+			return false
+		}
+		cb, err := DFT(b, n)
+		if err != nil {
+			return false
+		}
+		freq, err := DFTDistance(ca, cb)
+		if err != nil {
+			return false
+		}
+		var td float64
+		for i := range a {
+			d := a[i] - b[i]
+			td += d * d
+		}
+		return math.Abs(freq-math.Sqrt(td)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncated DFT distance lower-bounds the full one.
+func TestDFTTruncationLowerBounds(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		n := 16
+		k := int(kRaw%15) + 1
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		caFull, _ := DFT(a, n)
+		cbFull, _ := DFT(b, n)
+		full, _ := DFTDistance(caFull, cbFull)
+		ca, _ := DFT(a, k)
+		cb, _ := DFT(b, k)
+		trunc, _ := DFTDistance(ca, cb)
+		return trunc <= full+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFTDistanceErrors(t *testing.T) {
+	if _, err := DFTDistance(make([]complex128, 2), make([]complex128, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PAADistance([]float64{1}, []float64{1, 2}, 4); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,327 @@
+// Package cluster implements the offline analysis layer of Section 5:
+// whole-stream similarity (Definition 3), patient similarity
+// (Definition 4), clustering over the resulting distance matrices, and
+// external scoring of clusterings against ground-truth labels — the
+// synthetic stand-in for the paper's correlation-discovery
+// applications (Section 5.3).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/stats"
+	"stsmatch/internal/store"
+)
+
+// Config controls offline stream/patient distance computation.
+type Config struct {
+	// Params supplies the offline subsequence distance (vertex
+	// weights are forced to 1 per Section 5).
+	Params core.Params
+
+	// WindowVertices is the offline subsequence length n in vertices.
+	WindowVertices int
+
+	// TopH is the number of most-similar retrieved subsequences each
+	// query contributes (Definition 3's h; the paper suggests 10).
+	// Queries that cannot find at least TopH candidates with the same
+	// state order are outliers and are dropped.
+	TopH int
+
+	// QueryStride subsamples the query windows of the outer stream
+	// (1 = every window, exactly as the paper defines; larger values
+	// trade fidelity for speed on big streams).
+	QueryStride int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Params:         core.DefaultParams(),
+		WindowVertices: 10, // ~3 breathing cycles
+		TopH:           10,
+		QueryStride:    1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.WindowVertices < 2 {
+		return fmt.Errorf("cluster: WindowVertices must be >= 2, got %d", c.WindowVertices)
+	}
+	if c.TopH < 1 {
+		return fmt.Errorf("cluster: TopH must be >= 1, got %d", c.TopH)
+	}
+	if c.QueryStride < 1 {
+		return fmt.Errorf("cluster: QueryStride must be >= 1, got %d", c.QueryStride)
+	}
+	return nil
+}
+
+// ErrNoComparable is returned when two streams share no common state
+// order at all (every query window is an outlier).
+var ErrNoComparable = errors.New("cluster: streams share no comparable subsequences")
+
+// relationBetween classifies the source relation between two streams
+// for the offline source weight w_s.
+func relationBetween(a, b *store.Stream) core.SourceRelation {
+	switch {
+	case a == b || (a.PatientID == b.PatientID && a.SessionID == b.SessionID):
+		return core.SameSession
+	case a.PatientID == b.PatientID:
+		return core.SamePatient
+	default:
+		return core.OtherPatient
+	}
+}
+
+// directedDistance computes d(R->S) of Definition 3: every length-n
+// window of R queries S; queries with fewer than TopH same-state-order
+// candidates are outliers; survivors contribute the mean offline
+// distance of their TopH nearest candidates. The result is the mean
+// contribution and the number of surviving queries.
+func directedDistance(r, s *store.Stream, cfg Config) (float64, int, error) {
+	n := cfg.WindowVertices
+	rSeq := r.Seq()
+	if len(rSeq) < n {
+		return 0, 0, nil
+	}
+	rel := relationBetween(r, s)
+	params := cfg.Params
+	sSeq := s.Seq()
+
+	var total float64
+	used := 0
+	dists := make([]float64, 0, 64)
+	for qStart := 0; qStart+n <= len(rSeq); qStart += cfg.QueryStride {
+		q := rSeq[qStart : qStart+n]
+		cands := s.FindWindows(q.StateSignature())
+		// When R and S are the same stream, the query window itself
+		// (and only it) is excluded: a stream should be most similar
+		// to itself through its *other* occurrences of the pattern.
+		if r == s {
+			filtered := cands[:0]
+			for _, j := range cands {
+				if j != qStart {
+					filtered = append(filtered, j)
+				}
+			}
+			cands = filtered
+		}
+		if len(cands) < cfg.TopH {
+			continue // outlier query
+		}
+		dists = dists[:0]
+		for _, j := range cands {
+			d, err := params.OfflineDistance(q, sSeq[j:j+n], rel)
+			if err != nil {
+				return 0, 0, err
+			}
+			dists = append(dists, d)
+		}
+		sort.Float64s(dists)
+		top := dists[:cfg.TopH]
+		total += stats.Mean(top)
+		used++
+	}
+	if used == 0 {
+		return 0, 0, nil
+	}
+	return total / float64(used), used, nil
+}
+
+// StreamDistance computes the symmetric Definition 3 distance between
+// two streams. It returns ErrNoComparable when neither direction has a
+// surviving query.
+func StreamDistance(r, s *store.Stream, cfg Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	drs, nrs, err := directedDistance(r, s, cfg)
+	if err != nil {
+		return 0, err
+	}
+	dsr, nsr, err := directedDistance(s, r, cfg)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case nrs == 0 && nsr == 0:
+		return 0, ErrNoComparable
+	case nrs == 0:
+		return dsr, nil
+	case nsr == 0:
+		return drs, nil
+	default:
+		return (drs + dsr) / 2, nil
+	}
+}
+
+// PatientDistance computes the Definition 4 distance between two
+// patients: the mean stream distance over all cross pairs. Stream
+// pairs with no comparable subsequences are skipped; if every pair is
+// incomparable, ErrNoComparable is returned.
+func PatientDistance(p1, p2 *store.Patient, cfg Config) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	pairs := 0
+	for _, s1 := range p1.Streams {
+		for _, s2 := range p2.Streams {
+			if p1 == p2 && s1 == s2 {
+				continue // self-pairs excluded within a patient
+			}
+			d, err := StreamDistance(s1, s2, cfg)
+			if errors.Is(err, ErrNoComparable) {
+				continue
+			}
+			if err != nil {
+				return 0, err
+			}
+			total += d
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0, ErrNoComparable
+	}
+	return total / float64(pairs), nil
+}
+
+// PatientDistanceMatrix computes the full symmetric patient distance
+// matrix in parallel. Incomparable pairs receive the largest observed
+// finite distance times 1.5 (so clustering treats them as far apart
+// rather than failing).
+func PatientDistanceMatrix(patients []*store.Patient, cfg Config) (*stats.DistMatrix, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(patients)
+	m := stats.NewDistMatrix(n)
+
+	type pair struct{ i, j int }
+	var jobs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			jobs = append(jobs, pair{i, j})
+		}
+	}
+
+	type result struct {
+		pair
+		d    float64
+		miss bool
+		err  error
+	}
+	results := make([]result, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for k := range jobs {
+			next <- k
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				jb := jobs[k]
+				d, err := PatientDistance(patients[jb.i], patients[jb.j], cfg)
+				switch {
+				case errors.Is(err, ErrNoComparable):
+					results[k] = result{pair: jb, miss: true}
+				case err != nil:
+					results[k] = result{pair: jb, err: err}
+				default:
+					results[k] = result{pair: jb, d: d}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	maxFinite := 0.0
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !r.miss && r.d > maxFinite {
+			maxFinite = r.d
+		}
+	}
+	if maxFinite == 0 {
+		maxFinite = 1
+	}
+	for _, r := range results {
+		if r.miss {
+			m.Set(r.i, r.j, maxFinite*1.5)
+		} else {
+			m.Set(r.i, r.j, r.d)
+		}
+	}
+	return m, nil
+}
+
+// StreamDistanceMatrix computes the pairwise distance matrix over a
+// set of streams, including the self-distances on the diagonal's
+// neighbours (the diagonal itself is the self-distance d(R,R), which
+// Definition 3 makes non-zero in general — Figure 8b reports it as the
+// smallest value in each row). Since stats.DistMatrix forces a zero
+// diagonal, self-distances are returned separately.
+func StreamDistanceMatrix(streams []*store.Stream, cfg Config) (*stats.DistMatrix, []float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(streams)
+	m := stats.NewDistMatrix(n)
+	self := make([]float64, n)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i, j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				d, err := StreamDistance(streams[i], streams[j], cfg)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && !errors.Is(err, ErrNoComparable) && firstErr == nil {
+					firstErr = err
+					return
+				}
+				if errors.Is(err, ErrNoComparable) {
+					return // leave as 0; callers treat missing as incomparable
+				}
+				if i == j {
+					self[i] = d
+				} else {
+					m.Set(i, j, d)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return m, self, nil
+}

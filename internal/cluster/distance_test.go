@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// periodicStream builds a stream of perfectly periodic EX->EOE->IN
+// cycles with the given amplitude and per-segment duration.
+func periodicStream(pid, sid string, amp, dur float64, cycles int) *store.Stream {
+	st := store.NewStream(pid, sid)
+	states := []plr.State{plr.EX, plr.EOE, plr.IN}
+	y := amp
+	t := 0.0
+	vs := plr.Sequence{{T: 0, Pos: []float64{amp}, State: plr.EX}}
+	for i := 0; i < cycles*3; i++ {
+		stt := states[i%3]
+		switch stt {
+		case plr.EX:
+			y -= amp
+		case plr.IN:
+			y += amp
+		}
+		t += dur
+		vs = append(vs, plr.Vertex{T: t, Pos: []float64{y}, State: states[(i+1)%3]})
+		vs[len(vs)-2].State = stt
+	}
+	if err := st.Append(vs...); err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WindowVertices = 7
+	cfg.TopH = 3
+	cfg.QueryStride = 2
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.WindowVertices = 1 },
+		func(c *Config) { c.TopH = 0 },
+		func(c *Config) { c.QueryStride = 0 },
+		func(c *Config) { c.Params.WeightAmp = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestStreamDistanceIdenticalStreams(t *testing.T) {
+	a := periodicStream("P1", "S1", 10, 1, 20)
+	b := periodicStream("P2", "S1", 10, 1, 20)
+	d, err := StreamDistance(a, b, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical motion from different patients: only the source
+	// weight penalty remains, but the raw discrepancy is 0.
+	if d > 1e-9 {
+		t.Errorf("distance between identical streams = %v, want ~0", d)
+	}
+}
+
+func TestStreamDistanceSymmetric(t *testing.T) {
+	a := periodicStream("P1", "S1", 10, 1, 20)
+	b := periodicStream("P2", "S1", 14, 1.2, 20)
+	cfg := smallConfig()
+	d1, err := StreamDistance(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := StreamDistance(b, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("stream distance not symmetric: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Errorf("different streams should have positive distance, got %v", d1)
+	}
+}
+
+func TestStreamDistanceOrdering(t *testing.T) {
+	// Distance must grow with motion dissimilarity.
+	base := periodicStream("P1", "S1", 10, 1, 20)
+	near := periodicStream("P2", "S1", 11, 1, 20)
+	far := periodicStream("P3", "S1", 25, 1.6, 20)
+	cfg := smallConfig()
+	dNear, err := StreamDistance(base, near, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, err := StreamDistance(base, far, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNear >= dFar {
+		t.Errorf("ordering violated: near %v >= far %v", dNear, dFar)
+	}
+}
+
+func TestStreamDistanceSelfIsSmallest(t *testing.T) {
+	// Figure 8b: "a stream should be the most similar to itself".
+	self := periodicStream("P1", "S1", 10, 1, 20)
+	other := periodicStream("P2", "S1", 13, 1.1, 20)
+	cfg := smallConfig()
+	dSelf, err := StreamDistance(self, self, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOther, err := StreamDistance(self, other, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSelf >= dOther {
+		t.Errorf("self distance %v not below other %v", dSelf, dOther)
+	}
+}
+
+func TestStreamDistanceNoComparable(t *testing.T) {
+	// A stream of pure IRR shares no state order with a regular one.
+	irr := store.NewStream("P1", "S1")
+	var vs plr.Sequence
+	for i := 0; i < 30; i++ {
+		vs = append(vs, plr.Vertex{T: float64(i), Pos: []float64{0}, State: plr.IRR})
+	}
+	if err := irr.Append(vs...); err != nil {
+		t.Fatal(err)
+	}
+	reg := periodicStream("P2", "S1", 10, 1, 20)
+	if _, err := StreamDistance(irr, reg, smallConfig()); !errors.Is(err, ErrNoComparable) {
+		t.Errorf("want ErrNoComparable, got %v", err)
+	}
+}
+
+func TestStreamDistanceShortStream(t *testing.T) {
+	short := periodicStream("P1", "S1", 10, 1, 1) // 4 vertices < window 7
+	reg := periodicStream("P2", "S1", 10, 1, 20)
+	if _, err := StreamDistance(short, reg, smallConfig()); !errors.Is(err, ErrNoComparable) {
+		t.Errorf("want ErrNoComparable for too-short stream, got %v", err)
+	}
+}
+
+func TestPatientDistance(t *testing.T) {
+	mkPatient := func(id string, amp float64) *store.Patient {
+		p := &store.Patient{Info: store.PatientInfo{ID: id}}
+		p.Streams = append(p.Streams,
+			periodicStream(id, id+"-S1", amp, 1, 20),
+			periodicStream(id, id+"-S2", amp*1.05, 1, 20),
+		)
+		return p
+	}
+	pa := mkPatient("A", 10)
+	pb := mkPatient("B", 10.5)
+	pc := mkPatient("C", 22)
+	cfg := smallConfig()
+
+	dAB, err := PatientDistance(pa, pb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAC, err := PatientDistance(pa, pc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAB >= dAC {
+		t.Errorf("similar patients %v not closer than dissimilar %v", dAB, dAC)
+	}
+	// Figure 8c: within-patient distance below cross-patient.
+	dAA, err := PatientDistance(pa, pa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAA >= dAB {
+		t.Errorf("self patient distance %v not below cross %v", dAA, dAB)
+	}
+	// Symmetry.
+	dBA, err := PatientDistance(pb, pa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dAB-dBA) > 1e-9 {
+		t.Errorf("patient distance asymmetric: %v vs %v", dAB, dBA)
+	}
+}
+
+func TestPatientDistanceMatrix(t *testing.T) {
+	var patients []*store.Patient
+	amps := []float64{10, 10.3, 20, 20.5}
+	for i, amp := range amps {
+		p := &store.Patient{Info: store.PatientInfo{ID: string(rune('A' + i))}}
+		p.Streams = append(p.Streams, periodicStream(p.Info.ID, "S1", amp, 1, 20))
+		patients = append(patients, p)
+	}
+	m, err := PatientDistanceMatrix(patients, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("matrix invalid: %v", err)
+	}
+	// Pairs within the same amplitude family must be closer than
+	// across families.
+	if !(m.At(0, 1) < m.At(0, 2) && m.At(2, 3) < m.At(1, 2)) {
+		t.Errorf("matrix does not reflect families:\n%v", m)
+	}
+}
+
+func TestStreamDistanceMatrix(t *testing.T) {
+	streams := []*store.Stream{
+		periodicStream("P1", "S1", 10, 1, 20),
+		periodicStream("P1", "S2", 10.4, 1, 20),
+		periodicStream("P2", "S1", 18, 1.3, 20),
+	}
+	m, self, err := StreamDistanceMatrix(streams, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(self) != 3 {
+		t.Fatalf("self distances = %d", len(self))
+	}
+	// Self < same patient < other patient for stream 0 (Figure 8b).
+	if !(self[0] <= m.At(0, 1) && m.At(0, 1) < m.At(0, 2)) {
+		t.Errorf("Figure 8b ordering violated: self=%v same=%v other=%v",
+			self[0], m.At(0, 1), m.At(0, 2))
+	}
+}
+
+func TestRelationBetween(t *testing.T) {
+	a := store.NewStream("P1", "S1")
+	b := store.NewStream("P1", "S2")
+	c := store.NewStream("P2", "S1")
+	if relationBetween(a, a) != 0 { // SameSession
+		t.Error("self relation wrong")
+	}
+	if relationBetween(a, b) != 1 { // SamePatient
+		t.Error("same patient relation wrong")
+	}
+	if relationBetween(a, c) != 2 { // OtherPatient
+		t.Error("other patient relation wrong")
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stsmatch/internal/stats"
+)
+
+// Clustering is the result of a clustering run: Assign[i] is the
+// cluster index of item i, and Medoids (when the algorithm has them)
+// lists the representative item per cluster.
+type Clustering struct {
+	K       int
+	Assign  []int
+	Medoids []int
+	Cost    float64 // sum of distances to assigned medoid/centroid
+}
+
+// Clusters groups item indices by cluster.
+func (c Clustering) Clusters() [][]int {
+	out := make([][]int, c.K)
+	for i, a := range c.Assign {
+		out[a] = append(out[a], i)
+	}
+	return out
+}
+
+// KMedoids clusters the items of a distance matrix into k clusters
+// using a PAM-style alternating algorithm: greedy farthest-point
+// seeding, then repeated reassignment and medoid update until the cost
+// stops improving. Deterministic for a fixed seed.
+func KMedoids(m *stats.DistMatrix, k int, seed int64) (Clustering, error) {
+	n := m.Size()
+	if k < 1 || k > n {
+		return Clustering{}, fmt.Errorf("cluster: k=%d out of range for %d items", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seeding: first medoid random, then farthest-point.
+	medoids := []int{rng.Intn(n)}
+	for len(medoids) < k {
+		best, bestDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			d := nearestDist(m, medoids, i)
+			if d > bestDist {
+				best, bestDist = i, d
+			}
+		}
+		medoids = append(medoids, best)
+	}
+
+	assign := make([]int, n)
+	var cost float64
+	for iter := 0; iter < 100; iter++ {
+		// Assignment step.
+		cost = 0
+		for i := 0; i < n; i++ {
+			bi, bd := 0, m.At(i, medoids[0])
+			for c := 1; c < k; c++ {
+				if d := m.At(i, medoids[c]); d < bd {
+					bi, bd = c, d
+				}
+			}
+			assign[i] = bi
+			cost += bd
+		}
+		// Update step: per cluster, pick the member minimizing the
+		// within-cluster distance sum.
+		changed := false
+		for c := 0; c < k; c++ {
+			bestMedoid, bestSum := medoids[c], -1.0
+			for i := 0; i < n; i++ {
+				if assign[i] != c {
+					continue
+				}
+				var sum float64
+				for j := 0; j < n; j++ {
+					if assign[j] == c {
+						sum += m.At(i, j)
+					}
+				}
+				if bestSum < 0 || sum < bestSum {
+					bestMedoid, bestSum = i, sum
+				}
+			}
+			if bestMedoid != medoids[c] {
+				medoids[c] = bestMedoid
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Clustering{K: k, Assign: assign, Medoids: medoids, Cost: cost}, nil
+}
+
+func nearestDist(m *stats.DistMatrix, medoids []int, i int) float64 {
+	best := m.At(i, medoids[0])
+	for _, md := range medoids[1:] {
+		if d := m.At(i, md); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering
+// (in [-1, 1]; higher is better-separated). Singleton clusters
+// contribute 0 per convention.
+func Silhouette(m *stats.DistMatrix, c Clustering) float64 {
+	n := m.Size()
+	if n == 0 {
+		return 0
+	}
+	groups := c.Clusters()
+	var total float64
+	for i := 0; i < n; i++ {
+		own := groups[c.Assign[i]]
+		if len(own) <= 1 {
+			continue
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += m.At(i, j)
+			}
+		}
+		a /= float64(len(own) - 1)
+
+		b := -1.0
+		for g, members := range groups {
+			if g == c.Assign[i] || len(members) == 0 {
+				continue
+			}
+			var s float64
+			for _, j := range members {
+				s += m.At(i, j)
+			}
+			s /= float64(len(members))
+			if b < 0 || s < b {
+				b = s
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}
+
+// BestK runs KMedoids for every k in [kMin, kMax] and returns the
+// clustering with the highest silhouette.
+func BestK(m *stats.DistMatrix, kMin, kMax int, seed int64) (Clustering, float64, error) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax > m.Size() {
+		kMax = m.Size()
+	}
+	var best Clustering
+	bestScore := -2.0
+	for k := kMin; k <= kMax; k++ {
+		c, err := KMedoids(m, k, seed)
+		if err != nil {
+			return Clustering{}, 0, err
+		}
+		if s := Silhouette(m, c); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	if bestScore < -1 {
+		return Clustering{}, 0, fmt.Errorf("cluster: no valid k in [%d,%d]", kMin, kMax)
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,84 @@
+package cluster
+
+// External clustering scores against ground-truth labels. The
+// synthetic cohort carries breathing-class labels, so the paper's
+// correlation-discovery claims ("clustering patients based on patient
+// similarity, then the correlation can be discovered") become testable
+// statements: a good clustering should recover the label structure.
+
+// Purity returns the fraction of items whose cluster's majority label
+// matches their own label. labels[i] is the ground-truth label of item
+// i (any comparable key); returns 0 for empty input.
+func Purity(c Clustering, labels []string) float64 {
+	if len(labels) == 0 || len(c.Assign) != len(labels) {
+		return 0
+	}
+	correct := 0
+	for _, members := range c.Clusters() {
+		counts := map[string]int{}
+		for _, i := range members {
+			counts[labels[i]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// AdjustedRandIndex returns the ARI between a clustering and
+// ground-truth labels: 1 for perfect agreement, ~0 for random
+// assignment, negative for worse-than-random.
+func AdjustedRandIndex(c Clustering, labels []string) float64 {
+	n := len(labels)
+	if n == 0 || len(c.Assign) != n {
+		return 0
+	}
+	labelIdx := map[string]int{}
+	for _, l := range labels {
+		if _, ok := labelIdx[l]; !ok {
+			labelIdx[l] = len(labelIdx)
+		}
+	}
+	rows := c.K
+	cols := len(labelIdx)
+	table := make([][]int, rows)
+	for i := range table {
+		table[i] = make([]int, cols)
+	}
+	for i := 0; i < n; i++ {
+		table[c.Assign[i]][labelIdx[labels[i]]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+
+	var sumCells, sumRows, sumCols float64
+	for r := 0; r < rows; r++ {
+		rowTotal := 0
+		for cIdx := 0; cIdx < cols; cIdx++ {
+			sumCells += choose2(table[r][cIdx])
+			rowTotal += table[r][cIdx]
+		}
+		sumRows += choose2(rowTotal)
+	}
+	for cIdx := 0; cIdx < cols; cIdx++ {
+		colTotal := 0
+		for r := 0; r < rows; r++ {
+			colTotal += table[r][cIdx]
+		}
+		sumCols += choose2(colTotal)
+	}
+	total := choose2(n)
+	if total == 0 {
+		return 0
+	}
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		return 0
+	}
+	return (sumCells - expected) / (maxIndex - expected)
+}

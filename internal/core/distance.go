@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stsmatch/internal/plr"
+)
+
+// This file implements Definition 2: the model-based, multi-layer,
+// weighted, parametric subsequence distance. See DESIGN.md §3 for the
+// reconstruction of the garbled display equation; the properties kept
+// from the prose are:
+//
+//   - condition 1: identical state order (the "meaning" of the
+//     subsequence — an inhale is never compared with an exhale);
+//   - offset-translation insensitivity (distances are computed on
+//     per-segment displacement vectors, not absolute positions);
+//   - separate amplitude (w_a) and frequency (w_f) weights;
+//   - per-vertex recency weights w_i for online matching;
+//   - a source-stream weight w_s making candidates from less trusted
+//     streams proportionally harder to accept;
+//   - normalization by the total vertex weight so the threshold
+//     epsilon is comparable across (dynamic) query lengths.
+
+// Errors returned by the distance functions.
+var (
+	ErrLengthMismatch = errors.New("core: subsequences have different lengths")
+	ErrStateMismatch  = errors.New("core: subsequences have different state orders")
+	ErrTooShort       = errors.New("core: subsequence needs at least two vertices")
+)
+
+// Distance computes the online weighted subsequence distance between a
+// query q and candidate c of equal vertex count, with the candidate
+// sourced at the given relation. It returns ErrStateMismatch when
+// condition 1 fails (unless the state-order requirement is ablated
+// off).
+func (p Params) Distance(q, c plr.Sequence, rel SourceRelation) (float64, error) {
+	return p.distance(q, c, rel, nil)
+}
+
+// OfflineDistance is the Section 5 variant: all vertex weights are 1
+// (there is no "current time" offline), while amplitude/frequency and
+// source-stream weights remain in force.
+func (p Params) OfflineDistance(q, c plr.Sequence, rel SourceRelation) (float64, error) {
+	offline := p
+	offline.UseVertexWeights = false
+	return offline.distance(q, c, rel, nil)
+}
+
+// distance is the shared implementation. vw, when non-nil, supplies
+// precomputed vertex weights (a matcher-loop optimization); it must
+// have length len(q)-1.
+func (p Params) distance(q, c plr.Sequence, rel SourceRelation, vw []float64) (float64, error) {
+	d, _, err := p.distanceBounded(q, c, rel, vw, 0)
+	return d, err
+}
+
+// distanceBounded additionally supports early abandonment: when
+// bound > 0 and the partial weighted sum already guarantees the final
+// distance exceeds bound, the computation stops and ok is false. The
+// retrieval loop passes its acceptance threshold here, which skips
+// most of the arithmetic on clearly-distant candidates (every term of
+// the sum is non-negative, so the partial normalized sum only grows).
+func (p Params) distanceBounded(q, c plr.Sequence, rel SourceRelation, vw []float64, bound float64) (d float64, ok bool, err error) {
+	if len(q) != len(c) {
+		return 0, false, fmt.Errorf("%w: %d vs %d vertices", ErrLengthMismatch, len(q), len(c))
+	}
+	if len(q) < 2 {
+		return 0, false, ErrTooShort
+	}
+	if p.RequireStateOrder && !statesEqual(q, c) {
+		return 0, false, ErrStateMismatch
+	}
+	if vw == nil {
+		vw = p.VertexWeights(nil, len(q))
+	}
+	wa, wf := p.ampFreqWeights()
+	ws := p.StreamWeight(rel)
+
+	var wsum float64
+	for _, w := range vw {
+		wsum += w
+	}
+	// Early abandonment threshold on the raw (unnormalized) sum.
+	abandonAt := math.Inf(1)
+	if bound > 0 {
+		abandonAt = bound * ws * wsum
+	}
+
+	var sum float64
+	dims := len(q[0].Pos)
+	for i := 0; i < len(q)-1; i++ {
+		// Segment displacement difference (amplitude term). Computed
+		// inline to avoid per-segment allocations on the hot path.
+		var dd float64
+		for k := 0; k < dims; k++ {
+			dq := q[i+1].Pos[k] - q[i].Pos[k]
+			dc := c[i+1].Pos[k] - c[i].Pos[k]
+			d := dq - dc
+			dd += d * d
+		}
+		ampDiff := math.Sqrt(dd)
+		durDiff := math.Abs((q[i+1].T - q[i].T) - (c[i+1].T - c[i].T))
+		sum += vw[i] * (wa*ampDiff + wf*durDiff)
+		if sum > abandonAt {
+			return sum / (ws * wsum), false, nil
+		}
+	}
+	return sum / (ws * wsum), true, nil
+}
+
+// Similar reports whether q and c satisfy Definition 2: same state
+// order and weighted distance within the threshold.
+func (p Params) Similar(q, c plr.Sequence, rel SourceRelation) (bool, error) {
+	d, err := p.Distance(q, c, rel)
+	if errors.Is(err, ErrStateMismatch) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return d <= p.DistThreshold, nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// Query is a query subsequence together with its provenance, which
+// determines the source-stream weight of every candidate and which
+// windows must be excluded as "the query itself".
+type Query struct {
+	Seq plr.Sequence
+	// PatientID and SessionID identify the stream the query was taken
+	// from. They may be empty for ad-hoc queries, in which case every
+	// candidate is treated as other-patient.
+	PatientID string
+	SessionID string
+	// Now is the current time of the online application — normally
+	// the time of the query's last vertex. Candidates from the query's
+	// own stream are only admitted if they end strictly before the
+	// query begins (their "future" must already be history).
+	Now float64
+}
+
+// NewQuery builds a Query from the trailing subsequence of a stream.
+func NewQuery(seq plr.Sequence, patientID, sessionID string) Query {
+	q := Query{Seq: seq, PatientID: patientID, SessionID: sessionID}
+	if len(seq) > 0 {
+		q.Now = seq[len(seq)-1].T
+	}
+	return q
+}
+
+// Match is one retrieved similar subsequence.
+type Match struct {
+	Stream   *store.Stream
+	Start    int // index of the window's first vertex
+	N        int // window length in vertices
+	Relation SourceRelation
+	Distance float64
+	// Weight is the subsequence weight w'_j used by prediction:
+	// the source-stream trust scaled by closeness, w_s / (1 + D).
+	Weight float64
+}
+
+// Window returns the matched subsequence.
+func (m Match) Window() plr.Sequence { return m.Stream.Window(m.Start, m.N) }
+
+// EndTime returns the time of the window's final vertex.
+func (m Match) EndTime() float64 {
+	return m.Stream.Seq()[m.Start+m.N-1].T
+}
+
+// Matcher runs similarity search over a stream database.
+type Matcher struct {
+	DB     *store.DB
+	Params Params
+
+	// scratch buffers reused across searches (a Matcher is not safe
+	// for concurrent use; create one per goroutine).
+	vw []float64
+}
+
+// NewMatcher builds a matcher; it returns an error for invalid
+// parameters.
+func NewMatcher(db *store.DB, p Params) (*Matcher, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nil, fmt.Errorf("core: nil database")
+	}
+	return &Matcher{DB: db, Params: p}, nil
+}
+
+// relationOf classifies a candidate stream relative to the query.
+func relationOf(q Query, st *store.Stream) SourceRelation {
+	switch {
+	case q.PatientID == st.PatientID && q.SessionID == st.SessionID:
+		return SameSession
+	case q.PatientID == st.PatientID:
+		return SamePatient
+	default:
+		return OtherPatient
+	}
+}
+
+// FindSimilar retrieves every stored subsequence similar to the query
+// under Definition 2: same state order, weighted distance within the
+// threshold. Results are sorted by ascending distance.
+//
+// restrict, when non-nil, limits the search to streams of the listed
+// patients (the cluster-restricted search of Section 5.3); keys are
+// patient IDs.
+func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error) {
+	if len(q.Seq) < 2 {
+		return nil, ErrTooShort
+	}
+	sig := q.Seq.StateSignature()
+	n := len(q.Seq)
+	m.vw = m.Params.VertexWeights(m.vw, n)
+
+	var out []Match
+	for _, st := range m.DB.Streams() {
+		if restrict != nil && !restrict[st.PatientID] {
+			continue
+		}
+		rel := relationOf(q, st)
+		seq := st.Seq()
+		var starts []int
+		if m.Params.RequireStateOrder {
+			starts = st.FindWindows(sig)
+		} else {
+			// Ablation mode: every window of the query's length is a
+			// candidate, regardless of its state order.
+			for j := 0; j+n <= len(seq); j++ {
+				starts = append(starts, j)
+			}
+		}
+		for _, j := range starts {
+			cand := seq[j : j+n]
+			if rel == SameSession && cand[n-1].T >= q.Seq[0].T {
+				// Exclude the query itself and any window whose
+				// span overlaps the query's present.
+				continue
+			}
+			// Early abandonment: the acceptance threshold bounds the
+			// distance computation on clearly-distant candidates.
+			bound := m.Params.DistThreshold
+			if bound >= inf {
+				bound = 0 // TopK mode: exact distances needed
+			}
+			d, within, err := m.Params.distanceBounded(q.Seq, cand, rel, m.vw, bound)
+			if err != nil {
+				return nil, err
+			}
+			if !within && bound > 0 {
+				continue
+			}
+			if d <= m.Params.DistThreshold {
+				out = append(out, Match{
+					Stream:   st,
+					Start:    j,
+					N:        n,
+					Relation: rel,
+					Distance: d,
+					Weight:   m.Params.StreamWeight(rel) / (1 + d),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
+	return out, nil
+}
+
+// TopK retrieves the k nearest stored subsequences with the query's
+// state order, regardless of the distance threshold. It is the
+// building block of the offline stream distance (Definition 3).
+func (m *Matcher) TopK(q Query, k int, restrict map[string]bool) ([]Match, error) {
+	if len(q.Seq) < 2 {
+		return nil, ErrTooShort
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: TopK needs k > 0, got %d", k)
+	}
+	saved := m.Params.DistThreshold
+	m.Params.DistThreshold = inf
+	matches, err := m.FindSimilar(q, restrict)
+	m.Params.DistThreshold = saved
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// inf is a practically infinite distance threshold.
+const inf = 1e308

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// buildTestDB constructs a deterministic database:
+//
+//	P1/S1: 12 regular cycles, amplitude 10 (the query's own stream)
+//	P1/S2: 12 regular cycles, amplitude 10.5 (same patient)
+//	P2/S1: 12 regular cycles, amplitude 11   (other patient)
+//	P3/S1: 12 regular cycles, amplitude 30   (other patient, far)
+func buildTestDB(t *testing.T) *store.DB {
+	t.Helper()
+	db := store.NewDB()
+	add := func(pid, sid string, amp float64) {
+		p := db.Patient(pid)
+		if p == nil {
+			var err error
+			p, err = db.AddPatient(store.PatientInfo{ID: pid})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := p.AddStream(sid)
+		if err := st.Append(breathingWindow(0, amp, unitDurs(36))...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("P1", "S1", 10)
+	add("P1", "S2", 10.5)
+	add("P2", "S1", 11)
+	add("P3", "S1", 30)
+	return db
+}
+
+func TestNewMatcherValidation(t *testing.T) {
+	db := store.NewDB()
+	bad := DefaultParams()
+	bad.DistThreshold = -1
+	if _, err := NewMatcher(db, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewMatcher(nil, DefaultParams()); err == nil {
+		t.Error("nil db accepted")
+	}
+}
+
+func TestFindSimilarBasics(t *testing.T) {
+	db := buildTestDB(t)
+	m, err := NewMatcher(db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	qseq := seq[len(seq)-10:]
+	q := NewQuery(qseq, "P1", "S1")
+
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches on a database full of near-identical cycles")
+	}
+	// Results sorted by ascending distance.
+	if !sort.SliceIsSorted(matches, func(a, b int) bool {
+		return matches[a].Distance < matches[b].Distance
+	}) {
+		t.Error("matches not sorted by distance")
+	}
+	for _, mt := range matches {
+		if mt.Distance > m.Params.DistThreshold {
+			t.Errorf("match above threshold: %v", mt.Distance)
+		}
+		// Window geometry consistent.
+		w := mt.Window()
+		if len(w) != mt.N {
+			t.Errorf("window length %d != N %d", len(w), mt.N)
+		}
+		if w.StateSignature() != qseq.StateSignature() {
+			t.Errorf("state signature mismatch: %s vs %s", w.StateSignature(), qseq.StateSignature())
+		}
+		// Same-session matches must end strictly before the query
+		// begins (online semantics).
+		if mt.Relation == SameSession && mt.EndTime() >= qseq[0].T {
+			t.Errorf("same-session match overlaps query: end %v >= start %v", mt.EndTime(), qseq[0].T)
+		}
+		if mt.Weight <= 0 {
+			t.Error("non-positive match weight")
+		}
+	}
+	// The best same-session match must beat other patients: identical
+	// amplitude and no stream-weight penalty.
+	if matches[0].Relation != SameSession {
+		t.Errorf("best match relation = %v, want same-session", matches[0].Relation)
+	}
+}
+
+func TestFindSimilarExcludesFarPatients(t *testing.T) {
+	db := buildTestDB(t)
+	p := DefaultParams()
+	p.DistThreshold = 3 // tight: P3 (amplitude 30) cannot qualify
+	m, _ := NewMatcher(db, p)
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range matches {
+		if mt.Stream.PatientID == "P3" {
+			t.Errorf("far patient matched at distance %v", mt.Distance)
+		}
+	}
+}
+
+func TestFindSimilarRestriction(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	restrict := map[string]bool{"P1": true, "P2": true}
+	matches, err := m.FindSimilar(q, restrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("restriction removed everything")
+	}
+	for _, mt := range matches {
+		if !restrict[mt.Stream.PatientID] {
+			t.Errorf("match from excluded patient %s", mt.Stream.PatientID)
+		}
+	}
+}
+
+func TestFindSimilarStateOrderPrecondition(t *testing.T) {
+	// A query starting with IN must never match windows starting with
+	// EX ("a sequence that starts with an inhale cannot be compared
+	// with one that starts with an exhale").
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	// Find a window starting with IN.
+	start := -1
+	for i := len(seq) - 12; i > 0; i-- {
+		if seq[i].State == plr.IN {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("no IN vertex found")
+	}
+	q := NewQuery(seq[start:start+8], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range matches {
+		if mt.Window()[0].State != plr.IN {
+			t.Error("match does not start with IN")
+		}
+	}
+}
+
+func TestFindSimilarTooShort(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	if _, err := m.FindSimilar(Query{Seq: nil}, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	db := buildTestDB(t)
+	p := DefaultParams()
+	p.DistThreshold = 1e-12 // TopK must ignore the threshold
+	m, _ := NewMatcher(db, p)
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, err := m.TopK(q, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 5 {
+		t.Fatalf("TopK returned %d, want 5", len(matches))
+	}
+	// Threshold restored afterwards.
+	if m.Params.DistThreshold != 1e-12 {
+		t.Error("TopK leaked threshold change")
+	}
+	if _, err := m.TopK(q, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMatchWeightFormula(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range matches {
+		want := m.Params.StreamWeight(mt.Relation) / (1 + mt.Distance)
+		if math.Abs(mt.Weight-want) > 1e-12 {
+			t.Errorf("weight = %v, want %v", mt.Weight, want)
+		}
+	}
+}
+
+func TestRelationOf(t *testing.T) {
+	st := store.NewStream("P1", "S1")
+	cases := []struct {
+		q    Query
+		want SourceRelation
+	}{
+		{Query{PatientID: "P1", SessionID: "S1"}, SameSession},
+		{Query{PatientID: "P1", SessionID: "S2"}, SamePatient},
+		{Query{PatientID: "P2", SessionID: "S1"}, OtherPatient},
+		{Query{}, OtherPatient}, // ad-hoc query
+	}
+	for _, c := range cases {
+		if got := relationOf(c.q, st); got != c.want {
+			t.Errorf("relationOf(%+v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestNewQuerySetsNow(t *testing.T) {
+	seq := breathingWindow(5, 10, unitDurs(6))
+	q := NewQuery(seq, "P", "S")
+	if q.Now != seq[len(seq)-1].T {
+		t.Errorf("Now = %v, want %v", q.Now, seq[len(seq)-1].T)
+	}
+	empty := NewQuery(nil, "P", "S")
+	if empty.Now != 0 {
+		t.Error("empty query Now should be 0")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+
+	"stsmatch/internal/plr"
+)
+
+// This file implements Section 4.3: online prediction of future tumor
+// position (and, analogously, of the next segment's duration and
+// amplitude) from retrieved similar subsequences.
+//
+// The immediate future of every historical subsequence is known. Each
+// match C_j contributes the displacement its stream took delta seconds
+// after C_j's last vertex, measured relative to C_j's first vertex;
+// the prediction anchors that weighted-average displacement at the
+// query's own first vertex:
+//
+//	p(now+delta) = pFirst(Q) + sum_j w'_j (f_j - pFirst(C_j)) / sum_j w'_j
+
+// ErrNoMatches is returned when no similar subsequence usable for
+// prediction was retrieved.
+var ErrNoMatches = errors.New("core: no similar subsequences to predict from")
+
+// MinMatchesForPrediction is the default floor on the number of
+// retrieved subsequences required before a prediction is issued; the
+// paper predicts "only if there are a certain number of retrieved
+// subsequences".
+const MinMatchesForPrediction = 3
+
+// Prediction is the result of one position prediction.
+type Prediction struct {
+	Pos        []float64 // predicted position at Now + Delta
+	Delta      float64   // prediction horizon (s)
+	NumMatches int       // matches that contributed
+	MeanDist   float64   // mean distance of contributing matches
+}
+
+// PredictPosition predicts the target position delta seconds after the
+// query's current time using the already-retrieved matches. Matches
+// whose streams do not extend delta beyond their window are skipped
+// (their future is unknown). minMatches <= 0 uses
+// MinMatchesForPrediction.
+func (m *Matcher) PredictPosition(q Query, matches []Match, delta float64, minMatches int) (Prediction, error) {
+	if minMatches <= 0 {
+		minMatches = MinMatchesForPrediction
+	}
+	if len(q.Seq) == 0 {
+		return Prediction{}, ErrTooShort
+	}
+	dims := q.Seq.Dims()
+	acc := make([]float64, dims)
+	var wsum, dsum float64
+	used := 0
+	for _, mt := range matches {
+		seq := mt.Stream.Seq()
+		endT := mt.EndTime()
+		f, inside := seq.PositionAt(endT + delta)
+		if !inside {
+			continue // stream ends before the future point
+		}
+		anchor := seq[mt.Start].Pos
+		if m.Params.AnchorAtQueryEnd {
+			anchor = seq[mt.Start+mt.N-1].Pos
+		}
+		for k := 0; k < dims; k++ {
+			acc[k] += mt.Weight * (f[k] - anchor[k])
+		}
+		wsum += mt.Weight
+		dsum += mt.Distance
+		used++
+	}
+	if used < minMatches || wsum == 0 {
+		return Prediction{}, ErrNoMatches
+	}
+	out := make([]float64, dims)
+	qAnchor := q.Seq[0].Pos
+	if m.Params.AnchorAtQueryEnd {
+		qAnchor = q.Seq[len(q.Seq)-1].Pos
+	}
+	for k := 0; k < dims; k++ {
+		out[k] = qAnchor[k] + acc[k]/wsum
+	}
+	return Prediction{
+		Pos:        out,
+		Delta:      delta,
+		NumMatches: used,
+		MeanDist:   dsum / float64(used),
+	}, nil
+}
+
+// Predict runs the full online pipeline for one horizon: retrieve
+// similar subsequences for the query, then predict the position delta
+// seconds ahead.
+func (m *Matcher) Predict(q Query, delta float64, restrict map[string]bool) (Prediction, error) {
+	matches, err := m.FindSimilar(q, restrict)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return m.PredictPosition(q, matches, delta, 0)
+}
+
+// PredictTrajectory predicts positions at several horizons from one
+// retrieval — the shape a beam-tracking controller consumes (it plans
+// the next few control intervals at once). Horizons must be
+// non-negative; the result has one position per horizon, nil where the
+// matches' streams end too early for that horizon.
+func (m *Matcher) PredictTrajectory(q Query, matches []Match, deltas []float64, minMatches int) ([]Prediction, error) {
+	if len(deltas) == 0 {
+		return nil, errors.New("core: no horizons given")
+	}
+	out := make([]Prediction, len(deltas))
+	anyOK := false
+	for i, d := range deltas {
+		if d < 0 {
+			return nil, errors.New("core: negative horizon")
+		}
+		p, err := m.PredictPosition(q, matches, d, minMatches)
+		if errors.Is(err, ErrNoMatches) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+		anyOK = true
+	}
+	if !anyOK {
+		return nil, ErrNoMatches
+	}
+	return out, nil
+}
+
+// PredictDisplacement estimates the displacement of the target between
+// the horizons d1 and d2 (seconds after the query's current time,
+// d2 > d1 >= 0) as the weighted average of the corresponding
+// displacement in each match's stream. It is the estimator a
+// latency-compensating controller needs: the newest *observation* is
+// from d1 in the past, and adding the predicted displacement to it
+// forecasts the present — "if treatment is based on the last observed
+// position rather than the current position, this latency will reduce
+// the effectiveness" (Section 1).
+func (m *Matcher) PredictDisplacement(q Query, matches []Match, d1, d2 float64, minMatches int) ([]float64, error) {
+	if minMatches <= 0 {
+		minMatches = MinMatchesForPrediction
+	}
+	if len(q.Seq) == 0 {
+		return nil, ErrTooShort
+	}
+	dims := q.Seq.Dims()
+	acc := make([]float64, dims)
+	var wsum float64
+	used := 0
+	for _, mt := range matches {
+		seq := mt.Stream.Seq()
+		endT := mt.EndTime()
+		a, insideA := seq.PositionAt(endT + d1)
+		b, insideB := seq.PositionAt(endT + d2)
+		if !insideA || !insideB {
+			continue
+		}
+		for k := 0; k < dims; k++ {
+			acc[k] += mt.Weight * (b[k] - a[k])
+		}
+		wsum += mt.Weight
+		used++
+	}
+	if used < minMatches || wsum == 0 {
+		return nil, ErrNoMatches
+	}
+	for k := range acc {
+		acc[k] /= wsum
+	}
+	return acc, nil
+}
+
+// SegmentForecast is the predicted shape of the breathing segment that
+// follows the query (frequency and amplitude prediction, which the
+// paper notes is analogous to position prediction).
+type SegmentForecast struct {
+	State      plr.State
+	Duration   float64
+	Amplitude  float64
+	NumMatches int
+}
+
+// PredictNextSegment forecasts the duration and amplitude of the
+// segment following the query's final vertex by weighted-averaging the
+// segments that followed each match.
+func (m *Matcher) PredictNextSegment(q Query, matches []Match, minMatches int) (SegmentForecast, error) {
+	if minMatches <= 0 {
+		minMatches = MinMatchesForPrediction
+	}
+	var durSum, ampSum, wsum float64
+	var state plr.State
+	counts := [plr.NumStates]float64{}
+	used := 0
+	for _, mt := range matches {
+		seq := mt.Stream.Seq()
+		next := mt.Start + mt.N - 1
+		if next+1 >= len(seq) {
+			continue // no following segment stored
+		}
+		seg := seq.SegmentAt(next)
+		durSum += mt.Weight * seg.Duration
+		ampSum += mt.Weight * seg.Amplitude()
+		counts[seg.State] += mt.Weight
+		wsum += mt.Weight
+		used++
+	}
+	if used < minMatches || wsum == 0 {
+		return SegmentForecast{}, ErrNoMatches
+	}
+	best := 0.0
+	for st, c := range counts {
+		if c > best {
+			best = c
+			state = plr.State(st)
+		}
+	}
+	return SegmentForecast{
+		State:      state,
+		Duration:   durSum / wsum,
+		Amplitude:  ampSum / wsum,
+		NumMatches: used,
+	}, nil
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+func TestPredictExactAtZeroDelta(t *testing.T) {
+	// With last-vertex anchoring, the prediction at delta = 0 must be
+	// the query's current position, independent of match quality.
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.PredictPosition(q, matches, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.Seq[len(q.Seq)-1].Pos[0]
+	if math.Abs(pred.Pos[0]-want) > 1e-9 {
+		t.Errorf("prediction at delta=0 is %v, want current position %v", pred.Pos[0], want)
+	}
+}
+
+func TestPredictAccurateOnPeriodicMotion(t *testing.T) {
+	// On perfectly periodic streams, a short-horizon prediction must
+	// land close to the true future.
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	qseq := seq[len(seq)-12 : len(seq)-1] // leave one vertex of future
+	q := NewQuery(qseq, "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{0.1, 0.3, 0.5} {
+		pred, err := m.PredictPosition(q, matches, delta, 1)
+		if err != nil {
+			t.Fatalf("delta %v: %v", delta, err)
+		}
+		truth, inside := seq.PositionAt(q.Now + delta)
+		if !inside {
+			t.Fatalf("delta %v: truth not inside stream", delta)
+		}
+		if e := math.Abs(pred.Pos[0] - truth[0]); e > 1.5 {
+			t.Errorf("delta %v: error %.3f too large (pred %v truth %v)", delta, e, pred.Pos[0], truth[0])
+		}
+	}
+}
+
+func TestPredictFirstVertexAnchor(t *testing.T) {
+	// The paper-faithful first-vertex anchor must also work and
+	// produce finite predictions.
+	db := buildTestDB(t)
+	p := DefaultParams()
+	p.AnchorAtQueryEnd = false
+	m, _ := NewMatcher(db, p)
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.PredictPosition(q, matches, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pred.Pos[0]) || math.IsInf(pred.Pos[0], 0) {
+		t.Errorf("non-finite prediction %v", pred.Pos[0])
+	}
+}
+
+func TestPredictRequiresMinMatches(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+	matches, _ := m.FindSimilar(q, nil)
+	if len(matches) < 2 {
+		t.Skip("not enough matches to exercise the floor")
+	}
+	if _, err := m.PredictPosition(q, matches[:1], 0.1, 2); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches with 1 < 2 matches, got %v", err)
+	}
+	if _, err := m.PredictPosition(q, nil, 0.1, 0); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches with no matches, got %v", err)
+	}
+}
+
+func TestPredictSkipsMatchesWithoutFuture(t *testing.T) {
+	// A match ending at the very end of its stream has no future to
+	// contribute; prediction must skip it rather than clamp.
+	db := store.NewDB()
+	p1, _ := db.AddPatient(store.PatientInfo{ID: "P1"})
+	st := p1.AddStream("S1")
+	if err := st.Append(breathingWindow(0, 10, unitDurs(12))...); err != nil {
+		t.Fatal(err)
+	}
+	// Query = final window; the only same-state candidates end near
+	// the stream end and everything else is excluded by online
+	// semantics -> no usable futures far out.
+	m, _ := NewMatcher(db, DefaultParams())
+	seq := st.Seq()
+	q := NewQuery(seq[len(seq)-4:], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizon beyond the stream end for every candidate.
+	horizon := seq.Duration() + 10
+	if _, err := m.PredictPosition(q, matches, horizon, 1); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches for futureless horizon, got %v", err)
+	}
+}
+
+func TestPredictEndToEnd(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	qseq, _ := m.Params.DynamicQuery(seq[:len(seq)-2])
+	q := NewQuery(qseq, "P1", "S1")
+	pred, err := m.Predict(q, 0.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.NumMatches < MinMatchesForPrediction {
+		t.Errorf("NumMatches = %d below floor", pred.NumMatches)
+	}
+	if pred.Delta != 0.2 {
+		t.Errorf("Delta = %v", pred.Delta)
+	}
+	if pred.MeanDist < 0 {
+		t.Errorf("MeanDist = %v", pred.MeanDist)
+	}
+}
+
+func TestPredictNextSegment(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	// Query ends exactly at a vertex boundary; the following segment
+	// in every periodic stream has duration 1 and a known state.
+	qseq := seq[len(seq)-11 : len(seq)-2]
+	q := NewQuery(qseq, "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.PredictNextSegment(q, matches, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next state after the query's final segment follows the FSA.
+	wantState := qseq[len(qseq)-2].State.NextRegular()
+	if fc.State != wantState {
+		t.Errorf("forecast state = %v, want %v", fc.State, wantState)
+	}
+	if math.Abs(fc.Duration-1) > 0.05 {
+		t.Errorf("forecast duration = %v, want ~1", fc.Duration)
+	}
+	if fc.NumMatches == 0 {
+		t.Error("no matches contributed")
+	}
+	// Amplitude forecast must be plausible for a 10-11 mm cohort when
+	// the forecast segment is a moving one; EOE forecasts are near 0.
+	if fc.State != plr.EOE && (fc.Amplitude < 8 || fc.Amplitude > 13) {
+		t.Errorf("forecast amplitude = %v", fc.Amplitude)
+	}
+	if _, err := m.PredictNextSegment(q, nil, 1); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches, got %v", err)
+	}
+}
+
+func TestPredictTrajectory(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-12:len(seq)-2], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []float64{0, 0.2, 0.4}
+	traj, err := m.PredictTrajectory(q, matches, deltas, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 3 {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	// Each point must agree with the single-horizon prediction.
+	for i, d := range deltas {
+		single, err := m.PredictPosition(q, matches, d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(traj[i].Pos[0]-single.Pos[0]) > 1e-12 {
+			t.Errorf("horizon %v: trajectory %v != single %v", d, traj[i].Pos[0], single.Pos[0])
+		}
+	}
+	if _, err := m.PredictTrajectory(q, matches, nil, 1); err == nil {
+		t.Error("empty horizons accepted")
+	}
+	if _, err := m.PredictTrajectory(q, matches, []float64{-1}, 1); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := m.PredictTrajectory(q, nil, deltas, 1); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches, got %v", err)
+	}
+}
+
+func TestPredictDisplacement(t *testing.T) {
+	db := buildTestDB(t)
+	m, _ := NewMatcher(db, DefaultParams())
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-12:len(seq)-2], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Displacement between two horizons must equal the difference of
+	// the two point predictions (they share anchor and weights).
+	p1, err := m.PredictPosition(q, matches, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.PredictPosition(q, matches, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := m.PredictDisplacement(q, matches, 0.1, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p2.Pos[0] - p1.Pos[0]
+	if math.Abs(disp[0]-want) > 1e-9 {
+		t.Errorf("displacement = %v, want %v", disp[0], want)
+	}
+	// Zero-width interval -> zero displacement.
+	zero, err := m.PredictDisplacement(q, matches, 0.2, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zero[0]) > 1e-12 {
+		t.Errorf("zero-interval displacement = %v", zero[0])
+	}
+	if _, err := m.PredictDisplacement(q, nil, 0, 0.1, 1); !errors.Is(err, ErrNoMatches) {
+		t.Errorf("want ErrNoMatches, got %v", err)
+	}
+	if _, err := m.PredictDisplacement(Query{}, matches, 0, 0.1, 1); !errors.Is(err, ErrTooShort) {
+		t.Errorf("want ErrTooShort, got %v", err)
+	}
+}
+
+func TestPredictionMultiDim(t *testing.T) {
+	// 2-D streams: prediction must cover every dimension.
+	db := store.NewDB()
+	mk2d := func(amp float64) plr.Sequence {
+		s := breathingWindow(0, amp, unitDurs(24))
+		for i := range s {
+			s[i].Pos = []float64{s[i].Pos[0], s[i].Pos[0] * 0.3}
+		}
+		return s
+	}
+	p1, _ := db.AddPatient(store.PatientInfo{ID: "P1"})
+	if err := p1.AddStream("S1").Append(mk2d(10)...); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := db.AddPatient(store.PatientInfo{ID: "P2"})
+	if err := p2.AddStream("S1").Append(mk2d(10.2)...); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMatcher(db, DefaultParams())
+	seq := p1.Streams[0].Seq()
+	q := NewQuery(seq[len(seq)-8:len(seq)-1], "P1", "S1")
+	matches, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.PredictPosition(q, matches, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.Pos) != 2 {
+		t.Fatalf("prediction dims = %d, want 2", len(pred.Pos))
+	}
+	truth, _ := seq.PositionAt(q.Now + 0.2)
+	for k := 0; k < 2; k++ {
+		if e := math.Abs(pred.Pos[k] - truth[k]); e > 2 {
+			t.Errorf("dim %d error %.2f", k, e)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stsmatch/internal/store"
+)
+
+// Automatic parameter tuning — the paper's "ongoing project" future
+// work ("the system will learn the proper parameter settings from
+// training data and adapt them during online operation"). This
+// implementation performs a deterministic coordinate grid search over
+// the weight parameters, scoring each candidate by mean prediction
+// error on a training database, exactly mirroring how the authors
+// report having fixed Table 1 by hand: "we first fixed all the other
+// parameters ... then run experiments with different values ... is
+// fixed to the value with the best prediction results."
+
+// TuneSpace is the candidate grid per parameter. Empty slices keep the
+// current value.
+type TuneSpace struct {
+	WeightFreq       []float64
+	VertexWeightBase []float64
+	DistThreshold    []float64
+	StabilityThresh  []float64
+}
+
+// DefaultTuneSpace returns a small grid bracketing the Table 1 values.
+func DefaultTuneSpace() TuneSpace {
+	return TuneSpace{
+		WeightFreq:       []float64{0.1, 0.25, 0.5, 1.0},
+		VertexWeightBase: []float64{0.6, 0.8, 0.95},
+		DistThreshold:    []float64{4, 8, 12},
+		StabilityThresh:  []float64{3, 6, 9},
+	}
+}
+
+// TuneResult records the search outcome.
+type TuneResult struct {
+	Best      Params
+	BestError float64
+	// Trace records every evaluated (description, error) pair in
+	// evaluation order.
+	Trace []TuneStep
+}
+
+// TuneStep is one evaluated candidate.
+type TuneStep struct {
+	Param string
+	Value float64
+	Error float64
+}
+
+// Tune performs coordinate descent over the grid: each parameter in
+// turn is swept with the others held fixed, and locked to its best
+// value before the next parameter is swept (the paper's protocol).
+// The returned parameters always validate.
+func Tune(db *store.DB, start Params, space TuneSpace, opts EvalOptions) (TuneResult, error) {
+	if err := start.Validate(); err != nil {
+		return TuneResult{}, err
+	}
+	cur := start
+	eval := func(p Params) (float64, error) {
+		if err := p.Validate(); err != nil {
+			// Invalid combinations (e.g. WeightFreq > WeightAmp
+			// ordering violations) are skipped, not fatal.
+			return -1, nil
+		}
+		m, err := NewMatcher(db, p)
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.Evaluate(opts)
+		if err != nil {
+			return 0, err
+		}
+		if r.Coverage() == 0 {
+			return -1, nil // untestable configuration
+		}
+		return r.MeanError(), nil
+	}
+
+	res := TuneResult{}
+	sweep := func(name string, grid []float64, set func(*Params, float64)) error {
+		if len(grid) == 0 {
+			return nil
+		}
+		grid = append([]float64(nil), grid...)
+		sort.Float64s(grid)
+		bestV, bestE := 0.0, -1.0
+		for _, v := range grid {
+			cand := cur
+			set(&cand, v)
+			e, err := eval(cand)
+			if err != nil {
+				return err
+			}
+			if e < 0 {
+				continue
+			}
+			res.Trace = append(res.Trace, TuneStep{Param: name, Value: v, Error: e})
+			if bestE < 0 || e < bestE {
+				bestV, bestE = v, e
+			}
+		}
+		if bestE >= 0 {
+			set(&cur, bestV)
+			res.BestError = bestE
+		}
+		return nil
+	}
+
+	if err := sweep("WeightFreq", space.WeightFreq, func(p *Params, v float64) { p.WeightFreq = v }); err != nil {
+		return TuneResult{}, err
+	}
+	if err := sweep("VertexWeightBase", space.VertexWeightBase, func(p *Params, v float64) { p.VertexWeightBase = v }); err != nil {
+		return TuneResult{}, err
+	}
+	if err := sweep("DistThreshold", space.DistThreshold, func(p *Params, v float64) { p.DistThreshold = v }); err != nil {
+		return TuneResult{}, err
+	}
+	if err := sweep("StabilityThreshold", space.StabilityThresh, func(p *Params, v float64) { p.StabilityThreshold = v }); err != nil {
+		return TuneResult{}, err
+	}
+	if len(res.Trace) == 0 {
+		return TuneResult{}, fmt.Errorf("core: tuning produced no evaluable candidates")
+	}
+	res.Best = cur
+	return res, nil
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stsmatch/internal/cluster"
+	"stsmatch/internal/core"
+	"stsmatch/internal/stats"
+)
+
+// Figure 8: clustering applications — prediction with/without patient
+// clustering, stream similarity structure, patient similarity
+// structure.
+
+// clusterConfig adapts the offline analysis configuration to the
+// environment's scale.
+func clusterConfig(env *Env) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.QueryStride = env.Scale.QueryStride
+	return cfg
+}
+
+// Fig8aResult compares prediction error with and without
+// cluster-restricted retrieval.
+type Fig8aResult struct {
+	Deltas       []float64
+	WithCluster  []float64
+	NoCluster    []float64
+	K            int
+	Silhouette   float64
+	ClassPurity  float64
+	AdjustedRand float64
+	ClusterSizes []int
+	CoverageWith float64
+	CoverageNo   float64
+	// Retrieval latency per evaluation point: the paper's third
+	// clustering application restricts the search to the query
+	// patient's cluster, which shrinks the candidate set.
+	LatencyWithMS float64
+	LatencyNoMS   float64
+}
+
+// Fig8a clusters patients by Definition 4 distance, then evaluates
+// prediction with retrieval restricted to the query patient's cluster.
+func Fig8a(env *Env) (*Fig8aResult, error) {
+	patients := env.DB.Patients()
+	dm, err := cluster.PatientDistanceMatrix(patients, clusterConfig(env))
+	if err != nil {
+		return nil, err
+	}
+	cl, sil, err := cluster.BestK(dm, 2, min(6, len(patients)-1), 42)
+	if err != nil {
+		return nil, err
+	}
+	// Membership lookup for restriction.
+	clusterOf := map[string]int{}
+	for i, p := range patients {
+		clusterOf[p.Info.ID] = cl.Assign[i]
+	}
+	members := map[int]map[string]bool{}
+	for i, p := range patients {
+		c := cl.Assign[i]
+		if members[c] == nil {
+			members[c] = map[string]bool{}
+		}
+		members[c][p.Info.ID] = true
+	}
+
+	opts := core.DefaultEvalOptions()
+	opts.QueriesPerStream = env.Scale.QueriesPerStream
+	m, err := core.NewMatcher(env.DB, core.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	startNo := time.Now()
+	noRes, err := m.Evaluate(opts)
+	if err != nil {
+		return nil, err
+	}
+	noElapsed := time.Since(startNo)
+	withOpts := opts
+	withOpts.RestrictFor = func(pid string) map[string]bool {
+		return members[clusterOf[pid]]
+	}
+	startWith := time.Now()
+	withRes, err := m.Evaluate(withOpts)
+	if err != nil {
+		return nil, err
+	}
+	withElapsed := time.Since(startWith)
+
+	res := &Fig8aResult{
+		Deltas:       opts.Deltas,
+		K:            cl.K,
+		Silhouette:   sil,
+		ClassPurity:  cluster.Purity(cl, env.Labels()),
+		AdjustedRand: cluster.AdjustedRandIndex(cl, env.Labels()),
+		CoverageWith: withRes.Coverage(),
+		CoverageNo:   noRes.Coverage(),
+	}
+	if n := withRes.TotalQueries; n > 0 {
+		res.LatencyWithMS = withElapsed.Seconds() * 1000 / float64(n)
+	}
+	if n := noRes.TotalQueries; n > 0 {
+		res.LatencyNoMS = noElapsed.Seconds() * 1000 / float64(n)
+	}
+	for _, g := range cl.Clusters() {
+		res.ClusterSizes = append(res.ClusterSizes, len(g))
+	}
+	for i := range opts.Deltas {
+		res.WithCluster = append(res.WithCluster, withRes.PerDelta[i].MeanError())
+		res.NoCluster = append(res.NoCluster, noRes.PerDelta[i].MeanError())
+	}
+	return res, nil
+}
+
+// Table renders Figure 8a.
+func (r *Fig8aResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8a: prediction with vs without patient clustering",
+		Header: []string{"delta(ms)", "with clustering", "without"},
+		Comment: fmt.Sprintf("k=%d clusters (sizes %v), silhouette %.2f, class purity %.2f, "+
+			"ARI %.2f; coverage with=%.2f without=%.2f; paper shape: clustering gives better accuracy",
+			r.K, r.ClusterSizes, r.Silhouette, r.ClassPurity, r.AdjustedRand,
+			r.CoverageWith, r.CoverageNo) + fmt.Sprintf("; retrieval %.2f ms/query "+
+			"restricted vs %.2f unrestricted (third application of Section 5.3)",
+			r.LatencyWithMS, r.LatencyNoMS),
+	}
+	for i, d := range r.Deltas {
+		t.AddRow(fmt.Sprintf("%.0f", d*1000), f3(r.WithCluster[i]), f3(r.NoCluster[i]))
+	}
+	return t
+}
+
+// ShapeHolds checks that cluster-restricted prediction is at least as
+// accurate on average.
+func (r *Fig8aResult) ShapeHolds() error {
+	mw, mn := stats.Mean(r.WithCluster), stats.Mean(r.NoCluster)
+	if mw > mn*1.02 {
+		return fmt.Errorf("clustering hurt prediction: %.3f vs %.3f", mw, mn)
+	}
+	return nil
+}
+
+// Fig8bResult summarizes stream-distance structure: distances grouped
+// by source relation.
+type Fig8bResult struct {
+	SelfMean        float64
+	SamePatientMean float64
+	OtherMean       float64
+	NumStreams      int
+}
+
+// Fig8b computes the full stream distance matrix over a capped number
+// of streams and aggregates by relation.
+func Fig8b(env *Env) (*Fig8bResult, error) {
+	streams := env.DB.Streams()
+	if len(streams) > 24 {
+		streams = streams[:24] // bound the quadratic cost
+	}
+	dm, self, err := cluster.StreamDistanceMatrix(streams, clusterConfig(env))
+	if err != nil {
+		return nil, err
+	}
+	var selfW, sameW, otherW stats.Welford
+	for _, d := range self {
+		if d > 0 {
+			selfW.Add(d)
+		}
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			d := dm.At(i, j)
+			if d == 0 {
+				continue // incomparable pair
+			}
+			if streams[i].PatientID == streams[j].PatientID {
+				sameW.Add(d)
+			} else {
+				otherW.Add(d)
+			}
+		}
+	}
+	return &Fig8bResult{
+		SelfMean:        selfW.Mean(),
+		SamePatientMean: sameW.Mean(),
+		OtherMean:       otherW.Mean(),
+		NumStreams:      len(streams),
+	}, nil
+}
+
+// Table renders Figure 8b.
+func (r *Fig8bResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8b: stream distances by relation",
+		Header: []string{"relation", "mean stream distance"},
+		Comment: fmt.Sprintf("%d streams; paper shape: a stream is most similar to itself, "+
+			"then to other streams of the same patient, least to other patients", r.NumStreams),
+	}
+	t.AddRow("self", f3(r.SelfMean))
+	t.AddRow("same patient", f3(r.SamePatientMean))
+	t.AddRow("other patient", f3(r.OtherMean))
+	return t
+}
+
+// ShapeHolds checks the self < same-patient < other-patient ordering.
+func (r *Fig8bResult) ShapeHolds() error {
+	if !(r.SelfMean < r.SamePatientMean && r.SamePatientMean < r.OtherMean) {
+		return fmt.Errorf("ordering violated: self=%.3f same=%.3f other=%.3f",
+			r.SelfMean, r.SamePatientMean, r.OtherMean)
+	}
+	return nil
+}
+
+// Fig8cResult summarizes patient-distance structure.
+type Fig8cResult struct {
+	WithinMean    float64 // self patient distance (across own sessions)
+	CrossMean     float64
+	SameClassMean float64
+	DiffClassMean float64
+}
+
+// Fig8c computes within- versus cross-patient distances and the
+// class-correlation the clustering applications rely on.
+func Fig8c(env *Env) (*Fig8cResult, error) {
+	patients := env.DB.Patients()
+	cfg := clusterConfig(env)
+	var within, cross, sameClass, diffClass stats.Welford
+	for i, p := range patients {
+		d, err := cluster.PatientDistance(p, p, cfg)
+		if err == nil {
+			within.Add(d)
+		}
+		for j := i + 1; j < len(patients); j++ {
+			q := patients[j]
+			d, err := cluster.PatientDistance(p, q, cfg)
+			if err != nil {
+				continue
+			}
+			cross.Add(d)
+			if p.Info.Class == q.Info.Class {
+				sameClass.Add(d)
+			} else {
+				diffClass.Add(d)
+			}
+		}
+	}
+	return &Fig8cResult{
+		WithinMean:    within.Mean(),
+		CrossMean:     cross.Mean(),
+		SameClassMean: sameClass.Mean(),
+		DiffClassMean: diffClass.Mean(),
+	}, nil
+}
+
+// Table renders Figure 8c.
+func (r *Fig8cResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 8c: patient distances",
+		Header: []string{"relation", "mean patient distance"},
+		Comment: "paper shape: a patient's data is more similar to itself than to " +
+			"other patients; class structure visible in same- vs different-class distances",
+	}
+	t.AddRow("within patient", f3(r.WithinMean))
+	t.AddRow("cross patient", f3(r.CrossMean))
+	t.AddRow("cross, same class", f3(r.SameClassMean))
+	t.AddRow("cross, different class", f3(r.DiffClassMean))
+	return t
+}
+
+// ShapeHolds checks within < cross and same-class < different-class.
+func (r *Fig8cResult) ShapeHolds() error {
+	if r.WithinMean >= r.CrossMean {
+		return fmt.Errorf("within (%.3f) not below cross (%.3f)", r.WithinMean, r.CrossMean)
+	}
+	if r.SameClassMean >= r.DiffClassMean {
+		return fmt.Errorf("same-class (%.3f) not below different-class (%.3f)",
+			r.SameClassMean, r.DiffClassMean)
+	}
+	return nil
+}

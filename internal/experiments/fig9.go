@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stsmatch/internal/core"
+)
+
+// Figure 9: effect of the distance threshold epsilon on prediction
+// accuracy and on how often a prediction can be made at all (the
+// tradeoff Section 7.2 discusses: "a smaller epsilon will result in
+// fewer predictions").
+
+// Fig9Result is the epsilon sweep.
+type Fig9Result struct {
+	Thresholds []float64
+	MeanErrors []float64
+	Coverage   []float64
+}
+
+// Fig9 sweeps the distance threshold.
+func Fig9(env *Env) (*Fig9Result, error) {
+	opts := core.DefaultEvalOptions()
+	opts.QueriesPerStream = env.Scale.QueriesPerStream
+	res := &Fig9Result{}
+	for _, eps := range []float64{2, 3, 4, 6, 8, 12, 16} {
+		p := core.DefaultParams()
+		p.DistThreshold = eps
+		m, err := core.NewMatcher(env.DB, p)
+		if err != nil {
+			return nil, err
+		}
+		er, err := m.Evaluate(opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 eps=%v: %w", eps, err)
+		}
+		res.Thresholds = append(res.Thresholds, eps)
+		res.MeanErrors = append(res.MeanErrors, er.MeanError())
+		res.Coverage = append(res.Coverage, er.Coverage())
+	}
+	return res, nil
+}
+
+// Table renders Figure 9.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 9: effect of distance threshold epsilon",
+		Header: []string{"epsilon", "mean error (mm)", "coverage"},
+		Comment: "paper shape: smaller epsilon -> better predictions but fewer of them " +
+			"(tradeoff between number of predictions and accuracy)",
+	}
+	for i := range r.Thresholds {
+		t.AddRow(f1(r.Thresholds[i]), f3(r.MeanErrors[i]), pct(r.Coverage[i]))
+	}
+	return t
+}
+
+// ShapeHolds checks the tradeoff: coverage must be non-decreasing in
+// epsilon, and the tightest threshold must not be less accurate than
+// the loosest.
+func (r *Fig9Result) ShapeHolds() error {
+	n := len(r.Thresholds)
+	for i := 1; i < n; i++ {
+		if r.Coverage[i] < r.Coverage[i-1]-1e-9 {
+			return fmt.Errorf("coverage fell as epsilon grew: %.3f@%.1f -> %.3f@%.1f",
+				r.Coverage[i-1], r.Thresholds[i-1], r.Coverage[i], r.Thresholds[i])
+		}
+	}
+	if r.MeanErrors[0] > r.MeanErrors[n-1]*1.05 {
+		return fmt.Errorf("tight threshold (%.3f) not more accurate than loose (%.3f)",
+			r.MeanErrors[0], r.MeanErrors[n-1])
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"stsmatch/internal/core"
+)
+
+// Runner executes named experiments and writes their reports.
+type Runner struct {
+	Env *Env
+	Out io.Writer
+	// CheckShapes makes Run fail when a paper-shape assertion does not
+	// hold on this run.
+	CheckShapes bool
+}
+
+// expFunc runs one experiment and writes its tables, returning the
+// shape-check error (nil when the shape holds or is not checkable).
+type expFunc func(r *Runner) error
+
+// registry maps experiment ids (as used by the -exp flag and
+// DESIGN.md's per-experiment index) to implementations.
+var registry = map[string]expFunc{
+	"table1": func(r *Runner) error {
+		fmt.Fprintln(r.Out, Table1())
+		return nil
+	},
+	"fig6a": runFig6, "fig6b": runFig6, "fig6c": runFig6,
+	"fig7a": func(r *Runner) error {
+		res, err := Fig7a(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"fig7b": func(r *Runner) error {
+		res, err := Fig7b(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"fig8a": func(r *Runner) error {
+		res, err := Fig8a(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"fig8b": func(r *Runner) error {
+		res, err := Fig8b(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"fig8c": func(r *Runner) error {
+		res, err := Fig8c(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"fig9": func(r *Runner) error {
+		res, err := Fig9(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"efficiency": func(r *Runner) error {
+		res, err := Efficiency(r.Env)
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Tables() {
+			fmt.Fprintln(r.Out, t)
+		}
+		return r.check(res.ShapeHolds())
+	},
+	"ablate-state-order": func(r *Runner) error {
+		res, err := AblateStateOrder(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return nil
+	},
+	"ablate-anchor": func(r *Runner) error {
+		res, err := AblateAnchor(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return nil
+	},
+	"ablate-index": func(r *Runner) error {
+		res, err := AblateIndex(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return nil
+	},
+	"dtw-cost": func(r *Runner) error {
+		res, err := DTWCost(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return nil
+	},
+	"tuning": runTuning,
+	"ext-predictors": func(r *Runner) error {
+		res, err := Predictors(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"plr-fidelity": func(r *Runner) error {
+		res, err := Fidelity(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"dims3": func(r *Runner) error {
+		res, err := Dims3(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"ablate-segmenter": func(r *Runner) error {
+		res, err := CompareSegmenters(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+	"ext-segment-forecast": func(r *Runner) error {
+		res, err := SegmentForecasts(r.Env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(r.Out, res.Table())
+		return r.check(res.ShapeHolds())
+	},
+}
+
+// fig6 computes once and prints all three panels.
+func runFig6(r *Runner) error {
+	res, err := Fig6(r.Env)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables() {
+		fmt.Fprintln(r.Out, t)
+	}
+	return r.check(res.ShapeHolds())
+}
+
+// runTuning demonstrates the automatic parameter tuning extension.
+func runTuning(r *Runner) error {
+	opts := core.DefaultEvalOptions()
+	opts.Deltas = []float64{0.1, 0.3}
+	opts.QueriesPerStream = max(2, r.Env.Scale.QueriesPerStream/2)
+	res, err := core.Tune(r.Env.DB, core.DefaultParams(), core.DefaultTuneSpace(), opts)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:  "Extension: automatic parameter tuning (paper future work)",
+		Header: []string{"parameter", "value", "mean error (mm)"},
+		Comment: fmt.Sprintf("coordinate grid search; best error %.3f mm with WeightFreq=%.2f "+
+			"VertexWeightBase=%.2f eps=%.1f theta=%.1f", res.BestError,
+			res.Best.WeightFreq, res.Best.VertexWeightBase,
+			res.Best.DistThreshold, res.Best.StabilityThreshold),
+	}
+	for _, step := range res.Trace {
+		t.AddRow(step.Param, f2(step.Value), f3(step.Error))
+	}
+	fmt.Fprintln(r.Out, t)
+	return nil
+}
+
+func (r *Runner) check(err error) error {
+	if err == nil || !r.CheckShapes {
+		if err != nil {
+			fmt.Fprintf(r.Out, "! shape check failed (non-fatal): %v\n\n", err)
+		}
+		return nil
+	}
+	return err
+}
+
+// Names returns all experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id ("all" runs everything; fig6a/b/c
+// share one computation and are deduplicated under "all").
+func (r *Runner) Run(name string) error {
+	if name == "all" {
+		done := map[string]bool{}
+		for _, n := range Names() {
+			fn := registry[n]
+			if n == "fig6b" || n == "fig6c" {
+				continue // fig6a prints all panels
+			}
+			if done[n] {
+				continue
+			}
+			done[n] = true
+			fmt.Fprintf(r.Out, "### %s\n", n)
+			if err := fn(r); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have: %v)", name, Names())
+	}
+	return fn(r)
+}

@@ -1,0 +1,115 @@
+package fsm
+
+import (
+	"fmt"
+	"math"
+
+	"stsmatch/internal/plr"
+)
+
+// BottomUp is the classic generic piecewise-linear-approximation
+// algorithm from the segmentation literature the paper's Section 2
+// surveys: start from the finest segmentation and greedily merge the
+// pair of adjacent segments whose merge costs the least, until the
+// target segment count is reached. It knows nothing about breathing
+// states — which is exactly its value here: contrasting it with the
+// FSM-guided online segmenter isolates what the *model* contributes
+// (state labels, online operation, IRR detection) versus what any PLA
+// gives (compression).
+//
+// States on the output are assigned post hoc from the fitted slopes
+// with the same thresholds the online segmenter uses, so the result is
+// a valid plr.Sequence and can flow through the matching machinery for
+// comparison experiments.
+
+// BottomUpConfig controls the offline bottom-up segmentation.
+type BottomUpConfig struct {
+	// TargetSegments is the number of line segments to stop at.
+	TargetSegments int
+	// PrimaryDim is the dimension fitted and classified.
+	PrimaryDim int
+	// SlopeThreshold classifies the post-hoc states (units/s), like
+	// Config.SlopeThreshold.
+	SlopeThreshold float64
+}
+
+// BottomUpSegment runs the offline algorithm over a full sample slice.
+func BottomUpSegment(cfg BottomUpConfig, samples []plr.Sample) (plr.Sequence, error) {
+	n := len(samples)
+	if cfg.TargetSegments < 1 {
+		return nil, fmt.Errorf("fsm: TargetSegments must be >= 1, got %d", cfg.TargetSegments)
+	}
+	if cfg.SlopeThreshold <= 0 {
+		return nil, fmt.Errorf("fsm: SlopeThreshold must be positive")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("fsm: need at least 2 samples, got %d", n)
+	}
+	for i, sm := range samples {
+		if cfg.PrimaryDim < 0 || cfg.PrimaryDim >= len(sm.Pos) {
+			return nil, fmt.Errorf("fsm: sample %d lacks dimension %d", i, cfg.PrimaryDim)
+		}
+		if i > 0 && sm.T <= samples[i-1].T {
+			return nil, fmt.Errorf("fsm: non-increasing sample time at %d", i)
+		}
+	}
+
+	// Segment boundaries as sample indices; start with pairs.
+	bounds := make([]int, 0, n/2+2)
+	for i := 0; i < n-1; i += 2 {
+		bounds = append(bounds, i)
+	}
+	bounds = append(bounds, n-1)
+
+	cost := func(lo, hi int) float64 {
+		// SSE of the chord from samples[lo] to samples[hi].
+		a, b := samples[lo], samples[hi]
+		dt := b.T - a.T
+		var sse float64
+		for i := lo + 1; i < hi; i++ {
+			frac := (samples[i].T - a.T) / dt
+			fit := a.Pos[cfg.PrimaryDim] + frac*(b.Pos[cfg.PrimaryDim]-a.Pos[cfg.PrimaryDim])
+			d := samples[i].Pos[cfg.PrimaryDim] - fit
+			sse += d * d
+		}
+		return sse
+	}
+
+	// Greedy merging. O(k^2) with k = initial segment count; offline
+	// comparison use only, so clarity beats a heap here.
+	for len(bounds)-1 > cfg.TargetSegments {
+		bestIdx, bestCost := -1, math.Inf(1)
+		for i := 1; i < len(bounds)-1; i++ {
+			c := cost(bounds[i-1], bounds[i+1])
+			if c < bestCost {
+				bestIdx, bestCost = i, c
+			}
+		}
+		bounds = append(bounds[:bestIdx], bounds[bestIdx+1:]...)
+	}
+
+	// Emit vertices with post-hoc state classification by chord slope.
+	classify := func(lo, hi int) plr.State {
+		a, b := samples[lo], samples[hi]
+		slope := (b.Pos[cfg.PrimaryDim] - a.Pos[cfg.PrimaryDim]) / (b.T - a.T)
+		switch {
+		case slope < -cfg.SlopeThreshold:
+			return plr.EX
+		case slope > cfg.SlopeThreshold:
+			return plr.IN
+		default:
+			return plr.EOE
+		}
+	}
+	out := make(plr.Sequence, 0, len(bounds))
+	for i, bIdx := range bounds {
+		v := plr.Vertex{T: samples[bIdx].T, Pos: append([]float64(nil), samples[bIdx].Pos...)}
+		if i < len(bounds)-1 {
+			v.State = classify(bIdx, bounds[i+1])
+		} else {
+			v.State = out[len(out)-1].State
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/signal"
+)
+
+func TestBottomUpSegmentBasics(t *testing.T) {
+	samples := cleanBreathing(8, 4, 15)
+	cfg := BottomUpConfig{TargetSegments: 24, PrimaryDim: 0, SlopeThreshold: 4}
+	seq, err := BottomUpSegment(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("invalid sequence: %v", err)
+	}
+	if got := seq.NumSegments(); got != 24 {
+		t.Errorf("segments = %d, want exactly 24", got)
+	}
+	// On clean breathing the post-hoc states should still look like
+	// the regular rotation most of the time.
+	ss := seq.StateString()
+	if !strings.Contains(ss, "EOI") {
+		t.Errorf("no regular rotation found in %s", ss)
+	}
+	// First and last vertices pin the stream ends.
+	if seq[0].T != samples[0].T || seq[len(seq)-1].T != samples[len(samples)-1].T {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestBottomUpFidelityImprovesWithSegments(t *testing.T) {
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := gen.Generate(60)
+	var prev float64
+	for i, k := range []int{12, 24, 48, 96} {
+		seq, err := BottomUpSegment(BottomUpConfig{TargetSegments: k, PrimaryDim: 0, SlopeThreshold: 4}, samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := plr.MeasureFidelity(seq, samples, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && f.RMSE > prev*1.05 {
+			t.Errorf("RMSE rose with more segments: %v -> %v at k=%d", prev, f.RMSE, k)
+		}
+		prev = f.RMSE
+	}
+}
+
+func TestBottomUpErrors(t *testing.T) {
+	good := cleanBreathing(2, 4, 15)
+	cases := []BottomUpConfig{
+		{TargetSegments: 0, PrimaryDim: 0, SlopeThreshold: 4},
+		{TargetSegments: 5, PrimaryDim: 0, SlopeThreshold: 0},
+		{TargetSegments: 5, PrimaryDim: 3, SlopeThreshold: 4},
+	}
+	for i, cfg := range cases {
+		if _, err := BottomUpSegment(cfg, good); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	ok := BottomUpConfig{TargetSegments: 5, PrimaryDim: 0, SlopeThreshold: 4}
+	if _, err := BottomUpSegment(ok, good[:1]); err == nil {
+		t.Error("single sample accepted")
+	}
+	bad := append([]plr.Sample{}, good[:5]...)
+	bad[3].T = bad[2].T
+	if _, err := BottomUpSegment(ok, bad); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+// TestBottomUpVsFSMSegmentation contrasts the generic PLA with the
+// FSM-guided online segmenter at equal segment budgets: comparable
+// reconstruction, but the generic PLA cannot be produced online and
+// its post-hoc states cannot mark irregularity.
+func TestBottomUpVsFSMSegmentation(t *testing.T) {
+	cfg := signal.DefaultRespiration()
+	cfg.IrregularProb = 0.05
+	gen, err := signal.NewRespiration(cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := gen.Generate(90)
+	if len(gen.Episodes()) == 0 {
+		t.Skip("no episodes with this seed")
+	}
+
+	fsmSeq, err := SegmentAll(DefaultConfig(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buSeq, err := BottomUpSegment(BottomUpConfig{
+		TargetSegments: fsmSeq.NumSegments(),
+		PrimaryDim:     0,
+		SlopeThreshold: DefaultConfig().SlopeThreshold,
+	}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsmFid, err := plr.MeasureFidelity(fsmSeq, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buFid, err := plr.MeasureFidelity(buSeq, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offline optimizer should reconstruct at least comparably —
+	// it gets the whole signal and a global objective.
+	if buFid.RMSE > fsmFid.RMSE*1.5 {
+		t.Errorf("bottom-up RMSE %.3f much worse than FSM %.3f", buFid.RMSE, fsmFid.RMSE)
+	}
+	// But only the FSM segmenter marks irregularity.
+	if strings.Contains(buSeq.StateString(), "R") {
+		t.Error("generic PLA should have no IRR states")
+	}
+	if !strings.Contains(fsmSeq.StateString(), "R") {
+		t.Error("FSM segmenter missed the episodes entirely")
+	}
+}

@@ -1,0 +1,51 @@
+package fsm
+
+import (
+	"math"
+	"testing"
+
+	"stsmatch/internal/plr"
+)
+
+// FuzzSegmenter feeds arbitrary byte-derived sample streams through the
+// online segmenter: whatever the input, the segmenter must never panic
+// and must either reject a sample with an error or keep its output a
+// valid, strictly time-ordered PLR sequence.
+func FuzzSegmenter(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30, 40})
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0})
+	f.Add([]byte("breathing patterns are structured time series"))
+	f.Add([]byte{128, 128, 128, 128, 128, 128, 128, 128, 128, 128})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		seg, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq plr.Sequence
+		tcur := 0.0
+		for _, b := range data {
+			// Derive a sample: time always advances; position walks
+			// with the byte value (including large jumps -> spikes).
+			tcur += 1.0/30 + float64(b%7)/100
+			y := float64(int(b)-128) / 4
+			vs, err := seg.Push(plr.Sample{T: tcur, Pos: []float64{y}})
+			if err != nil {
+				t.Fatalf("monotone input rejected: %v", err)
+			}
+			seq = append(seq, vs...)
+		}
+		seq = append(seq, seg.Flush()...)
+		if err := seq.Validate(); err != nil {
+			t.Fatalf("invalid output: %v", err)
+		}
+		for _, v := range seq {
+			if math.IsNaN(v.Pos[0]) || math.IsInf(v.Pos[0], 0) {
+				t.Fatalf("non-finite vertex position %v", v.Pos[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+// Package gating simulates the clinical delivery strategies the paper
+// motivates (Section 1, Figure 1): respiration-gated treatment, where
+// the beam fires only while the target sits inside a gating window, and
+// beam tracking, where the beam follows the (predicted) target. Both
+// suffer from system latency — the delay between observing the target
+// and acting — which is exactly what online prediction compensates.
+//
+// The simulator replays a raw motion stream against a delivery policy
+// and scores it: duty cycle, in-window accuracy and mean tracking
+// error. The gating example and the latency-compensation extension
+// experiment are built on it.
+package gating
+
+import (
+	"fmt"
+
+	"stsmatch/internal/plr"
+)
+
+// Window is a gating window on the primary motion axis: the beam may
+// fire while the target position lies inside [Lo, Hi].
+type Window struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether y is inside the window.
+func (w Window) Contains(y float64) bool { return y >= w.Lo && y <= w.Hi }
+
+// Positioner supplies the position estimate the delivery system acts
+// on at time t: ground truth (ideal), last observed (real, latency
+// uncompensated), or a predictor (latency compensated).
+type Positioner interface {
+	// Estimate returns the estimated primary-axis position for
+	// time t, and false when no estimate is available (the beam is
+	// held off / tracking pauses).
+	Estimate(t float64) (float64, bool)
+}
+
+// PositionerFunc adapts a function to the Positioner interface.
+type PositionerFunc func(t float64) (float64, bool)
+
+// Estimate implements Positioner.
+func (f PositionerFunc) Estimate(t float64) (float64, bool) { return f(t) }
+
+// GatingResult scores one simulated gated delivery.
+type GatingResult struct {
+	Samples int
+	// BeamOn counts samples with the beam firing.
+	BeamOn int
+	// TruePositive counts beam-on samples where the target truly was
+	// inside the window; beam-on accuracy = TruePositive/BeamOn.
+	TruePositive int
+	// MissedOn counts samples where the target was in the window but
+	// the beam stayed off (lost duty cycle).
+	MissedOn int
+}
+
+// DutyCycle returns the fraction of time the beam fired.
+func (r GatingResult) DutyCycle() float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return float64(r.BeamOn) / float64(r.Samples)
+}
+
+// Accuracy returns the fraction of beam-on time with the target truly
+// in the window (1 means no healthy tissue was irradiated by gating
+// error).
+func (r GatingResult) Accuracy() float64 {
+	if r.BeamOn == 0 {
+		return 0
+	}
+	return float64(r.TruePositive) / float64(r.BeamOn)
+}
+
+// String summarizes the result.
+func (r GatingResult) String() string {
+	return fmt.Sprintf("duty=%.1f%% accuracy=%.1f%% missed=%d/%d",
+		100*r.DutyCycle(), 100*r.Accuracy(), r.MissedOn, r.Samples)
+}
+
+// SimulateGating replays the true motion (primary dimension of the raw
+// samples) against a gated delivery whose beam decision at each sample
+// time is based on the positioner's estimate. latency is informational
+// here — the positioner embodies it (a last-observed positioner returns
+// the position from latency seconds ago; a predictive positioner
+// forecasts the present).
+func SimulateGating(truth []plr.Sample, w Window, pos Positioner, dim int) (GatingResult, error) {
+	if dim < 0 {
+		return GatingResult{}, fmt.Errorf("gating: negative dimension")
+	}
+	var r GatingResult
+	for _, s := range truth {
+		if dim >= len(s.Pos) {
+			return GatingResult{}, fmt.Errorf("gating: sample has %d dims, need %d", len(s.Pos), dim+1)
+		}
+		r.Samples++
+		est, ok := pos.Estimate(s.T)
+		beamOn := ok && w.Contains(est)
+		trueIn := w.Contains(s.Pos[dim])
+		if beamOn {
+			r.BeamOn++
+			if trueIn {
+				r.TruePositive++
+			}
+		} else if trueIn {
+			r.MissedOn++
+		}
+	}
+	return r, nil
+}
+
+// TrackingResult scores one simulated beam-tracking delivery.
+type TrackingResult struct {
+	Samples   int
+	Tracked   int     // samples with an available estimate
+	MeanError float64 // mean |estimate - truth| over tracked samples (mm)
+	MaxError  float64
+}
+
+// String summarizes the result.
+func (r TrackingResult) String() string {
+	return fmt.Sprintf("tracked=%d/%d meanErr=%.2fmm maxErr=%.2fmm",
+		r.Tracked, r.Samples, r.MeanError, r.MaxError)
+}
+
+// SimulateTracking replays the true motion against a beam-tracking
+// delivery that aims at the positioner's estimate.
+func SimulateTracking(truth []plr.Sample, pos Positioner, dim int) (TrackingResult, error) {
+	var r TrackingResult
+	var errSum float64
+	for _, s := range truth {
+		if dim < 0 || dim >= len(s.Pos) {
+			return TrackingResult{}, fmt.Errorf("gating: dimension %d out of range", dim)
+		}
+		r.Samples++
+		est, ok := pos.Estimate(s.T)
+		if !ok {
+			continue
+		}
+		r.Tracked++
+		e := est - s.Pos[dim]
+		if e < 0 {
+			e = -e
+		}
+		errSum += e
+		if e > r.MaxError {
+			r.MaxError = e
+		}
+	}
+	if r.Tracked > 0 {
+		r.MeanError = errSum / float64(r.Tracked)
+	}
+	return r, nil
+}
+
+// LastObservedPositioner returns a positioner that reports the true
+// position from latency seconds before the query time — the
+// uncompensated "real treatment" of Figure 1. It assumes truth is
+// time-ordered.
+func LastObservedPositioner(truth []plr.Sample, latency float64, dim int) Positioner {
+	return PositionerFunc(func(t float64) (float64, bool) {
+		tq := t - latency
+		if len(truth) == 0 || tq < truth[0].T {
+			return 0, false
+		}
+		// Binary search for the last sample at or before tq.
+		lo, hi := 0, len(truth)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if truth[mid].T <= tq {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return truth[lo].Pos[dim], true
+	})
+}
+
+// OraclePositioner returns the ideal zero-latency positioner ("ideal
+// treatment" in Figure 1): it knows the true position at every time.
+func OraclePositioner(truth []plr.Sample, dim int) Positioner {
+	return LastObservedPositioner(truth, 0, dim)
+}

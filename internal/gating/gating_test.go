@@ -1,0 +1,146 @@
+package gating
+
+import (
+	"math"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/signal"
+)
+
+func motion(t *testing.T) []plr.Sample {
+	t.Helper()
+	cfg := signal.DefaultRespiration()
+	cfg.IrregularProb = 0
+	cfg.SpikeProb = 0
+	gen, err := signal.NewRespiration(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate(60)
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Lo: -1, Hi: 2}
+	for _, c := range []struct {
+		y    float64
+		want bool
+	}{{-1, true}, {0, true}, {2, true}, {-1.01, false}, {2.1, false}} {
+		if got := w.Contains(c.y); got != c.want {
+			t.Errorf("Contains(%v) = %v", c.y, got)
+		}
+	}
+}
+
+func TestOracleGatingIsPerfect(t *testing.T) {
+	truth := motion(t)
+	w := Window{Lo: -2, Hi: 3} // around the exhale baseline
+	r, err := SimulateGating(truth, w, OraclePositioner(truth, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy() != 1 {
+		t.Errorf("oracle accuracy = %v, want 1", r.Accuracy())
+	}
+	if r.MissedOn != 0 {
+		t.Errorf("oracle missed %d in-window samples", r.MissedOn)
+	}
+	if r.DutyCycle() <= 0 || r.DutyCycle() >= 1 {
+		t.Errorf("duty cycle = %v, expected partial gating", r.DutyCycle())
+	}
+}
+
+func TestLatencyDegradesGating(t *testing.T) {
+	truth := motion(t)
+	w := Window{Lo: -2, Hi: 3}
+	oracle, err := SimulateGating(truth, w, OraclePositioner(truth, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := SimulateGating(truth, w, LastObservedPositioner(truth, 0.4, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.Accuracy() >= oracle.Accuracy() {
+		t.Errorf("latency should reduce accuracy: %v vs %v", delayed.Accuracy(), oracle.Accuracy())
+	}
+	if delayed.TruePositive > delayed.BeamOn {
+		t.Error("impossible counts")
+	}
+}
+
+func TestTrackingErrors(t *testing.T) {
+	truth := motion(t)
+	perfect, err := SimulateTracking(truth, OraclePositioner(truth, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.MeanError > 1e-9 {
+		t.Errorf("oracle tracking error = %v", perfect.MeanError)
+	}
+	delayed, err := SimulateTracking(truth, LastObservedPositioner(truth, 0.3, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.MeanError <= perfect.MeanError {
+		t.Error("latency should increase tracking error")
+	}
+	if delayed.MaxError < delayed.MeanError {
+		t.Error("max below mean")
+	}
+	// More latency, more error.
+	worse, _ := SimulateTracking(truth, LastObservedPositioner(truth, 0.8, 0), 0)
+	if worse.MeanError <= delayed.MeanError {
+		t.Errorf("0.8s latency error %v should exceed 0.3s %v", worse.MeanError, delayed.MeanError)
+	}
+}
+
+func TestLastObservedPositionerBounds(t *testing.T) {
+	truth := []plr.Sample{
+		{T: 1, Pos: []float64{10}},
+		{T: 2, Pos: []float64{20}},
+		{T: 3, Pos: []float64{30}},
+	}
+	p := LastObservedPositioner(truth, 0.5, 0)
+	if _, ok := p.Estimate(1.2); ok {
+		t.Error("estimate before first sample should be unavailable")
+	}
+	got, ok := p.Estimate(2.7) // t-latency = 2.2 -> sample at T=2
+	if !ok || got != 20 {
+		t.Errorf("Estimate(2.7) = %v, %v", got, ok)
+	}
+	got, ok = p.Estimate(100)
+	if !ok || got != 30 {
+		t.Errorf("Estimate(100) = %v, %v", got, ok)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	truth := []plr.Sample{{T: 0, Pos: []float64{1}}}
+	if _, err := SimulateGating(truth, Window{}, OraclePositioner(truth, 0), 2); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if _, err := SimulateGating(truth, Window{}, OraclePositioner(truth, 0), -1); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := SimulateTracking(truth, OraclePositioner(truth, 0), 5); err == nil {
+		t.Error("bad dimension accepted")
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	g := GatingResult{Samples: 10, BeamOn: 5, TruePositive: 4, MissedOn: 1}
+	if s := g.String(); len(s) == 0 {
+		t.Error("empty gating string")
+	}
+	if g.DutyCycle() != 0.5 || math.Abs(g.Accuracy()-0.8) > 1e-12 {
+		t.Errorf("duty=%v acc=%v", g.DutyCycle(), g.Accuracy())
+	}
+	if (GatingResult{}).DutyCycle() != 0 || (GatingResult{}).Accuracy() != 0 {
+		t.Error("empty result ratios should be 0")
+	}
+	tr := TrackingResult{Samples: 3, Tracked: 2, MeanError: 0.5, MaxError: 1}
+	if s := tr.String(); len(s) == 0 {
+		t.Error("empty tracking string")
+	}
+}

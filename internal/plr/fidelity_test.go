@@ -1,0 +1,119 @@
+package plr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeasureFidelityExactPLR(t *testing.T) {
+	// Samples exactly on the PLR lines: zero reconstruction error.
+	seq := Sequence{
+		{T: 0, Pos: []float64{0}, State: EX},
+		{T: 2, Pos: []float64{10}, State: EOE},
+		{T: 4, Pos: []float64{10}, State: IN},
+	}
+	var samples []Sample
+	for ts := 0.0; ts <= 4; ts += 0.25 {
+		pos, _ := seq.PositionAt(ts)
+		samples = append(samples, Sample{T: ts, Pos: pos})
+	}
+	f, err := MeasureFidelity(seq, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RMSE > 1e-12 || f.MaxAbsErr > 1e-12 {
+		t.Errorf("exact samples should reconstruct perfectly: %+v", f)
+	}
+	if f.Vertices != 3 || f.RawSamples != len(samples) {
+		t.Errorf("counts wrong: %+v", f)
+	}
+	if math.Abs(f.Compression-float64(len(samples))/3) > 1e-12 {
+		t.Errorf("compression = %v", f.Compression)
+	}
+	if f.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMeasureFidelityKnownError(t *testing.T) {
+	seq := Sequence{
+		{T: 0, Pos: []float64{0}, State: EX},
+		{T: 2, Pos: []float64{0}, State: EOE},
+	}
+	samples := []Sample{
+		{T: 0.5, Pos: []float64{1}},
+		{T: 1.5, Pos: []float64{-1}},
+		{T: 99, Pos: []float64{50}}, // outside span: skipped
+	}
+	f, err := MeasureFidelity(seq, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.RMSE-1) > 1e-12 || math.Abs(f.MeanAbsErr-1) > 1e-12 || f.MaxAbsErr != 1 {
+		t.Errorf("errors: %+v", f)
+	}
+}
+
+func TestMeasureFidelityErrors(t *testing.T) {
+	seq := Sequence{{T: 0, Pos: []float64{0}, State: EX}}
+	if _, err := MeasureFidelity(seq, nil, 0); err == nil {
+		t.Error("short sequence accepted")
+	}
+	two := Sequence{
+		{T: 0, Pos: []float64{0}, State: EX},
+		{T: 1, Pos: []float64{1}, State: EOE},
+	}
+	if _, err := MeasureFidelity(two, nil, 0); err == nil {
+		t.Error("no in-span samples accepted")
+	}
+	if _, err := MeasureFidelity(two, []Sample{{T: 0.5, Pos: []float64{0}}}, 2); err == nil {
+		t.Error("bad dim accepted")
+	}
+}
+
+func TestSummarizeStates(t *testing.T) {
+	seq := Sequence{
+		{T: 0, Pos: []float64{10}, State: EX},
+		{T: 1, Pos: []float64{0}, State: EOE},
+		{T: 2.5, Pos: []float64{0}, State: IN},
+		{T: 3.5, Pos: []float64{10}, State: EX},
+		{T: 4.5, Pos: []float64{0}, State: IRR},
+		{T: 10, Pos: []float64{3}, State: EX},
+	}
+	s := SummarizeStates(seq)
+	if s[EX].Count != 2 || s[EOE].Count != 1 || s[IN].Count != 1 || s[IRR].Count != 1 {
+		t.Errorf("counts: EX=%d EOE=%d IN=%d IRR=%d",
+			s[EX].Count, s[EOE].Count, s[IN].Count, s[IRR].Count)
+	}
+	if math.Abs(s[EOE].Duration.Mean()-1.5) > 1e-12 {
+		t.Errorf("EOE duration = %v", s[EOE].Duration.Mean())
+	}
+	if math.Abs(s[EX].Amp.Mean()-10) > 1e-12 {
+		t.Errorf("EX amplitude = %v", s[EX].Amp.Mean())
+	}
+	if s[IRR].Duration.Mean() != 5.5 {
+		t.Errorf("IRR duration = %v", s[IRR].Duration.Mean())
+	}
+}
+
+func TestIRRFraction(t *testing.T) {
+	seq := Sequence{
+		{T: 0, Pos: []float64{0}, State: EX},
+		{T: 1, Pos: []float64{0}, State: IRR},
+		{T: 3, Pos: []float64{0}, State: IN},
+		{T: 4, Pos: []float64{0}, State: IN},
+	}
+	if got := IRRFraction(seq); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("IRRFraction = %v, want 0.5", got)
+	}
+	if IRRFraction(nil) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+	noIRR := Sequence{
+		{T: 0, Pos: []float64{0}, State: EX},
+		{T: 1, Pos: []float64{0}, State: EOE},
+	}
+	if IRRFraction(noIRR) != 0 {
+		t.Error("no-IRR fraction should be 0")
+	}
+}

@@ -1,0 +1,27 @@
+package plr
+
+// Sample is one raw observation of the tracked target: a timestamp (in
+// seconds) and an n-dimensional position (in millimetres for the
+// respiratory domain). Raw streams are sequences of samples; the
+// segmenter in internal/fsm turns them into Sequence values.
+type Sample struct {
+	T   float64   `json:"t"`
+	Pos []float64 `json:"pos"`
+}
+
+// Clone returns a deep copy of the sample.
+func (s Sample) Clone() Sample {
+	p := make([]float64, len(s.Pos))
+	copy(p, s.Pos)
+	return Sample{T: s.T, Pos: p}
+}
+
+// Samples1D wraps a scalar series observed at a fixed rate into
+// samples, for tests and examples working in one dimension.
+func Samples1D(start, dt float64, ys []float64) []Sample {
+	out := make([]Sample, len(ys))
+	for i, y := range ys {
+		out[i] = Sample{T: start + float64(i)*dt, Pos: []float64{y}}
+	}
+	return out
+}

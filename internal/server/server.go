@@ -1,0 +1,323 @@
+// Package server implements the online ingestion and prediction HTTP
+// service: the deployment shape of the paper's Figure 1 system. A
+// treatment console opens a session, streams position samples as they
+// are imaged, and polls predictions; the server runs the online
+// segmenter per session, maintains the hierarchical stream database
+// (including any preloaded historical sessions), and serves
+// subsequence-matching predictions with the same machinery the offline
+// tools use.
+//
+// The API is deliberately small and stdlib-only:
+//
+//	POST /v1/sessions                 {"patientId","sessionId"}   -> 201
+//	POST /v1/sessions/{sid}/samples   [{"t","pos"},...]           -> appended vertices
+//	GET  /v1/sessions/{sid}/predict?delta=200ms                   -> prediction
+//	GET  /v1/sessions/{sid}/plr                                   -> current PLR
+//	GET  /v1/stats                                                -> database stats
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// Server is the HTTP ingestion/prediction service.
+type Server struct {
+	mu       sync.Mutex
+	db       *store.DB
+	params   core.Params
+	segCfg   fsm.Config
+	sessions map[string]*session
+	mux      *http.ServeMux
+}
+
+// session is one live ingestion stream.
+type session struct {
+	patientID string
+	sessionID string
+	seg       *fsm.Segmenter
+	stream    *store.Stream
+	samples   int
+	lastT     float64
+	lastPos   []float64
+}
+
+// New builds a server around an existing database (which may already
+// hold historical sessions for cross-session matching). The database
+// is owned by the server afterwards.
+func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := segCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		db = store.NewDB()
+	}
+	s := &Server{
+		db:       db,
+		params:   params,
+		segCfg:   segCfg,
+		sessions: make(map[string]*session),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("POST /v1/sessions/{sid}/samples", s.handleSamples)
+	s.mux.HandleFunc("GET /v1/sessions/{sid}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/sessions/{sid}/plr", s.handlePLR)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// CreateSessionRequest opens a new ingestion session.
+type CreateSessionRequest struct {
+	PatientID string `json:"patientId"`
+	SessionID string `json:"sessionId"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.PatientID == "" || req.SessionID == "" {
+		httpError(w, http.StatusBadRequest, errors.New("patientId and sessionId are required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.sessions[req.SessionID]; exists {
+		httpError(w, http.StatusConflict, fmt.Errorf("session %q already open", req.SessionID))
+		return
+	}
+	p := s.db.Patient(req.PatientID)
+	if p == nil {
+		var err error
+		p, err = s.db.AddPatient(store.PatientInfo{ID: req.PatientID})
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if p.StreamBySession(req.SessionID) != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("session %q already stored", req.SessionID))
+		return
+	}
+	seg, err := fsm.New(s.segCfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st := p.AddStream(req.SessionID)
+	st.EnableIndex()
+	s.sessions[req.SessionID] = &session{
+		patientID: req.PatientID,
+		sessionID: req.SessionID,
+		seg:       seg,
+		stream:    st,
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"patientId": req.PatientID,
+		"sessionId": req.SessionID,
+	})
+}
+
+// SampleIn is one ingested observation.
+type SampleIn struct {
+	T   float64   `json:"t"`
+	Pos []float64 `json:"pos"`
+}
+
+// SamplesResponse reports the ingestion outcome.
+type SamplesResponse struct {
+	Accepted     int    `json:"accepted"`
+	NewVertices  int    `json:"newVertices"`
+	TotalSamples int    `json:"totalSamples"`
+	CurrentState string `json:"currentState"`
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	var batch []SampleIn
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding samples: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sid]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		return
+	}
+	resp := SamplesResponse{}
+	for _, in := range batch {
+		vs, err := sess.seg.Push(plr.Sample{T: in.T, Pos: in.Pos})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("sample at t=%v: %w", in.T, err))
+			return
+		}
+		if err := sess.stream.Append(vs...); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		sess.samples++
+		sess.lastT = in.T
+		sess.lastPos = append(sess.lastPos[:0], in.Pos...)
+		resp.Accepted++
+		resp.NewVertices += len(vs)
+	}
+	resp.TotalSamples = sess.samples
+	resp.CurrentState = sess.seg.CurrentState().String()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PredictionResponse is the prediction payload.
+type PredictionResponse struct {
+	Pos        []float64 `json:"pos"`
+	DeltaMS    float64   `json:"deltaMs"`
+	NumMatches int       `json:"numMatches"`
+	MeanDist   float64   `json:"meanDist"`
+	QueryLen   int       `json:"queryLen"`
+	Stable     bool      `json:"stable"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	deltaStr := r.URL.Query().Get("delta")
+	if deltaStr == "" {
+		deltaStr = "200ms"
+	}
+	delta, err := time.ParseDuration(deltaStr)
+	if err != nil || delta < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad delta %q", deltaStr))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sid]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		return
+	}
+	seq := sess.stream.Seq()
+	if len(seq) < 2 {
+		httpError(w, http.StatusConflict, errors.New("not enough segmented history yet"))
+		return
+	}
+	qseq, info := s.params.DynamicQuery(seq)
+	q := core.NewQuery(qseq, sess.patientID, sess.sessionID)
+	matcher, err := core.NewMatcher(s.db, s.params)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	matches, err := matcher.FindSimilar(q, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Anchor the forecast at the newest *observation*, not the last
+	// PLR vertex (which can lag it by most of a segment): predict the
+	// displacement from the observation time to observation+delta and
+	// add it to the observed position.
+	d1 := sess.lastT - q.Now
+	d2 := d1 + delta.Seconds()
+	disp, err := matcher.PredictDisplacement(q, matches, d1, d2, 0)
+	if errors.Is(err, core.ErrNoMatches) {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	pos := make([]float64, len(disp))
+	for k := range pos {
+		pos[k] = sess.lastPos[k] + disp[k]
+	}
+	var meanDist float64
+	for _, mt := range matches {
+		meanDist += mt.Distance
+	}
+	if len(matches) > 0 {
+		meanDist /= float64(len(matches))
+	}
+	writeJSON(w, http.StatusOK, PredictionResponse{
+		Pos:        pos,
+		DeltaMS:    float64(delta.Milliseconds()),
+		NumMatches: len(matches),
+		MeanDist:   meanDist,
+		QueryLen:   len(qseq),
+		Stable:     info.Stable,
+	})
+}
+
+// PLRResponse carries the current segmented representation.
+type PLRResponse struct {
+	Vertices    []plr.Vertex `json:"vertices"`
+	StateString string       `json:"stateString"`
+}
+
+func (s *Server) handlePLR(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[sid]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		return
+	}
+	seq := sess.stream.Seq()
+	writeJSON(w, http.StatusOK, PLRResponse{
+		Vertices:    seq,
+		StateString: seq.StateString(),
+	})
+}
+
+// StatsResponse summarizes the database.
+type StatsResponse struct {
+	Patients     int `json:"patients"`
+	Streams      int `json:"streams"`
+	Vertices     int `json:"vertices"`
+	OpenSessions int `json:"openSessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	open := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Patients:     s.db.NumPatients(),
+		Streams:      len(s.db.Streams()),
+		Vertices:     s.db.NumVertices(),
+		OpenSessions: open,
+	})
+}

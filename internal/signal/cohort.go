@@ -1,0 +1,187 @@
+package signal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stsmatch/internal/plr"
+)
+
+// PatientProfile is the ground-truth description of one synthetic
+// patient: the per-patient breathing parameters plus the covariates
+// the offline correlation-discovery experiments score against.
+type PatientProfile struct {
+	ID    string
+	Class BreathingClass
+	// Base is the patient's breathing configuration; each session
+	// perturbs it slightly (day-to-day physiological variation).
+	Base RespirationConfig
+	// Age and TumorSite are synthetic covariates correlated with the
+	// breathing class, standing in for the paper's clinical metadata.
+	Age       int
+	TumorSite string
+}
+
+// SessionData is one treatment session's raw motion stream.
+type SessionData struct {
+	SessionID string
+	Samples   []plr.Sample
+}
+
+// PatientData bundles a profile with its generated sessions.
+type PatientData struct {
+	Profile  PatientProfile
+	Sessions []SessionData
+}
+
+// CohortConfig controls synthetic cohort generation.
+type CohortConfig struct {
+	NumPatients int
+	SessionsPer int     // treatment sessions per patient
+	SessionDur  float64 // seconds of motion per session
+	Dims        int     // spatial dimensionality (1..3)
+	Seed        int64
+	// ClassMix optionally fixes the number of patients per breathing
+	// class; when nil, classes are assigned round-robin.
+	ClassMix []int
+}
+
+// DefaultCohort returns the laptop-scale cohort used by the experiment
+// harness: 12 patients x 4 sessions x 90 s at 30 Hz (~130k raw points).
+// Paper scale (42 patients, ~1200 sessions, >2M points) is reachable by
+// raising these numbers; the experiment binaries expose a -scale flag.
+func DefaultCohort() CohortConfig {
+	return CohortConfig{
+		NumPatients: 12,
+		SessionsPer: 4,
+		SessionDur:  90,
+		Dims:        1,
+		Seed:        42,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CohortConfig) Validate() error {
+	if c.NumPatients <= 0 || c.SessionsPer <= 0 {
+		return fmt.Errorf("signal: cohort needs at least one patient and session")
+	}
+	if c.SessionDur <= 0 {
+		return fmt.Errorf("signal: SessionDur must be positive")
+	}
+	if c.Dims < 1 || c.Dims > 3 {
+		return fmt.Errorf("signal: Dims must be 1..3, got %d", c.Dims)
+	}
+	if c.ClassMix != nil {
+		total := 0
+		for _, n := range c.ClassMix {
+			total += n
+		}
+		if len(c.ClassMix) != NumClasses || total != c.NumPatients {
+			return fmt.Errorf("signal: ClassMix must have %d entries summing to NumPatients", NumClasses)
+		}
+	}
+	return nil
+}
+
+// classParams returns the class-level parameter families. Classes
+// differ in period, amplitude and irregularity so that patient distance
+// has real structure to discover.
+func classParams(class BreathingClass, rng *rand.Rand) RespirationConfig {
+	cfg := DefaultRespiration()
+	switch class {
+	case ClassCalm:
+		cfg.Period = 4.4 + 0.4*rng.NormFloat64()
+		cfg.Amplitude = 9 + 1.5*rng.NormFloat64()
+		cfg.IrregularProb = 0.006
+	case ClassDeep:
+		cfg.Period = 5.0 + 0.5*rng.NormFloat64()
+		cfg.Amplitude = 20 + 2.5*rng.NormFloat64()
+		cfg.IrregularProb = 0.012
+	case ClassRapid:
+		cfg.Period = 2.6 + 0.25*rng.NormFloat64()
+		cfg.Amplitude = 12 + 1.5*rng.NormFloat64()
+		cfg.IrregularProb = 0.015
+	case ClassErratic:
+		cfg.Period = 3.6 + 0.6*rng.NormFloat64()
+		cfg.Amplitude = 14 + 3*rng.NormFloat64()
+		cfg.IrregularProb = 0.07
+		cfg.PeriodJit = 0.18
+		cfg.AmpJit = 0.22
+	}
+	if cfg.Period < 1.5 {
+		cfg.Period = 1.5
+	}
+	if cfg.Amplitude < 4 {
+		cfg.Amplitude = 4
+	}
+	return cfg
+}
+
+// tumorSites maps classes to plausible sites so correlation discovery
+// has a categorical covariate with signal.
+var tumorSites = [NumClasses][]string{
+	ClassCalm:    {"upper-lobe", "mediastinum"},
+	ClassDeep:    {"lower-lobe", "diaphragm"},
+	ClassRapid:   {"upper-lobe", "hilum"},
+	ClassErratic: {"lower-lobe", "liver"},
+}
+
+// GenerateCohort builds a full synthetic cohort deterministically from
+// the configured seed.
+func GenerateCohort(cfg CohortConfig) ([]PatientData, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	classOf := func(i int) BreathingClass {
+		if cfg.ClassMix == nil {
+			return BreathingClass(i % NumClasses)
+		}
+		// Expand the mix: first ClassMix[0] patients are class 0, etc.
+		for c, n := 0, 0; c < NumClasses; c++ {
+			n += cfg.ClassMix[c]
+			if i < n {
+				return BreathingClass(c)
+			}
+		}
+		return ClassErratic
+	}
+
+	out := make([]PatientData, 0, cfg.NumPatients)
+	for i := 0; i < cfg.NumPatients; i++ {
+		class := classOf(i)
+		base := classParams(class, rng)
+		base.Dims = cfg.Dims
+		profile := PatientProfile{
+			ID:        fmt.Sprintf("P%02d", i+1),
+			Class:     class,
+			Base:      base,
+			Age:       45 + rng.Intn(35),
+			TumorSite: tumorSites[class][rng.Intn(len(tumorSites[class]))],
+		}
+		pd := PatientData{Profile: profile}
+		for s := 0; s < cfg.SessionsPer; s++ {
+			// Day-to-day variation: each session perturbs the
+			// patient's base parameters slightly.
+			scfg := base
+			scfg.Period *= 1 + 0.05*rng.NormFloat64()
+			scfg.Amplitude *= 1 + 0.07*rng.NormFloat64()
+			if scfg.Period < 1.2 {
+				scfg.Period = 1.2
+			}
+			if scfg.Amplitude < 3 {
+				scfg.Amplitude = 3
+			}
+			gen, err := NewRespiration(scfg, cfg.Seed*1_000_003+int64(i)*997+int64(s))
+			if err != nil {
+				return nil, err
+			}
+			pd.Sessions = append(pd.Sessions, SessionData{
+				SessionID: fmt.Sprintf("%s-S%02d", profile.ID, s+1),
+				Samples:   gen.Generate(cfg.SessionDur),
+			})
+		}
+		out = append(out, pd)
+	}
+	return out, nil
+}

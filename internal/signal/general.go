@@ -1,0 +1,257 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stsmatch/internal/plr"
+)
+
+// This file provides the Section 6 generalization substrates: other
+// motions describable by a finite set of linear states. They drive the
+// heartbeat and robot-arm examples and the generalization tests.
+
+// HeartbeatConfig parameterizes a synthetic arterial-pressure-like
+// pulse train: a fast systolic upstroke, a fast initial decline, and a
+// slow diastolic runoff — three linear states per beat.
+type HeartbeatConfig struct {
+	SampleRate float64 // Hz
+	Rate       float64 // beats per minute
+	RateJit    float64 // per-beat rate jitter fraction
+	Amplitude  float64 // pulse pressure (arbitrary units)
+	AmpJit     float64
+	NoiseStd   float64
+	// EctopicProb is the per-beat probability of a premature beat
+	// (the heartbeat analogue of irregular breathing).
+	EctopicProb float64
+}
+
+// DefaultHeartbeat returns a plausible resting configuration.
+func DefaultHeartbeat() HeartbeatConfig {
+	return HeartbeatConfig{
+		SampleRate:  100,
+		Rate:        70,
+		RateJit:     0.05,
+		Amplitude:   40,
+		AmpJit:      0.06,
+		NoiseStd:    0.4,
+		EctopicProb: 0.01,
+	}
+}
+
+// Heartbeat generates the pulse train.
+type Heartbeat struct {
+	cfg HeartbeatConfig
+	rng *rand.Rand
+	t   float64
+}
+
+// NewHeartbeat builds a generator.
+func NewHeartbeat(cfg HeartbeatConfig, seed int64) (*Heartbeat, error) {
+	if cfg.SampleRate <= 0 || cfg.Rate <= 0 || cfg.Amplitude <= 0 {
+		return nil, fmt.Errorf("signal: invalid heartbeat config")
+	}
+	return &Heartbeat{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Generate produces samples for at least the requested duration.
+func (g *Heartbeat) Generate(duration float64) []plr.Sample {
+	var out []plr.Sample
+	for g.t < duration {
+		period := 60 / g.cfg.Rate * (1 + g.cfg.RateJit*g.rng.NormFloat64())
+		amp := g.cfg.Amplitude * (1 + g.cfg.AmpJit*g.rng.NormFloat64())
+		if g.rng.Float64() < g.cfg.EctopicProb {
+			period *= 0.6 // premature beat
+			amp *= 0.7
+		}
+		out = append(out, g.beat(period, amp)...)
+	}
+	return out
+}
+
+func (g *Heartbeat) beat(period, amp float64) []plr.Sample {
+	dt := 1 / g.cfg.SampleRate
+	start := g.t
+	up := 0.15 * period   // systolic upstroke
+	down := 0.25 * period // initial decline
+	var out []plr.Sample
+	for ; g.t < start+period; g.t += dt {
+		u := g.t - start
+		var y float64
+		switch {
+		case u < up:
+			y = amp * u / up
+		case u < up+down:
+			y = amp * (1 - 0.6*(u-up)/down)
+		default:
+			v := (u - up - down) / (period - up - down)
+			y = amp * 0.4 * (1 - v)
+		}
+		y += g.cfg.NoiseStd * g.rng.NormFloat64()
+		out = append(out, plr.Sample{T: g.t, Pos: []float64{y}})
+	}
+	return out
+}
+
+// RobotArmConfig parameterizes a pick-and-place robot arm axis:
+// trapezoidal moves between a home and a work position with dwell
+// times — advance / dwell / return, three linear states per cycle.
+type RobotArmConfig struct {
+	SampleRate float64
+	Travel     float64 // mm between home and work positions
+	MoveTime   float64 // s per move
+	DwellTime  float64 // s at each end
+	Jitter     float64 // timing jitter fraction (wear, load changes)
+	NoiseStd   float64
+	// FaultProb is the per-cycle probability of a fault cycle
+	// (stall mid-travel), the IRR analogue.
+	FaultProb float64
+}
+
+// DefaultRobotArm returns a representative assembly-line axis.
+func DefaultRobotArm() RobotArmConfig {
+	return RobotArmConfig{
+		SampleRate: 50,
+		Travel:     120,
+		MoveTime:   0.8,
+		DwellTime:  0.5,
+		Jitter:     0.04,
+		NoiseStd:   0.2,
+		FaultProb:  0.01,
+	}
+}
+
+// RobotArm generates the axis position trace.
+type RobotArm struct {
+	cfg RobotArmConfig
+	rng *rand.Rand
+	t   float64
+}
+
+// NewRobotArm builds a generator.
+func NewRobotArm(cfg RobotArmConfig, seed int64) (*RobotArm, error) {
+	if cfg.SampleRate <= 0 || cfg.Travel <= 0 || cfg.MoveTime <= 0 {
+		return nil, fmt.Errorf("signal: invalid robot arm config")
+	}
+	return &RobotArm{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Generate produces samples for at least the requested duration.
+func (g *RobotArm) Generate(duration float64) []plr.Sample {
+	var out []plr.Sample
+	for g.t < duration {
+		out = append(out, g.cycleArm()...)
+	}
+	return out
+}
+
+func (g *RobotArm) cycleArm() []plr.Sample {
+	c := g.cfg
+	jit := func(base float64) float64 { return base * (1 + c.Jitter*g.rng.NormFloat64()) }
+	move, dwell := jit(c.MoveTime), jit(c.DwellTime)
+	fault := g.rng.Float64() < c.FaultProb
+	dt := 1 / c.SampleRate
+	start := g.t
+	total := 2*move + 2*dwell
+	var out []plr.Sample
+	for ; g.t < start+total; g.t += dt {
+		u := g.t - start
+		var y float64
+		switch {
+		case u < move:
+			y = c.Travel * u / move
+			if fault && u > move/2 {
+				y = c.Travel / 2 // stalled mid-travel
+			}
+		case u < move+dwell:
+			y = c.Travel
+			if fault {
+				y = c.Travel / 2
+			}
+		case u < 2*move+dwell:
+			y = c.Travel * (1 - (u-move-dwell)/move)
+			if fault {
+				y = c.Travel / 2 * (1 - (u-move-dwell)/move)
+				if y < 0 {
+					y = 0
+				}
+			}
+		default:
+			y = 0
+		}
+		y += c.NoiseStd * g.rng.NormFloat64()
+		out = append(out, plr.Sample{T: g.t, Pos: []float64{y}})
+	}
+	return out
+}
+
+// Tide generates a semidiurnal tide height series (Section 6's tidal
+// example): the principal lunar component plus a solar component and
+// weather-driven noise. Sampled coarsely (minutes), it still exhibits
+// the rise / slack / fall state structure the framework needs.
+type TideConfig struct {
+	SampleInterval float64 // s between samples
+	LunarAmp       float64 // m
+	SolarAmp       float64 // m
+	WeatherStd     float64 // m, slowly varying surge
+	NoiseStd       float64 // m
+}
+
+// DefaultTide returns a representative coastal configuration sampled
+// every 6 minutes.
+func DefaultTide() TideConfig {
+	return TideConfig{
+		SampleInterval: 360,
+		LunarAmp:       1.2,
+		SolarAmp:       0.4,
+		WeatherStd:     0.15,
+		NoiseStd:       0.02,
+	}
+}
+
+// GenerateTide produces duration seconds of tide heights: the M2 and
+// S2 astronomical components (whose interference gives the spring-neap
+// cycle), a slow weather-driven water-level wander, occasional storm
+// surges (Gaussian bumps of a few times WeatherStd lasting hours — the
+// "coastal catastrophes" of Section 6), and gauge noise.
+func GenerateTide(cfg TideConfig, duration float64, seed int64) []plr.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		lunarPeriod = 12.42 * 3600 // principal lunar semidiurnal M2
+		solarPeriod = 12.00 * 3600 // principal solar semidiurnal S2
+	)
+	// Slow wander: two incommensurate sinusoids, 0.7 and 1.9 days.
+	wanderPhase1 := 2 * math.Pi * rng.Float64()
+	wanderPhase2 := 2 * math.Pi * rng.Float64()
+
+	// Storms: ~one event per five days, amplitude 2-4x WeatherStd,
+	// half-width 3-6 hours.
+	type storm struct{ t0, amp, width float64 }
+	var storms []storm
+	for t := 0.0; t < duration; t += 86400 {
+		if rng.Float64() < 0.2 {
+			storms = append(storms, storm{
+				t0:    t + rng.Float64()*86400,
+				amp:   cfg.WeatherStd * (2 + 2*rng.Float64()),
+				width: 3600 * (3 + 3*rng.Float64()),
+			})
+		}
+	}
+
+	var out []plr.Sample
+	for t := 0.0; t < duration; t += cfg.SampleInterval {
+		wander := cfg.WeatherStd * 0.7 * (math.Sin(2*math.Pi*t/(0.7*86400)+wanderPhase1) +
+			math.Sin(2*math.Pi*t/(1.9*86400)+wanderPhase2))
+		surge := 0.0
+		for _, s := range storms {
+			d := (t - s.t0) / s.width
+			surge += s.amp * math.Exp(-d*d)
+		}
+		y := cfg.LunarAmp*math.Sin(2*math.Pi*t/lunarPeriod) +
+			cfg.SolarAmp*math.Sin(2*math.Pi*t/solarPeriod) +
+			wander + surge + cfg.NoiseStd*rng.NormFloat64()
+		out = append(out, plr.Sample{T: t, Pos: []float64{y}})
+	}
+	return out
+}

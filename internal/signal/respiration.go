@@ -1,0 +1,376 @@
+// Package signal synthesizes the structured time series the paper's
+// algorithms consume. The real system used 2,000,000+ raw points of
+// fluoroscopically tracked tumor positions from 42 patients; that data
+// is not publicly available, so this package generates cohorts whose
+// statistical structure matches what the paper describes and exploits:
+//
+//   - state-structured breathing cycles (exhale / end-of-exhale /
+//     inhale) with patient-specific period and amplitude,
+//   - per-cycle amplitude changes, frequency changes and baseline
+//     shifts (Figure 3a-b),
+//   - cardiac-motion oscillation and spike noise (Figure 3c-d),
+//   - irregular-breathing episodes (breath holds, coughs, deep
+//     breaths) that the finite state model maps to IRR,
+//   - multi-dimensional motion (SI / AP / LR axes) with correlated
+//     but attenuated secondary axes.
+//
+// All generation is deterministic given a seed, so experiments are
+// reproducible run-to-run.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stsmatch/internal/plr"
+)
+
+// BreathingClass is a coarse ground-truth label for a patient's
+// breathing behaviour. The synthetic cohort assigns classes so offline
+// clustering experiments can be scored against known structure
+// (substituting for the paper's clinical covariates).
+type BreathingClass int
+
+// The breathing classes of the synthetic cohort.
+const (
+	// ClassCalm: slow, shallow, very regular breathing.
+	ClassCalm BreathingClass = iota
+	// ClassDeep: slow, large-amplitude breathing.
+	ClassDeep
+	// ClassRapid: fast, moderate-amplitude breathing.
+	ClassRapid
+	// ClassErratic: irregular breathing with frequent episodes.
+	ClassErratic
+)
+
+// NumClasses is the number of breathing classes.
+const NumClasses = 4
+
+// String names the class.
+func (c BreathingClass) String() string {
+	switch c {
+	case ClassCalm:
+		return "calm"
+	case ClassDeep:
+		return "deep"
+	case ClassRapid:
+		return "rapid"
+	case ClassErratic:
+		return "erratic"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// RespirationConfig parameterizes one breathing signal. Units are
+// seconds and millimetres; the defaults mirror the clinical ranges the
+// paper cites (≈15 mm superior-inferior motion, 30 Hz imaging).
+type RespirationConfig struct {
+	SampleRate float64 // Hz
+	Dims       int     // 1..3 spatial dimensions
+
+	Period    float64 // mean breathing cycle duration (s)
+	PeriodJit float64 // per-cycle period jitter fraction (0.1 = ±10%)
+
+	Amplitude float64 // mean SI amplitude (mm)
+	AmpJit    float64 // per-cycle amplitude jitter fraction
+
+	// Fractions of a cycle spent in each regular state; they should
+	// sum to about 1 (normalized internally).
+	ExhaleFrac, RestFrac, InhaleFrac float64
+
+	BaselineDrift float64 // per-cycle baseline random-walk step (mm)
+
+	CardiacFreq float64 // heartbeat oscillation frequency (Hz)
+	CardiacAmp  float64 // heartbeat oscillation amplitude (mm)
+
+	SpikeProb float64 // per-sample spike probability
+	SpikeAmp  float64 // spike magnitude (mm)
+
+	NoiseStd float64 // white measurement noise (mm)
+
+	// IrregularProb is the per-cycle probability of starting an
+	// irregular episode (breath hold, cough or deep breath).
+	IrregularProb float64
+
+	// ModDepth and ModPeriod add the slow within-session amplitude and
+	// frequency drift of Figure 3a-b: amplitude and period are
+	// modulated by (1 + ModDepth*sin(2*pi*t/ModPeriod + phase)), with
+	// independent random phases per generator. 0 disables.
+	ModDepth  float64
+	ModPeriod float64 // seconds
+
+	// Secondary axis attenuation: AP = Amplitude*APRatio,
+	// LR = Amplitude*LRRatio, with small phase lags.
+	APRatio, LRRatio float64
+}
+
+// DefaultRespiration returns a clinically plausible configuration.
+func DefaultRespiration() RespirationConfig {
+	return RespirationConfig{
+		SampleRate:    30,
+		Dims:          1,
+		Period:        3.8,
+		PeriodJit:     0.12,
+		Amplitude:     15,
+		AmpJit:        0.15,
+		ExhaleFrac:    0.35,
+		RestFrac:      0.28,
+		InhaleFrac:    0.37,
+		BaselineDrift: 0.4,
+		ModDepth:      0.2,
+		ModPeriod:     45,
+		CardiacFreq:   1.2,
+		CardiacAmp:    0.45,
+		SpikeProb:     0.0012,
+		SpikeAmp:      5,
+		NoiseStd:      0.15,
+		IrregularProb: 0.02,
+		APRatio:       0.35,
+		LRRatio:       0.15,
+	}
+}
+
+// Validate reports configuration errors.
+func (c RespirationConfig) Validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("signal: SampleRate must be positive, got %v", c.SampleRate)
+	}
+	if c.Dims < 1 || c.Dims > 3 {
+		return fmt.Errorf("signal: Dims must be 1..3, got %d", c.Dims)
+	}
+	if c.Period <= 0 || c.Amplitude <= 0 {
+		return fmt.Errorf("signal: Period and Amplitude must be positive")
+	}
+	if c.ExhaleFrac <= 0 || c.RestFrac <= 0 || c.InhaleFrac <= 0 {
+		return fmt.Errorf("signal: state fractions must be positive")
+	}
+	return nil
+}
+
+// episodeKind enumerates irregular-breathing episodes.
+type episodeKind int
+
+const (
+	episodeHold episodeKind = iota
+	episodeCough
+	episodeDeep
+	episodeShift
+)
+
+// TimeRange is a half-open interval [Start, End) in seconds.
+type TimeRange struct {
+	Start, End float64
+}
+
+// Contains reports whether t lies inside the range.
+func (r TimeRange) Contains(t float64) bool { return t >= r.Start && t < r.End }
+
+// Respiration generates breathing motion samples cycle by cycle.
+type Respiration struct {
+	cfg RespirationConfig
+	rng *rand.Rand
+
+	t        float64
+	baseline float64
+	episodes []TimeRange
+	// Random phases of the slow amplitude/frequency modulation.
+	ampPhase, perPhase float64
+}
+
+// Episodes returns the ground-truth time ranges of the irregular
+// episodes generated so far (used by tests to score the segmenter's
+// IRR detection).
+func (g *Respiration) Episodes() []TimeRange {
+	out := make([]TimeRange, len(g.episodes))
+	copy(out, g.episodes)
+	return out
+}
+
+// NewRespiration builds a generator with the given seed. It returns an
+// error on invalid configuration.
+func NewRespiration(cfg RespirationConfig, seed int64) (*Respiration, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Respiration{
+		cfg:      cfg,
+		rng:      rng,
+		ampPhase: 2 * math.Pi * rng.Float64(),
+		perPhase: 2 * math.Pi * rng.Float64(),
+	}, nil
+}
+
+// modulation returns the current slow amplitude and period multipliers
+// (Figure 3a-b drift).
+func (g *Respiration) modulation() (ampMul, perMul float64) {
+	c := g.cfg
+	if c.ModDepth <= 0 || c.ModPeriod <= 0 {
+		return 1, 1
+	}
+	w := 2 * math.Pi / c.ModPeriod
+	return 1 + c.ModDepth*math.Sin(w*g.t+g.ampPhase),
+		1 + c.ModDepth*math.Sin(w*g.t+g.perPhase)
+}
+
+// Generate produces samples covering at least the requested duration
+// (it completes the final breathing cycle).
+func (g *Respiration) Generate(duration float64) []plr.Sample {
+	var out []plr.Sample
+	for g.t < duration {
+		if g.rng.Float64() < g.cfg.IrregularProb {
+			out = append(out, g.episode()...)
+			continue
+		}
+		ampMul, perMul := g.modulation()
+		out = append(out, g.cycle(ampMul, perMul)...)
+	}
+	return out
+}
+
+// cycle emits one EX -> EOE -> IN breathing cycle with the given
+// amplitude and period multipliers.
+func (g *Respiration) cycle(ampMul, perMul float64) []plr.Sample {
+	c := g.cfg
+	period := c.Period * perMul * (1 + c.PeriodJit*g.rng.NormFloat64())
+	if period < 0.8 {
+		period = 0.8
+	}
+	amp := c.Amplitude * ampMul * (1 + c.AmpJit*g.rng.NormFloat64())
+	if amp < 1 {
+		amp = 1
+	}
+	fracSum := c.ExhaleFrac + c.RestFrac + c.InhaleFrac
+	dEX := period * c.ExhaleFrac / fracSum
+	dEOE := period * c.RestFrac / fracSum
+	dIN := period * c.InhaleFrac / fracSum
+
+	g.baseline += c.BaselineDrift * g.rng.NormFloat64()
+
+	// Waveform shape: real breathing has a sharp end-of-inhale peak
+	// and a flat end-of-exhale trough (the classic cos^2n respiratory
+	// model of the medical-physics literature). Quadratic ramps give
+	// exactly that: exhale starts steep off the peak and flattens into
+	// the rest plateau; inhale leaves the plateau gently and arrives
+	// at the peak steep.
+	var out []plr.Sample
+	dt := 1 / c.SampleRate
+	start := g.t
+	for ; g.t < start+period; g.t += dt {
+		u := g.t - start
+		var y float64
+		switch {
+		case u < dEX:
+			// Falling from baseline+amp to baseline, steep first.
+			v := 1 - u/dEX
+			y = g.baseline + amp*v*v
+		case u < dEX+dEOE:
+			// Resting near baseline with a slight sag.
+			v := (u - dEX) / dEOE
+			y = g.baseline - 0.03*amp*math.Sin(math.Pi*v)
+		default:
+			// Rising back to baseline+amp, steep last.
+			v := (u - dEX - dEOE) / dIN
+			y = g.baseline + amp*v*v
+		}
+		out = append(out, g.emit(y, amp))
+	}
+	return out
+}
+
+// episode emits one irregular-breathing episode and records its ground
+// truth range.
+func (g *Respiration) episode() []plr.Sample {
+	start := g.t
+	var out []plr.Sample
+	switch episodeKind(g.rng.Intn(4)) {
+	case episodeHold:
+		out = g.breathHold()
+	case episodeCough:
+		out = g.cough()
+	case episodeShift:
+		out = g.baselineShift()
+	default:
+		// Deep breath: one cycle with doubled amplitude and a
+		// stretched period.
+		out = g.cycle(2.0, 1.4)
+	}
+	g.episodes = append(g.episodes, TimeRange{Start: start, End: g.t})
+	return out
+}
+
+// breathHold emits a flat segment of 3-8 s at the current baseline.
+func (g *Respiration) breathHold() []plr.Sample {
+	dur := 3 + 5*g.rng.Float64()
+	dt := 1 / g.cfg.SampleRate
+	var out []plr.Sample
+	end := g.t + dur
+	for ; g.t < end; g.t += dt {
+		out = append(out, g.emit(g.baseline, g.cfg.Amplitude))
+	}
+	return out
+}
+
+// baselineShift is the Figure 3b artifact: the end-of-exhale tumor
+// position moves to a new level (the patient settles differently) over
+// one transitional cycle, and stays there.
+func (g *Respiration) baselineShift() []plr.Sample {
+	shift := 0.25 * g.cfg.Amplitude * (1 + g.rng.Float64()) * sign(g.rng)
+	// One transition cycle while the baseline glides to the new level.
+	startBase := g.baseline
+	out := g.cycle(1, 1.2)
+	if len(out) > 0 {
+		t0, t1 := out[0].T, out[len(out)-1].T
+		for i := range out {
+			frac := (out[i].T - t0) / math.Max(t1-t0, 1e-9)
+			out[i].Pos[0] += shift * frac
+		}
+	}
+	g.baseline = startBase + shift
+	return out
+}
+
+// cough emits 1-2 s of fast large oscillation.
+func (g *Respiration) cough() []plr.Sample {
+	dur := 1 + g.rng.Float64()
+	dt := 1 / g.cfg.SampleRate
+	var out []plr.Sample
+	start := g.t
+	for ; g.t < start+dur; g.t += dt {
+		u := g.t - start
+		y := g.baseline + 0.8*g.cfg.Amplitude*math.Sin(2*math.Pi*3.5*u)*math.Exp(-u)
+		out = append(out, g.emit(y, g.cfg.Amplitude))
+	}
+	return out
+}
+
+// emit adds noise layers and secondary axes to the clean primary value.
+func (g *Respiration) emit(y, amp float64) plr.Sample {
+	c := g.cfg
+	// Cardiac oscillation (Figure 3c).
+	y += c.CardiacAmp * math.Sin(2*math.Pi*c.CardiacFreq*g.t)
+	// Measurement noise.
+	y += c.NoiseStd * g.rng.NormFloat64()
+	// Spike noise (Figure 3d).
+	if g.rng.Float64() < c.SpikeProb {
+		y += c.SpikeAmp * (1 + g.rng.Float64()) * sign(g.rng)
+	}
+	pos := make([]float64, c.Dims)
+	pos[0] = y
+	if c.Dims > 1 {
+		pos[1] = y*c.APRatio + 0.1*amp*math.Sin(2*math.Pi*0.07*g.t) + 0.1*c.NoiseStd*g.rng.NormFloat64()
+	}
+	if c.Dims > 2 {
+		pos[2] = y*c.LRRatio + 0.05*amp*math.Cos(2*math.Pi*0.05*g.t) + 0.1*c.NoiseStd*g.rng.NormFloat64()
+	}
+	return plr.Sample{T: g.t, Pos: pos}
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}

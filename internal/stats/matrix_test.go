@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistMatrixSetAtSymmetric(t *testing.T) {
+	m := NewDistMatrix(3)
+	m.Set(0, 1, 2.5)
+	m.Set(1, 2, 4)
+	if m.At(1, 0) != 2.5 || m.At(0, 1) != 2.5 {
+		t.Error("Set did not store symmetrically")
+	}
+	if m.At(2, 1) != 4 {
+		t.Error("second pair not symmetric")
+	}
+	if m.Size() != 3 {
+		t.Errorf("Size = %d, want 3", m.Size())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestDistMatrixValidateCatchesViolations(t *testing.T) {
+	m := NewDistMatrix(2)
+	m.d[0] = 1 // nonzero diagonal, bypassing Set
+	if err := m.Validate(); err == nil {
+		t.Error("expected diagonal violation")
+	}
+	m = NewDistMatrix(2)
+	m.d[1] = 1 // asymmetric, bypassing Set
+	if err := m.Validate(); err == nil {
+		t.Error("expected asymmetry violation")
+	}
+	m = NewDistMatrix(2)
+	m.Set(0, 1, -3)
+	if err := m.Validate(); err == nil {
+		t.Error("expected negativity violation")
+	}
+}
+
+func TestDistMatrixRowAndMean(t *testing.T) {
+	m := NewDistMatrix(3)
+	m.Set(0, 1, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 2, 3)
+	row := m.Row(0)
+	if row[0] != 0 || row[1] != 1 || row[2] != 2 {
+		t.Errorf("Row(0) = %v", row)
+	}
+	row[1] = 99 // copy, must not affect matrix
+	if m.At(0, 1) != 1 {
+		t.Error("Row returned a view, want a copy")
+	}
+	if got := m.MeanOffDiagonal(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("MeanOffDiagonal = %v, want 2", got)
+	}
+	if NewDistMatrix(1).MeanOffDiagonal() != 0 {
+		t.Error("MeanOffDiagonal of 1x1 should be 0")
+	}
+}
+
+func TestDistMatrixString(t *testing.T) {
+	m := NewDistMatrix(2)
+	m.Set(0, 1, 1.5)
+	s := m.String()
+	if !strings.Contains(s, "1.500") {
+		t.Errorf("String missing value: %q", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Errorf("expected 2 rows, got %q", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 9.9, -4, 15} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	counts := h.Counts()
+	// -4 clamps into bucket 0; 15 clamps into bucket 4.
+	if counts[0] != 3 { // 0.5, 1, -4
+		t.Errorf("bucket 0 = %d, want 3", counts[0])
+	}
+	if counts[4] != 2 { // 9.9, 15
+		t.Errorf("bucket 4 = %d, want 2", counts[4])
+	}
+	if got := h.BucketCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("BucketCenter(0) = %v, want 1", got)
+	}
+	counts[0] = 99
+	if h.Counts()[0] == 99 {
+		t.Error("Counts returned a view, want a copy")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}

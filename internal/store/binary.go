@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stsmatch/internal/plr"
+)
+
+// Binary database format. The JSON interchange format is convenient
+// but ~6x larger than necessary for big cohorts (paper scale is >2M
+// raw points, hundreds of thousands of vertices); the binary format
+// stores positions as raw float64 little-endian words with varint
+// counts and interns nothing fancy — simple, versioned, and fast.
+//
+// Layout:
+//
+//	magic "STSM" | u16 version | uvarint numPatients
+//	per patient: str id, class, tumorSite | uvarint age | uvarint numStreams
+//	per stream:  str sessionID | uvarint dims | uvarint numVertices
+//	per vertex:  f64 t | byte state | dims x f64 position
+//
+// Strings are uvarint length + bytes.
+
+const (
+	binaryMagic   = "STSM"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the database in the compact binary format.
+func (db *DB) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], binaryVersion)
+	if _, err := bw.Write(u16[:]); err != nil {
+		return err
+	}
+	patients := db.Patients()
+	writeUvarint(bw, uint64(len(patients)))
+	for _, p := range patients {
+		writeString(bw, p.Info.ID)
+		writeString(bw, p.Info.Class)
+		writeString(bw, p.Info.TumorSite)
+		writeUvarint(bw, uint64(p.Info.Age))
+		writeUvarint(bw, uint64(len(p.Streams)))
+		for _, st := range p.Streams {
+			if err := writeStream(bw, st); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeStream(bw *bufio.Writer, st *Stream) error {
+	writeString(bw, st.SessionID)
+	seq := st.Seq()
+	dims := seq.Dims()
+	writeUvarint(bw, uint64(dims))
+	writeUvarint(bw, uint64(len(seq)))
+	var f64 [8]byte
+	for _, v := range seq {
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(v.T))
+		if _, err := bw.Write(f64[:]); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(v.State)); err != nil {
+			return err
+		}
+		if len(v.Pos) != dims {
+			return fmt.Errorf("store: stream %s vertex dims %d != %d", st.SessionID, len(v.Pos), dims)
+		}
+		for _, x := range v.Pos {
+			binary.LittleEndian.PutUint64(f64[:], math.Float64bits(x))
+			if _, err := bw.Write(f64[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBinary deserializes a database written by WriteBinary.
+func ReadBinary(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	verBuf := make([]byte, 2)
+	if _, err := io.ReadFull(br, verBuf); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(verBuf); v != binaryVersion {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	numPatients, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 24
+	if numPatients > maxReasonable {
+		return nil, fmt.Errorf("store: implausible patient count %d", numPatients)
+	}
+	db := NewDB()
+	for i := uint64(0); i < numPatients; i++ {
+		var info PatientInfo
+		if info.ID, err = readString(br); err != nil {
+			return nil, err
+		}
+		if info.Class, err = readString(br); err != nil {
+			return nil, err
+		}
+		if info.TumorSite, err = readString(br); err != nil {
+			return nil, err
+		}
+		age, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		info.Age = int(age)
+		p, err := db.AddPatient(info)
+		if err != nil {
+			return nil, err
+		}
+		numStreams, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if numStreams > maxReasonable {
+			return nil, fmt.Errorf("store: implausible stream count %d", numStreams)
+		}
+		for s := uint64(0); s < numStreams; s++ {
+			if err := readStream(br, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func readStream(br *bufio.Reader, p *Patient) error {
+	sessionID, err := readString(br)
+	if err != nil {
+		return err
+	}
+	dims, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if dims > 16 {
+		return fmt.Errorf("store: implausible dims %d", dims)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n > 1<<30 {
+		return fmt.Errorf("store: implausible vertex count %d", n)
+	}
+	st := p.AddStream(sessionID)
+	buf := make([]byte, 8)
+	seq := make(plr.Sequence, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return err
+		}
+		v := plr.Vertex{T: math.Float64frombits(binary.LittleEndian.Uint64(buf))}
+		stByte, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		v.State = plr.State(stByte)
+		if !v.State.Valid() {
+			return fmt.Errorf("store: invalid state byte %d", stByte)
+		}
+		v.Pos = make([]float64, dims)
+		for d := range v.Pos {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return err
+			}
+			v.Pos[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		seq = append(seq, v)
+	}
+	return st.Append(seq...)
+}
+
+func writeUvarint(bw *bufio.Writer, x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	bw.Write(buf[:n]) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	writeUvarint(bw, uint64(len(s)))
+	bw.WriteString(s) //nolint:errcheck // bufio defers errors to Flush
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("store: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

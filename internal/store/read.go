@@ -1,0 +1,18 @@
+package store
+
+import (
+	"bufio"
+	"io"
+)
+
+// ReadAny deserializes a database in either the binary or the JSON
+// format, sniffing the leading magic bytes. Tools accept both
+// interchangeably.
+func ReadAny(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && string(head) == binaryMagic {
+		return ReadBinary(br)
+	}
+	return ReadJSON(br)
+}

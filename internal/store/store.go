@@ -1,0 +1,257 @@
+// Package store implements the hierarchical stream database of
+// Section 3.2: a database holds patient records; each patient has a set
+// of data streams (one per treatment session); each stream is an
+// ordered list of PLR vertices produced by the online segmenter.
+//
+// The store also provides candidate generation for subsequence
+// matching: given a query's state signature, it enumerates all vertex
+// windows in a stream whose per-segment state order matches — the
+// precondition (condition 1) of the paper's Definition 2. A small
+// n-gram inverted index over state strings accelerates this for long
+// streams; matching falls back to a linear scan when the index is
+// disabled (the ablation benchmarks compare both paths).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"stsmatch/internal/plr"
+)
+
+// PatientInfo carries the patient-level metadata used by the offline
+// correlation-discovery experiments.
+type PatientInfo struct {
+	ID        string `json:"id"`
+	Class     string `json:"class,omitempty"`
+	Age       int    `json:"age,omitempty"`
+	TumorSite string `json:"tumorSite,omitempty"`
+}
+
+// Stream is one treatment session's PLR stream. Streams support
+// online appends (the real-time ingestion path) and window lookups by
+// state signature.
+type Stream struct {
+	PatientID string
+	SessionID string
+
+	mu       sync.RWMutex
+	seq      plr.Sequence
+	stateStr []byte
+	index    *ngramIndex
+}
+
+// NewStream creates an empty stream owned by the given patient and
+// session.
+func NewStream(patientID, sessionID string) *Stream {
+	return &Stream{PatientID: patientID, SessionID: sessionID}
+}
+
+// Append adds vertices to the end of the stream, maintaining the state
+// string and, when enabled, the index. Vertices must continue the
+// existing time order.
+func (s *Stream) Append(vs ...plr.Vertex) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		if n := len(s.seq); n > 0 && v.T <= s.seq[n-1].T {
+			return fmt.Errorf("store: vertex time %v does not advance stream %s", v.T, s.SessionID)
+		}
+		if !v.State.Valid() {
+			return fmt.Errorf("store: invalid state on appended vertex")
+		}
+		s.seq = append(s.seq, v)
+		s.stateStr = append(s.stateStr, v.State.Byte())
+		if s.index != nil {
+			s.index.extend(s.stateStr)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of vertices.
+func (s *Stream) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.seq)
+}
+
+// Seq returns the underlying sequence. The returned slice must be
+// treated as read-only; it remains valid across appends (appends may
+// reallocate but never mutate existing vertices).
+func (s *Stream) Seq() plr.Sequence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Window returns the n-vertex window starting at index j.
+func (s *Stream) Window(j, n int) plr.Sequence {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq[j : j+n]
+}
+
+// EnableIndex builds (or rebuilds) the n-gram index over the stream's
+// state string. Subsequent appends keep it current.
+func (s *Stream) EnableIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index = newNgramIndex()
+	s.index.build(s.stateStr)
+}
+
+// IndexEnabled reports whether the n-gram index is active.
+func (s *Stream) IndexEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.index != nil
+}
+
+// FindWindows returns the start indices of every window of n =
+// len(sig)+1 vertices whose segment-state signature equals sig. A
+// window needs one more vertex than it has segments, so starts range
+// over [0, Len()-len(sig)-1].
+func (s *Stream) FindWindows(sig string) []int {
+	if len(sig) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	limit := len(s.seq) - len(sig) - 1 // inclusive upper bound for start
+	if limit < 0 {
+		return nil
+	}
+	if s.index != nil && len(sig) >= ngramSize {
+		return s.index.find(s.stateStr, sig, limit)
+	}
+	return scanWindows(s.stateStr, sig, limit)
+}
+
+// scanWindows is the brute-force state-string scan.
+func scanWindows(stateStr []byte, sig string, limit int) []int {
+	var out []int
+	hay := string(stateStr)
+	for from := 0; ; {
+		i := strings.Index(hay[from:], sig)
+		if i < 0 {
+			break
+		}
+		j := from + i
+		if j > limit {
+			break
+		}
+		out = append(out, j)
+		from = j + 1
+	}
+	return out
+}
+
+// Patient is one patient record: metadata plus its session streams.
+type Patient struct {
+	Info    PatientInfo
+	Streams []*Stream
+}
+
+// AddStream creates, registers and returns a new stream for the given
+// session.
+func (p *Patient) AddStream(sessionID string) *Stream {
+	st := NewStream(p.Info.ID, sessionID)
+	p.Streams = append(p.Streams, st)
+	return st
+}
+
+// StreamBySession returns the stream with the given session ID, or nil.
+func (p *Patient) StreamBySession(sessionID string) *Stream {
+	for _, st := range p.Streams {
+		if st.SessionID == sessionID {
+			return st
+		}
+	}
+	return nil
+}
+
+// DB is the top-level stream database.
+type DB struct {
+	mu       sync.RWMutex
+	patients []*Patient
+	byID     map[string]*Patient
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{byID: make(map[string]*Patient)}
+}
+
+// ErrDuplicatePatient is returned when adding a patient whose ID
+// already exists.
+var ErrDuplicatePatient = errors.New("store: duplicate patient ID")
+
+// AddPatient registers a new patient record and returns it.
+func (db *DB) AddPatient(info PatientInfo) (*Patient, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if info.ID == "" {
+		return nil, errors.New("store: empty patient ID")
+	}
+	if _, ok := db.byID[info.ID]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicatePatient, info.ID)
+	}
+	p := &Patient{Info: info}
+	db.patients = append(db.patients, p)
+	db.byID[info.ID] = p
+	return p, nil
+}
+
+// Patient returns the patient with the given ID, or nil.
+func (db *DB) Patient(id string) *Patient {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.byID[id]
+}
+
+// Patients returns the patient records in insertion order. The slice
+// is a copy; the records are shared.
+func (db *DB) Patients() []*Patient {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Patient, len(db.patients))
+	copy(out, db.patients)
+	return out
+}
+
+// NumPatients returns the number of patient records.
+func (db *DB) NumPatients() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.patients)
+}
+
+// Streams returns every stream in the database in patient order.
+func (db *DB) Streams() []*Stream {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*Stream
+	for _, p := range db.patients {
+		out = append(out, p.Streams...)
+	}
+	return out
+}
+
+// NumVertices returns the total vertex count across all streams.
+func (db *DB) NumVertices() int {
+	n := 0
+	for _, st := range db.Streams() {
+		n += st.Len()
+	}
+	return n
+}
+
+// EnableIndexes builds the n-gram index on every stream.
+func (db *DB) EnableIndexes() {
+	for _, st := range db.Streams() {
+		st.EnableIndex()
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stsmatch/internal/plr"
+)
+
+// seqFromStates builds a sequence with unit-spaced times and the given
+// segment states.
+func seqFromStates(states string) plr.Sequence {
+	out := make(plr.Sequence, len(states))
+	for i, ch := range []byte(states) {
+		var st plr.State
+		switch ch {
+		case 'E':
+			st = plr.EX
+		case 'O':
+			st = plr.EOE
+		case 'I':
+			st = plr.IN
+		default:
+			st = plr.IRR
+		}
+		out[i] = plr.Vertex{T: float64(i), Pos: []float64{float64(i % 5)}, State: st}
+	}
+	return out
+}
+
+func TestStreamAppendAndLen(t *testing.T) {
+	st := NewStream("P1", "S1")
+	if st.Len() != 0 {
+		t.Fatal("new stream not empty")
+	}
+	if err := st.Append(seqFromStates("EOIEOI")...); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 6 {
+		t.Errorf("Len = %d, want 6", st.Len())
+	}
+	if got := st.Seq().StateString(); got != "EOIEOI" {
+		t.Errorf("StateString = %q", got)
+	}
+	// Non-advancing time rejected.
+	if err := st.Append(plr.Vertex{T: 2, Pos: []float64{0}, State: plr.EX}); err == nil {
+		t.Error("expected error for non-advancing vertex time")
+	}
+	// Invalid state rejected.
+	if err := st.Append(plr.Vertex{T: 100, Pos: []float64{0}, State: plr.State(9)}); err == nil {
+		t.Error("expected error for invalid state")
+	}
+}
+
+func TestFindWindowsScan(t *testing.T) {
+	st := NewStream("P1", "S1")
+	if err := st.Append(seqFromStates("EOIEOIEOIE")...); err != nil {
+		t.Fatal(err)
+	}
+	// Signature "EOI" needs 4 vertices; starts at 0, 3, 6 (6+3+1=10 ok).
+	got := st.FindWindows("EOI")
+	want := []int{0, 3, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FindWindows(EOI) = %v, want %v", got, want)
+	}
+	// Overlapping matches: "OIE" occurs at 1, 4; start 7 would need
+	// vertex 11 which doesn't exist.
+	got = st.FindWindows("OIE")
+	want = []int{1, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FindWindows(OIE) = %v, want %v", got, want)
+	}
+	if got := st.FindWindows(""); got != nil {
+		t.Errorf("empty signature should return nil, got %v", got)
+	}
+	if got := st.FindWindows("EOIEOIEOIEOI"); got != nil {
+		t.Errorf("too-long signature should return nil, got %v", got)
+	}
+}
+
+func TestFindWindowsIndexMatchesScan(t *testing.T) {
+	letters := []byte("EOIR")
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint16, sigLen uint8) bool {
+		length := int(n%300) + 12
+		states := make([]byte, length)
+		for i := range states {
+			// Mostly regular rotation with occasional irregularity,
+			// like real streams.
+			if rng.Intn(10) == 0 {
+				states[i] = 'R'
+			} else {
+				states[i] = letters[i%3]
+			}
+		}
+		st := NewStream("P", "S")
+		if err := st.Append(seqFromStates(string(states))...); err != nil {
+			return false
+		}
+		sl := int(sigLen%6) + 4 // signatures of 4..9 (index path)
+		if sl >= length-1 {
+			sl = length - 2
+		}
+		start := rng.Intn(length - sl)
+		sig := string(states[start : start+sl])
+
+		scan := st.FindWindows(sig)
+		st.EnableIndex()
+		indexed := st.FindWindows(sig)
+		return reflect.DeepEqual(scan, indexed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexStaysCurrentAcrossAppends(t *testing.T) {
+	st := NewStream("P", "S")
+	if err := st.Append(seqFromStates("EOIEOI")...); err != nil {
+		t.Fatal(err)
+	}
+	st.EnableIndex()
+	if !st.IndexEnabled() {
+		t.Fatal("index not enabled")
+	}
+	more := seqFromStates("EOIEOIE")
+	for i := range more {
+		more[i].T += 6
+	}
+	if err := st.Append(more...); err != nil {
+		t.Fatal(err)
+	}
+	got := st.FindWindows("EOIE")
+	// State string is EOIEOIEOIEOIE (13 vertices); sig EOIE at 0,3,6;
+	// 9+4+1 > 13 excludes 9... wait 9+4=13 needs vertex 13 (len 14): excluded.
+	fresh := NewStream("P", "S2")
+	if err := fresh.Append(seqFromStates("EOIEOIEOIEOIE")...); err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.FindWindows("EOIE")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("indexed after append = %v, scan of equivalent = %v", got, want)
+	}
+}
+
+func TestDBPatients(t *testing.T) {
+	db := NewDB()
+	p1, err := db.AddPatient(PatientInfo{ID: "P1", Class: "calm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddPatient(PatientInfo{ID: "P1"}); !errors.Is(err, ErrDuplicatePatient) {
+		t.Errorf("duplicate error = %v", err)
+	}
+	if _, err := db.AddPatient(PatientInfo{}); err == nil {
+		t.Error("empty ID should be rejected")
+	}
+	if db.Patient("P1") != p1 {
+		t.Error("Patient lookup failed")
+	}
+	if db.Patient("missing") != nil {
+		t.Error("missing patient should be nil")
+	}
+	if db.NumPatients() != 1 {
+		t.Errorf("NumPatients = %d", db.NumPatients())
+	}
+
+	s1 := p1.AddStream("S1")
+	s2 := p1.AddStream("S2")
+	if p1.StreamBySession("S2") != s2 {
+		t.Error("StreamBySession failed")
+	}
+	if p1.StreamBySession("nope") != nil {
+		t.Error("missing session should be nil")
+	}
+	if err := s1.Append(seqFromStates("EOI")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(seqFromStates("EOIE")...); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Streams()); got != 2 {
+		t.Errorf("Streams = %d, want 2", got)
+	}
+	if db.NumVertices() != 7 {
+		t.Errorf("NumVertices = %d, want 7", db.NumVertices())
+	}
+	db.EnableIndexes()
+	for _, st := range db.Streams() {
+		if !st.IndexEnabled() {
+			t.Error("EnableIndexes missed a stream")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := NewDB()
+	p, _ := db.AddPatient(PatientInfo{ID: "P1", Class: "deep", Age: 61, TumorSite: "lower-lobe"})
+	st := p.AddStream("P1-S01")
+	seq := seqFromStates("EOIEOIR")
+	for i := range seq {
+		seq[i].Pos = []float64{float64(i) * 1.5, -float64(i)}
+	}
+	if err := st.Append(seq...); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := back.Patient("P1")
+	if p2 == nil {
+		t.Fatal("patient lost in round trip")
+	}
+	if p2.Info != p.Info {
+		t.Errorf("info mismatch: %+v vs %+v", p2.Info, p.Info)
+	}
+	s2 := p2.StreamBySession("P1-S01")
+	if s2 == nil {
+		t.Fatal("stream lost")
+	}
+	got, want := s2.Seq(), st.Seq()
+	if len(got) != len(want) {
+		t.Fatalf("vertex count %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].T != want[i].T || got[i].State != want[i].State ||
+			!reflect.DeepEqual(got[i].Pos, want[i].Pos) {
+			t.Errorf("vertex %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nonsense")); err == nil {
+		t.Error("expected decode error")
+	}
+	bad := `{"patients":[{"info":{"id":"P1"},"streams":[{"sessionId":"s","vertices":[{"t":0,"pos":[1],"state":"WAT"}]}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("expected state parse error")
+	}
+}
+
+func TestStreamConcurrentReadsDuringAppend(t *testing.T) {
+	st := NewStream("P", "S")
+	st.EnableIndex()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			v := plr.Vertex{T: float64(i), Pos: []float64{0}, State: plr.State(i % 3)}
+			if err := st.Append(v); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			st.FindWindows("EOI")
+			st.Len()
+		}
+	}()
+	wg.Wait()
+	if st.Len() != 500 {
+		t.Errorf("Len = %d, want 500", st.Len())
+	}
+}

@@ -1,0 +1,177 @@
+// Package stsmatch is the public API of the structured-time-series
+// subsequence matching library, a from-scratch reproduction of
+//
+//	Wu, Salzberg, Sharp, Jiang, Shirato, Kaeli:
+//	"Subsequence Matching on Structured Time Series Data", SIGMOD 2005.
+//
+// The library models time series whose internal structure is described
+// by a finite set of linear states (the paper's driving example is
+// tumor respiratory motion in image-guided radiotherapy):
+//
+//   - raw samples are segmented online into a piecewise linear
+//     representation (PLR) guided by a finite state automaton
+//     (EX / EOE / IN / IRR);
+//   - PLR streams live in a hierarchical database
+//     (database -> patients -> session streams -> vertices);
+//   - query subsequences are generated dynamically from the most
+//     recent motion using subsequence stability;
+//   - retrieval uses a model-based, multi-layer, weighted, parametric
+//     distance (same state order required; amplitude, frequency,
+//     recency and source-stream weights);
+//   - retrieved matches drive online position prediction and offline
+//     stream/patient similarity, clustering and correlation discovery.
+//
+// Quick start:
+//
+//	seg, _ := stsmatch.NewSegmenter(stsmatch.DefaultSegmenterConfig())
+//	for _, s := range samples {
+//		vs, _ := seg.Push(s)
+//		_ = stream.Append(vs...)
+//	}
+//	matcher, _ := stsmatch.NewMatcher(db, stsmatch.DefaultParams())
+//	query, _ := matcher.Params.DynamicQuery(stream.Seq())
+//	pred, _ := matcher.Predict(stsmatch.NewQuery(query, "P01", "P01-S01"), 0.2, nil)
+//
+// See examples/ for complete programs and DESIGN.md for the mapping
+// from the paper's definitions to this implementation.
+package stsmatch
+
+import (
+	"stsmatch/internal/cluster"
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// Core time-series types (see internal/plr).
+type (
+	// State is a finite-state-model state (EX, EOE, IN, IRR).
+	State = plr.State
+	// Vertex is one PLR vertex: time, n-D position and segment state.
+	Vertex = plr.Vertex
+	// Sequence is an ordered list of PLR vertices.
+	Sequence = plr.Sequence
+	// Sample is one raw observation (time + n-D position).
+	Sample = plr.Sample
+	// Segment is the geometric description of one PLR line segment.
+	Segment = plr.Segment
+)
+
+// The four motion states.
+const (
+	EX  = plr.EX
+	EOE = plr.EOE
+	IN  = plr.IN
+	IRR = plr.IRR
+)
+
+// Segmentation (see internal/fsm).
+type (
+	// Segmenter converts raw samples into PLR vertices online.
+	Segmenter = fsm.Segmenter
+	// SegmenterConfig tunes the online segmenter.
+	SegmenterConfig = fsm.Config
+)
+
+// NewSegmenter builds an online segmenter.
+func NewSegmenter(cfg SegmenterConfig) (*Segmenter, error) { return fsm.New(cfg) }
+
+// DefaultSegmenterConfig returns the 30 Hz respiratory defaults.
+func DefaultSegmenterConfig() SegmenterConfig { return fsm.DefaultConfig() }
+
+// SegmentAll runs a whole sample slice through a fresh segmenter.
+func SegmentAll(cfg SegmenterConfig, samples []Sample) (Sequence, error) {
+	return fsm.SegmentAll(cfg, samples)
+}
+
+// Storage (see internal/store).
+type (
+	// DB is the hierarchical stream database.
+	DB = store.DB
+	// Patient is one patient record.
+	Patient = store.Patient
+	// PatientInfo is patient metadata.
+	PatientInfo = store.PatientInfo
+	// Stream is one session's PLR stream.
+	Stream = store.Stream
+)
+
+// NewDB creates an empty stream database.
+func NewDB() *DB { return store.NewDB() }
+
+// Matching, stability and prediction (see internal/core).
+type (
+	// Params holds every tunable of the similarity measure (Table 1).
+	Params = core.Params
+	// Query is a query subsequence with provenance.
+	Query = core.Query
+	// Match is one retrieved similar subsequence.
+	Match = core.Match
+	// Matcher runs similarity search and prediction over a DB.
+	Matcher = core.Matcher
+	// Prediction is a predicted future position.
+	Prediction = core.Prediction
+	// QueryInfo reports how a dynamic query was chosen.
+	QueryInfo = core.QueryInfo
+	// SourceRelation classifies candidate provenance.
+	SourceRelation = core.SourceRelation
+	// EvalOptions & EvalResult drive prediction-quality evaluation.
+	EvalOptions = core.EvalOptions
+	// EvalResult aggregates an evaluation sweep.
+	EvalResult = core.EvalResult
+)
+
+// The three source relations, most to least trusted.
+const (
+	SameSession  = core.SameSession
+	SamePatient  = core.SamePatient
+	OtherPatient = core.OtherPatient
+)
+
+// DefaultParams returns the Table 1 parameter settings.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewMatcher builds a matcher over the database.
+func NewMatcher(db *DB, p Params) (*Matcher, error) { return core.NewMatcher(db, p) }
+
+// NewQuery builds a query from the trailing subsequence of a stream.
+func NewQuery(seq Sequence, patientID, sessionID string) Query {
+	return core.NewQuery(seq, patientID, sessionID)
+}
+
+// FixedQuery returns the most recent fixed-length window (the baseline
+// strategy Figure 7a compares against dynamic generation).
+func FixedQuery(seq Sequence, cycles int) Sequence { return core.FixedQuery(seq, cycles) }
+
+// Offline analysis (see internal/cluster).
+type (
+	// ClusterConfig controls offline stream/patient distances.
+	ClusterConfig = cluster.Config
+	// Clustering is a clustering result.
+	Clustering = cluster.Clustering
+)
+
+// DefaultClusterConfig returns the offline-analysis defaults.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// StreamDistance computes the symmetric Definition 3 distance.
+func StreamDistance(r, s *Stream, cfg ClusterConfig) (float64, error) {
+	return cluster.StreamDistance(r, s, cfg)
+}
+
+// PatientDistance computes the Definition 4 distance.
+func PatientDistance(p1, p2 *Patient, cfg ClusterConfig) (float64, error) {
+	return cluster.PatientDistance(p1, p2, cfg)
+}
+
+// ClusterPatients computes the patient distance matrix and clusters it
+// into k groups with k-medoids, returning the clustering in patient
+// order.
+func ClusterPatients(db *DB, cfg ClusterConfig, k int, seed int64) (Clustering, error) {
+	m, err := cluster.PatientDistanceMatrix(db.Patients(), cfg)
+	if err != nil {
+		return Clustering{}, err
+	}
+	return cluster.KMedoids(m, k, seed)
+}

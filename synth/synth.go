@@ -1,0 +1,99 @@
+// Package synth exposes the synthetic structured-motion generators:
+// respiratory motion with the artifact families of the paper's
+// Figure 3 (amplitude/frequency drift, baseline shifts, cardiac and
+// spike noise, irregular episodes), plus the Section 6 generalization
+// signals (heartbeat, robot arm, tides) and whole-cohort generation.
+//
+// Downstream users of the library rarely have clinical tracking data;
+// these generators produce statistically faithful substitutes and are
+// what the examples, experiments and benchmarks run on.
+package synth
+
+import (
+	"stsmatch/internal/plr"
+	"stsmatch/internal/signal"
+)
+
+// Sample is one raw observation (time + n-D position); identical to
+// the root package's Sample.
+type Sample = plr.Sample
+
+// Re-exported generator types; see the corresponding internal/signal
+// documentation for field details.
+type (
+	// RespirationConfig parameterizes one breathing signal.
+	RespirationConfig = signal.RespirationConfig
+	// Respiration generates breathing motion samples.
+	Respiration = signal.Respiration
+	// TimeRange is a half-open [Start, End) interval in seconds.
+	TimeRange = signal.TimeRange
+	// HeartbeatConfig parameterizes a pulse train.
+	HeartbeatConfig = signal.HeartbeatConfig
+	// Heartbeat generates arterial-pressure-like pulses.
+	Heartbeat = signal.Heartbeat
+	// RobotArmConfig parameterizes a pick-and-place axis.
+	RobotArmConfig = signal.RobotArmConfig
+	// RobotArm generates trapezoidal move/dwell motion.
+	RobotArm = signal.RobotArm
+	// TideConfig parameterizes a tide-height series.
+	TideConfig = signal.TideConfig
+	// CohortConfig controls synthetic cohort generation.
+	CohortConfig = signal.CohortConfig
+	// PatientProfile describes one synthetic patient.
+	PatientProfile = signal.PatientProfile
+	// PatientData bundles a profile with generated sessions.
+	PatientData = signal.PatientData
+	// SessionData is one session's raw motion stream.
+	SessionData = signal.SessionData
+	// BreathingClass labels a patient's breathing behaviour.
+	BreathingClass = signal.BreathingClass
+)
+
+// The breathing classes of the synthetic cohort.
+const (
+	ClassCalm    = signal.ClassCalm
+	ClassDeep    = signal.ClassDeep
+	ClassRapid   = signal.ClassRapid
+	ClassErratic = signal.ClassErratic
+)
+
+// DefaultRespiration returns a clinically plausible breathing
+// configuration (15 mm SI motion at 30 Hz).
+func DefaultRespiration() RespirationConfig { return signal.DefaultRespiration() }
+
+// NewRespiration builds a seeded breathing generator.
+func NewRespiration(cfg RespirationConfig, seed int64) (*Respiration, error) {
+	return signal.NewRespiration(cfg, seed)
+}
+
+// DefaultHeartbeat returns a plausible resting pulse configuration.
+func DefaultHeartbeat() HeartbeatConfig { return signal.DefaultHeartbeat() }
+
+// NewHeartbeat builds a seeded pulse generator.
+func NewHeartbeat(cfg HeartbeatConfig, seed int64) (*Heartbeat, error) {
+	return signal.NewHeartbeat(cfg, seed)
+}
+
+// DefaultRobotArm returns a representative assembly-line axis.
+func DefaultRobotArm() RobotArmConfig { return signal.DefaultRobotArm() }
+
+// NewRobotArm builds a seeded robot-arm generator.
+func NewRobotArm(cfg RobotArmConfig, seed int64) (*RobotArm, error) {
+	return signal.NewRobotArm(cfg, seed)
+}
+
+// DefaultTide returns a representative coastal tide configuration.
+func DefaultTide() TideConfig { return signal.DefaultTide() }
+
+// GenerateTide produces duration seconds of tide heights.
+func GenerateTide(cfg TideConfig, duration float64, seed int64) []Sample {
+	return signal.GenerateTide(cfg, duration, seed)
+}
+
+// DefaultCohort returns the laptop-scale cohort configuration.
+func DefaultCohort() CohortConfig { return signal.DefaultCohort() }
+
+// GenerateCohort builds a full synthetic cohort deterministically.
+func GenerateCohort(cfg CohortConfig) ([]PatientData, error) {
+	return signal.GenerateCohort(cfg)
+}

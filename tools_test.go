@@ -1,0 +1,144 @@
+package stsmatch_test
+
+// End-to-end tests of the command-line tools: build the binaries once
+// and drive the documented pipeline (motiongen -> segmenter ->
+// predictd -> clusterpat) on a temporary directory.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	toolsOnce sync.Once
+	toolsDir  string
+	toolsErr  error
+)
+
+// buildTools compiles the CLI binaries once per test binary.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tool builds are slow for -short")
+	}
+	toolsOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "stsmatch-tools-")
+		if err != nil {
+			toolsErr = err
+			return
+		}
+		toolsDir = dir
+		for _, tool := range []string{"motiongen", "segmenter", "predictd", "clusterpat"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				toolsErr = err
+				t.Logf("building %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if toolsErr != nil {
+		t.Fatalf("building tools: %v", toolsErr)
+	}
+	return toolsDir
+}
+
+func runTool(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	dbPath := filepath.Join(work, "cohort.json")
+	binPath := filepath.Join(work, "cohort.bin")
+	rawDir := filepath.Join(work, "raw")
+
+	// 1. Generate a segmented cohort in both formats.
+	out := runTool(t, bin, "motiongen",
+		"-patients", "4", "-sessions", "2", "-dur", "45", "-o", dbPath)
+	if !strings.Contains(out, "4 patients") {
+		t.Errorf("motiongen output: %q", out)
+	}
+	runTool(t, bin, "motiongen",
+		"-patients", "4", "-sessions", "2", "-dur", "45", "-o", binPath)
+	ji, err := os.Stat(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := os.Stat(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Size() >= ji.Size() {
+		t.Errorf("binary format (%d B) not smaller than JSON (%d B)", bi.Size(), ji.Size())
+	}
+
+	// 2. Raw export + streaming segmentation.
+	runTool(t, bin, "motiongen", "-raw", "-dir", rawDir, "-patients", "2", "-sessions", "1", "-dur", "30")
+	if _, err := os.Stat(filepath.Join(rawDir, "manifest.csv")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	plrOut := filepath.Join(work, "p01.plr.csv")
+	segOut := runTool(t, bin, "segmenter",
+		"-in", filepath.Join(rawDir, "P01-S01.csv"), "-out", plrOut)
+	if !strings.Contains(segOut, "compression") {
+		t.Errorf("segmenter output: %q", segOut)
+	}
+	plrData, err := os.ReadFile(plrOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(plrData), "\n"); lines < 5 {
+		t.Errorf("PLR CSV has only %d lines", lines)
+	}
+
+	// 3. Online prediction replay on both database formats.
+	for _, db := range []string{dbPath, binPath} {
+		predOut := runTool(t, bin, "predictd", "-db", db, "-delta", "200ms", "-queries", "4")
+		if !strings.Contains(predOut, "mean") || !strings.Contains(predOut, "coverage") {
+			t.Errorf("predictd output for %s: %q", db, predOut)
+		}
+	}
+	// Adaptive mode.
+	adOut := runTool(t, bin, "predictd", "-db", dbPath, "-adapt", "0.8", "-queries", "4")
+	if !strings.Contains(adOut, "epsilon settled") {
+		t.Errorf("adaptive output: %q", adOut)
+	}
+
+	// 4. Offline clustering report.
+	clOut := runTool(t, bin, "clusterpat", "-db", dbPath, "-stride", "6", "-dendrogram")
+	for _, want := range []string{"k-medoids", "breathing class", "hierarchical"} {
+		if !strings.Contains(clOut, want) {
+			t.Errorf("clusterpat output missing %q:\n%s", want, clOut)
+		}
+	}
+}
+
+func TestCLIErrorHandling(t *testing.T) {
+	bin := buildTools(t)
+	// predictd on a missing database must fail with a nonzero exit.
+	cmd := exec.Command(filepath.Join(bin, "predictd"), "-db", "/nonexistent.json")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("missing database accepted: %s", out)
+	}
+	// segmenter on malformed input must fail.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,numbers,at,all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(filepath.Join(bin, "segmenter"), "-in", bad)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("malformed CSV accepted: %s", out)
+	}
+}
