@@ -8,15 +8,22 @@
 //
 //	motiongen -o cohort.json
 //	predictd -db cohort.json -delta 200ms -queries 20
+//
+// Output is structured (log/slog). With -pprof ADDR the run also
+// serves /debug/pprof/ and /metrics on ADDR for profiling long
+// replays; every run ends with a metrics summary (candidate pruning
+// counters, search latencies) from the shared registry.
 package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"time"
 
 	"stsmatch/internal/core"
+	"stsmatch/internal/obs"
 	"stsmatch/internal/store"
 )
 
@@ -28,16 +35,40 @@ func main() {
 	theta := flag.Float64("theta", core.DefaultParams().StabilityThreshold, "stability threshold")
 	verbose := flag.Bool("v", false, "print every prediction")
 	adapt := flag.Float64("adapt", 0, "adapt epsilon online to this target coverage (0 disables)")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof/ and /metrics on this address (empty disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		slog.Error("bad -log-level", slog.Any("err", err))
+		os.Exit(1)
+	}
+	obs.InitLogging(os.Stdout, level, false)
+	log := obs.Logger("predictd")
+	defer func() { log.Info("metrics summary", obs.SummaryAttrs(obs.Default())...) }()
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		obs.AttachPprof(mux)
+		mux.Handle("GET /metrics", obs.Default().Handler())
+		go func() {
+			ds := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := ds.ListenAndServe(); err != nil {
+				log.Warn("pprof server stopped", slog.Any("err", err))
+			}
+		}()
+		log.Info("pprof enabled", slog.String("addr", *pprofAddr))
+	}
 
 	f, err := os.Open(*dbPath)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	db, err := store.ReadAny(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	db.EnableIndexes()
 
@@ -46,7 +77,7 @@ func main() {
 	params.StabilityThreshold = *theta
 	m, err := core.NewMatcher(db, params)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 
 	opts := core.DefaultEvalOptions()
@@ -54,42 +85,50 @@ func main() {
 	opts.QueriesPerStream = *queries
 
 	if *adapt > 0 {
-		runAdaptive(m, delta.Seconds(), *queries, *adapt)
+		runAdaptive(log, m, delta.Seconds(), *queries, *adapt)
 		return
 	}
 	if *verbose {
-		runVerbose(m, delta.Seconds(), *queries)
+		runVerbose(log, m, delta.Seconds(), *queries)
 		return
 	}
 
 	start := time.Now()
 	res, err := m.Evaluate(opts)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	d := res.PerDelta[0]
-	fmt.Printf("database: %d patients, %d streams, %d vertices\n",
-		db.NumPatients(), len(db.Streams()), db.NumVertices())
-	fmt.Printf("horizon:  %v\n", *delta)
-	fmt.Printf("queries:  %d (%d predicted, coverage %.1f%%)\n",
-		d.Attempts, d.Predictions, 100*d.Coverage())
-	fmt.Printf("error:    mean %.3f mm, sd %.3f, max %.3f\n",
-		d.MeanError(), d.Err.StdDev(), d.Err.Max())
-	fmt.Printf("queries:  mean length %.1f vertices (%d/%d stable strips)\n",
-		res.QueryLen.Mean(), res.StableQueries, res.TotalQueries)
-	fmt.Printf("elapsed:  %.2fs total, %.2f ms per evaluation point\n",
-		time.Since(start).Seconds(),
-		1000*time.Since(start).Seconds()/float64(max(d.Attempts, 1)))
+	log.Info("database",
+		slog.Int("patients", db.NumPatients()),
+		slog.Int("streams", len(db.Streams())),
+		slog.Int("vertices", db.NumVertices()))
+	log.Info("evaluation",
+		slog.Duration("horizon", *delta),
+		slog.Int("attempts", d.Attempts),
+		slog.Int("predictions", d.Predictions),
+		slog.Float64("coveragePct", 100*d.Coverage()),
+		slog.Float64("meanErrorMM", d.MeanError()),
+		slog.Float64("sdErrorMM", d.Err.StdDev()),
+		slog.Float64("maxErrorMM", d.Err.Max()))
+	log.Info("queries",
+		slog.Float64("meanLenVertices", res.QueryLen.Mean()),
+		slog.Int("stable", res.StableQueries),
+		slog.Int("total", res.TotalQueries))
+	elapsed := time.Since(start).Seconds()
+	log.Info("timing",
+		slog.Float64("totalSeconds", elapsed),
+		slog.Float64("msPerEvalPoint", 1000*elapsed/float64(max(d.Attempts, 1))))
 }
 
 // runAdaptive replays the database with the online epsilon controller
 // (the paper's "dynamically adjust their values during online
 // procedures" future work) and reports where it settles.
-func runAdaptive(m *core.Matcher, delta float64, queries int, target float64) {
+func runAdaptive(log *slog.Logger, m *core.Matcher, delta float64, queries int, target float64) {
 	ctl, err := core.NewCoverageController(target, m.Params.DistThreshold,
 		m.Params.DistThreshold/8, m.Params.DistThreshold*4)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	var errSum float64
 	var predicted int
@@ -114,17 +153,22 @@ func runAdaptive(m *core.Matcher, delta float64, queries int, target float64) {
 			}
 		}
 	}
-	fmt.Printf("adaptive epsilon: target coverage %.0f%%, achieved %.1f%% over %d attempts\n",
-		100*target, 100*ctl.Coverage(), ctl.Attempts())
-	fmt.Printf("epsilon settled at %.2f (started %.2f)\n", ctl.Epsilon(), m.Params.DistThreshold)
+	log.Info("epsilon settled",
+		slog.Float64("targetCoveragePct", 100*target),
+		slog.Float64("achievedCoveragePct", 100*ctl.Coverage()),
+		slog.Int("attempts", ctl.Attempts()),
+		slog.Float64("epsilonSettled", ctl.Epsilon()),
+		slog.Float64("epsilonStart", m.Params.DistThreshold))
 	if predicted > 0 {
-		fmt.Printf("mean error %.3f mm over %d scored predictions\n", errSum/float64(predicted), predicted)
+		log.Info("adaptive accuracy",
+			slog.Float64("meanErrorMM", errSum/float64(predicted)),
+			slog.Int("scoredPredictions", predicted))
 	}
 }
 
-// runVerbose prints each prediction as it would stream during
+// runVerbose logs each prediction as it would stream during
 // treatment.
-func runVerbose(m *core.Matcher, delta float64, queries int) {
+func runVerbose(log *slog.Logger, m *core.Matcher, delta float64, queries int) {
 	for _, st := range m.DB.Streams() {
 		seq := st.Seq()
 		minCut := m.Params.MaxQueryVertices() + 2
@@ -139,16 +183,24 @@ func runVerbose(m *core.Matcher, delta float64, queries int) {
 			pred, err := m.Predict(q, delta, nil)
 			now := q.Now
 			truth, inside := seq.PositionAt(now + delta)
+			attrs := []any{
+				slog.String("session", st.SessionID),
+				slog.Float64("t", now),
+				slog.Int("queryVertices", len(qseq)),
+				slog.Bool("stable", info.Stable),
+			}
 			switch {
 			case err == core.ErrNoMatches:
-				fmt.Printf("%s t=%7.2fs query=%2dv stable=%-5v -> no prediction\n",
-					st.SessionID, now, len(qseq), info.Stable)
+				log.Info("no prediction", attrs...)
 			case err != nil:
-				fatal(err)
+				fatal(log, err)
 			case inside:
-				fmt.Printf("%s t=%7.2fs query=%2dv stable=%-5v -> pred %7.2f truth %7.2f err %5.2f mm (%d matches)\n",
-					st.SessionID, now, len(qseq), info.Stable, pred.Pos[0], truth[0],
-					abs(pred.Pos[0]-truth[0]), pred.NumMatches)
+				attrs = append(attrs,
+					slog.Float64("predictedMM", pred.Pos[0]),
+					slog.Float64("truthMM", truth[0]),
+					slog.Float64("errorMM", abs(pred.Pos[0]-truth[0])),
+					slog.Int("matches", pred.NumMatches))
+				log.Info("prediction", attrs...)
 			}
 		}
 	}
@@ -161,7 +213,7 @@ func abs(x float64) float64 {
 	return x
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "predictd:", err)
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", slog.Any("err", err))
 	os.Exit(1)
 }

@@ -11,25 +11,42 @@
 //	     -d '[{"t":0.0,"pos":[12.1]},{"t":0.033,"pos":[11.8]}]'
 //	curl 'localhost:8750/v1/sessions/live/predict?delta=200ms'
 //	curl localhost:8750/v1/stats
+//	curl localhost:8750/v1/healthz
+//	curl localhost:8750/metrics            # Prometheus text format
+//
+// With -pprof the daemon additionally serves net/http/pprof under
+// /debug/pprof/ on the same listener. The daemon shuts down gracefully
+// on SIGINT/SIGTERM, draining in-flight requests and logging how many
+// sessions were open.
 //
 // With -demo, streamd instead runs an in-process end-to-end demo
 // against its own API: it starts the server on the listen address,
-// streams a synthetic session in real-time order, and prints
-// predictions alongside the later-observed truth.
+// streams a synthetic session in real-time order, and logs
+// predictions alongside the later-observed truth, ending with a
+// metrics summary of the run.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"stsmatch/internal/core"
 	"stsmatch/internal/fsm"
+	"stsmatch/internal/obs"
 	"stsmatch/internal/server"
-	"stsmatch/internal/signal"
+	signalgen "stsmatch/internal/signal"
 	"stsmatch/internal/store"
 )
 
@@ -37,43 +54,92 @@ func main() {
 	listen := flag.String("listen", ":8750", "HTTP listen address")
 	dbPath := flag.String("db", "", "optional PLR database to preload as history")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalStartup(err)
+	}
+	obs.InitLogging(os.Stderr, level, *logJSON)
+	log := obs.Logger("streamd")
 
 	var db *store.DB
 	if *dbPath != "" {
 		f, err := os.Open(*dbPath)
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		db, err = store.ReadAny(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		db.EnableIndexes()
-		fmt.Printf("preloaded %d patients, %d vertices from %s\n",
-			db.NumPatients(), db.NumVertices(), *dbPath)
+		log.Info("preloaded history",
+			slog.String("path", *dbPath),
+			slog.Int("patients", db.NumPatients()),
+			slog.Int("vertices", db.NumVertices()))
 	}
 
 	srv, err := server.New(db, core.DefaultParams(), fsm.DefaultConfig())
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 
 	if *demo {
-		runDemo(srv)
+		runDemo(log, srv)
+		log.Info("metrics summary", obs.SummaryAttrs(obs.Default())...)
 		return
 	}
-	fmt.Printf("streamd listening on %s\n", *listen)
-	if err := http.ListenAndServe(*listen, srv); err != nil {
-		fatal(err)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	if *pprofOn {
+		obs.AttachPprof(mux)
+		log.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
 	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		open := srv.OpenSessions()
+		log.Info("shutting down",
+			slog.Int("openSessions", open),
+			slog.String("reason", "signal"))
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Warn("shutdown did not drain cleanly", slog.Any("err", err))
+		}
+		log.Info("drained", slog.Int("openSessions", open))
+	}()
+
+	log.Info("listening", slog.String("addr", *listen))
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fatal(log, err)
+	}
+	<-done
+	log.Info("metrics summary", obs.SummaryAttrs(obs.Default())...)
 }
 
 // runDemo drives the API in-process: ingest a synthetic session in
 // chunks and request a prediction after each chunk, comparing it with
 // what actually arrives next.
-func runDemo(h http.Handler) {
+func runDemo(log *slog.Logger, h http.Handler) {
 	call := func(method, path string, body any) (*http.Response, error) {
 		var buf bytes.Buffer
 		if body != nil {
@@ -93,12 +159,12 @@ func runDemo(h http.Handler) {
 	if _, err := call("POST", "/v1/sessions", server.CreateSessionRequest{
 		PatientID: "DEMO", SessionID: "demo-live",
 	}); err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 
-	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 42)
+	gen, err := signalgen.NewRespiration(signalgen.DefaultRespiration(), 42)
 	if err != nil {
-		fatal(err)
+		fatal(log, err)
 	}
 	samples := gen.Generate(90)
 	const chunk = 150 // ~5 s of data per ingest call
@@ -109,31 +175,65 @@ func runDemo(h http.Handler) {
 			batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
 		}
 		if _, err := call("POST", "/v1/sessions/demo-live/samples", batch); err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		resp, err := call("GET", "/v1/sessions/demo-live/predict?delta=200ms", nil)
 		if err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		now := samples[end-1].T
 		if resp.StatusCode != http.StatusOK {
-			fmt.Printf("t=%5.1fs  no prediction yet (%d)\n", now, resp.StatusCode)
+			log.Info("no prediction yet",
+				slog.Float64("t", now), slog.Int("status", resp.StatusCode))
 			continue
 		}
 		var pred server.PredictionResponse
 		if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
-			fatal(err)
+			fatal(log, err)
 		}
 		// Truth: the raw sample nearest now+200ms, if already generated.
 		truthIdx := end - 1 + 6 // 200 ms at 30 Hz
-		truthStr := "   (future unknown)"
-		if truthIdx < len(samples) {
-			truthStr = fmt.Sprintf("truth %6.2f mm", samples[truthIdx].Pos[0])
+		attrs := []any{
+			slog.Float64("t", now),
+			slog.String("predicted", fmt.Sprintf("%.2f mm", pred.Pos[0])),
+			slog.Int("matches", pred.NumMatches),
+			slog.Int("queryVertices", pred.QueryLen),
+			slog.Bool("stable", pred.Stable),
 		}
-		fmt.Printf("t=%5.1fs  predict(+200ms) %6.2f mm  %s  (%d matches, query %d vertices)\n",
-			now, pred.Pos[0], truthStr, pred.NumMatches, pred.QueryLen)
+		if truthIdx < len(samples) {
+			attrs = append(attrs,
+				slog.String("truth", fmt.Sprintf("%.2f mm", samples[truthIdx].Pos[0])))
+		}
+		log.Info("predict(+200ms)", attrs...)
 	}
-	fmt.Println("demo complete")
+
+	// Scrape the server's own /metrics endpoint to show the run's
+	// pipeline counters the way a Prometheus scrape would see them.
+	resp, err := call("GET", "/metrics", nil)
+	if err != nil {
+		fatal(log, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(log, err)
+	}
+	headline := []string{
+		"stsmatch_fsm_samples_total",
+		"stsmatch_fsm_vertices_total",
+		"stsmatch_matcher_index_pruned_total",
+		"stsmatch_matcher_candidates_scanned_total",
+		"stsmatch_matcher_matches_total",
+	}
+	attrs := []any{slog.Int("status", resp.StatusCode), slog.Int("bytes", len(body))}
+	for _, line := range strings.Split(string(body), "\n") {
+		for _, name := range headline {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				attrs = append(attrs, slog.String(name, rest))
+			}
+		}
+	}
+	log.Info("scraped /metrics", attrs...)
+	log.Info("demo complete")
 }
 
 // recorder is a minimal in-process ResponseWriter (httptest lives in
@@ -163,7 +263,12 @@ type readCloser struct{ *bytes.Buffer }
 
 func (readCloser) Close() error { return nil }
 
-func fatal(err error) {
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", slog.Any("err", err))
+	os.Exit(1)
+}
+
+func fatalStartup(err error) {
 	fmt.Fprintln(os.Stderr, "streamd:", err)
 	os.Exit(1)
 }

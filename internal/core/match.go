@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"stsmatch/internal/plr"
 	"stsmatch/internal/store"
@@ -99,8 +100,11 @@ func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error
 	if len(q.Seq) < 2 {
 		return nil, ErrTooShort
 	}
+	start := time.Now()
+	mSearches.Inc()
 	sig := q.Seq.StateSignature()
 	n := len(q.Seq)
+	mQueryLen.Observe(float64(n))
 	m.vw = m.Params.VertexWeights(m.vw, n)
 
 	var out []Match
@@ -113,6 +117,9 @@ func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error
 		var starts []int
 		if m.Params.RequireStateOrder {
 			starts = st.FindWindows(sig)
+			if possible := len(seq) - n + 1; possible > len(starts) {
+				mIndexPruned.Add(possible - len(starts))
+			}
 		} else {
 			// Ablation mode: every window of the query's length is a
 			// candidate, regardless of its state order.
@@ -120,11 +127,13 @@ func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error
 				starts = append(starts, j)
 			}
 		}
+		mCandidates.Add(len(starts))
 		for _, j := range starts {
 			cand := seq[j : j+n]
 			if rel == SameSession && cand[n-1].T >= q.Seq[0].T {
 				// Exclude the query itself and any window whose
 				// span overlaps the query's present.
+				mSelfExcluded.Inc()
 				continue
 			}
 			// Early abandonment: the acceptance threshold bounds the
@@ -137,21 +146,22 @@ func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error
 			if err != nil {
 				return nil, err
 			}
-			if !within && bound > 0 {
+			if (!within && bound > 0) || d > m.Params.DistThreshold {
+				mDistanceRejected.Inc()
 				continue
 			}
-			if d <= m.Params.DistThreshold {
-				out = append(out, Match{
-					Stream:   st,
-					Start:    j,
-					N:        n,
-					Relation: rel,
-					Distance: d,
-					Weight:   m.Params.StreamWeight(rel) / (1 + d),
-				})
-			}
+			out = append(out, Match{
+				Stream:   st,
+				Start:    j,
+				N:        n,
+				Relation: rel,
+				Distance: d,
+				Weight:   m.Params.StreamWeight(rel) / (1 + d),
+			})
 		}
 	}
+	mMatched.Add(len(out))
+	mSearchSeconds.Observe(time.Since(start).Seconds())
 	sort.Slice(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
 	return out, nil
 }

@@ -1,0 +1,34 @@
+package core
+
+import "stsmatch/internal/obs"
+
+// Matching-pipeline metrics. The pruning funnel reads top to bottom:
+// of all windows a stream could offer, candidates_scanned survive the
+// state-order filter (index_pruned did not), self_excluded overlap the
+// query's own present, distance_rejected exceed the threshold or were
+// abandoned early, and matches_total are returned. A healthy index
+// keeps candidates_scanned a small fraction of candidates_scanned +
+// index_pruned.
+var (
+	mSearches = obs.Default().Counter("stsmatch_matcher_searches_total",
+		"FindSimilar invocations.")
+	mCandidates = obs.Default().Counter("stsmatch_matcher_candidates_scanned_total",
+		"Candidate windows that passed the state-order filter and reached distance evaluation.")
+	mIndexPruned = obs.Default().Counter("stsmatch_matcher_index_pruned_total",
+		"Windows eliminated by the state-order (n-gram index) filter before any distance work.")
+	mSelfExcluded = obs.Default().Counter("stsmatch_matcher_self_excluded_total",
+		"Candidate windows excluded for overlapping the query's own present.")
+	mDistanceRejected = obs.Default().Counter("stsmatch_matcher_distance_rejected_total",
+		"Candidate windows rejected by the weighted distance threshold (including early abandonment).")
+	mMatched = obs.Default().Counter("stsmatch_matcher_matches_total",
+		"Candidate windows accepted as matches.")
+	mQueryLen = obs.Default().Histogram("stsmatch_matcher_query_vertices",
+		"Query length in vertices per search.",
+		[]float64{2, 4, 7, 10, 13, 16, 19, 22, 25, 31})
+	mSearchSeconds = obs.Default().Histogram("stsmatch_matcher_search_seconds",
+		"FindSimilar wall time in seconds.", obs.DefLatencyBuckets)
+	mStableQueries = obs.Default().Counter("stsmatch_query_stable_total",
+		"Dynamic queries whose stability strip halted on a stable window.")
+	mUnstableQueries = obs.Default().Counter("stsmatch_query_unstable_total",
+		"Dynamic queries that hit the maximum length still unstable.")
+)

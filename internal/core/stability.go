@@ -88,7 +88,9 @@ func (p Params) DynamicQuery(seq plr.Sequence) (plr.Sequence, QueryInfo) {
 	n := len(seq)
 	if n <= minV {
 		sigma := p.Stability(seq)
-		return seq, QueryInfo{Start: 0, Stable: sigma <= p.StabilityThreshold, StripStability: sigma}
+		stable := sigma <= p.StabilityThreshold
+		countStability(stable)
+		return seq, QueryInfo{Start: 0, Stable: stable, StripStability: sigma}
 	}
 
 	stripLen := minV
@@ -108,10 +110,21 @@ func (p Params) DynamicQuery(seq plr.Sequence) (plr.Sequence, QueryInfo) {
 		}
 		start--
 	}
+	stable := sigma <= p.StabilityThreshold
+	countStability(stable)
 	return seq[start:], QueryInfo{
 		Start:          start,
-		Stable:         sigma <= p.StabilityThreshold,
+		Stable:         stable,
 		StripStability: sigma,
+	}
+}
+
+// countStability feeds the stable/unstable dynamic-query counters.
+func countStability(stable bool) {
+	if stable {
+		mStableQueries.Inc()
+	} else {
+		mUnstableQueries.Inc()
 	}
 }
 

@@ -180,6 +180,8 @@ type Segmenter struct {
 	ampStats     [plr.NumStates]stats.Welford
 	segsEmitted  int
 	samplesSeen  int
+	transitions  int
+	irrEntries   int
 	pendingState plr.State
 	pendingSince float64
 	havePending  bool
@@ -205,6 +207,12 @@ func (s *Segmenter) SamplesSeen() int { return s.samplesSeen }
 // SegmentsEmitted returns the number of vertices emitted so far.
 func (s *Segmenter) SegmentsEmitted() int { return s.segsEmitted }
 
+// StateTransitions returns the number of committed state transitions.
+func (s *Segmenter) StateTransitions() int { return s.transitions }
+
+// IRREntries returns how many times the automaton entered IRR.
+func (s *Segmenter) IRREntries() int { return s.irrEntries }
+
 // CurrentState returns the state of the segment currently being built.
 func (s *Segmenter) CurrentState() plr.State { return s.curState }
 
@@ -220,6 +228,7 @@ func (s *Segmenter) Push(sm plr.Sample) ([]plr.Vertex, error) {
 		return nil, fmt.Errorf("fsm: non-increasing sample time %v after %v", sm.T, s.lastRaw.T)
 	}
 	s.samplesSeen++
+	mSamples.Inc()
 
 	y := sm.Pos[s.cfg.PrimaryDim]
 
@@ -235,6 +244,7 @@ func (s *Segmenter) Push(sm plr.Sample) ([]plr.Vertex, error) {
 		if jump > limit && s.spikeHolds < maxSpikeHold {
 			y = s.lastGoodY
 			s.spikeHolds++
+			mSpikeRejects.Inc()
 		} else {
 			s.spikeHolds = 0
 		}
@@ -372,6 +382,9 @@ func (s *Segmenter) transition(obs plr.State, at plr.Sample) (plr.Vertex, bool) 
 	s.segStart = boundary.Clone()
 	s.segStartT = boundary.T
 	s.segsEmitted++
+	s.transitions++
+	mTransitions.Inc()
+	mVertices.Inc()
 	return v, true
 }
 
@@ -461,6 +474,10 @@ func (s *Segmenter) segmentAnomalous(end plr.Sample) bool {
 }
 
 func (s *Segmenter) enterIRR() {
+	if !s.irr {
+		s.irrEntries++
+		mIRREntries.Inc()
+	}
 	s.irr = true
 	s.cleanStreak = 0
 }
@@ -503,6 +520,7 @@ func (s *Segmenter) Flush() []plr.Vertex {
 	if s.lastRaw.T > s.segStart.T {
 		out = append(out, plr.Vertex{T: s.lastRaw.T, Pos: s.lastRaw.Pos, State: s.effectiveState()})
 	}
+	mVertices.Add(len(out))
 	return out
 }
 

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics instruments an HTTP service: per-route request counts by
+// status class, per-route latency histograms, and an in-flight gauge.
+type HTTPMetrics struct {
+	Requests *CounterVec   // labels: route, code (status class "2xx".."5xx")
+	Latency  *HistogramVec // labels: route
+	InFlight *Gauge
+}
+
+// NewHTTPMetrics registers the standard HTTP metric families on r
+// under the given prefix (e.g. "stsmatch"). Calling it twice with the
+// same registry and prefix returns handles to the same metrics.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		Latency: r.HistogramVec(prefix+"_http_request_seconds",
+			"HTTP request latency in seconds, by route.", DefLatencyBuckets, "route"),
+		InFlight: r.Gauge(prefix+"_http_in_flight",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// Wrap instruments one route: requests count under the given route
+// label, latency is observed on completion, and the in-flight gauge
+// tracks concurrent handlers.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.InFlight.Inc()
+		defer m.InFlight.Dec()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.Requests.With(route, statusClass(rec.code)).Inc()
+		m.Latency.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ridPrefix makes request IDs unique across process restarts.
+var ridPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var ridCounter atomic.Uint64
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridCounter.Add(1))
+}
+
+// RequestID propagates (or assigns) an X-Request-Id header, storing
+// the ID in the request context and echoing it on the response so a
+// client can correlate its call with the server's logs.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// RequestIDFrom returns the request ID stored by the RequestID
+// middleware, or "" when none is present.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// AccessLog logs one line per request. Successful requests log at
+// debug (so steady-state traffic stays quiet at the default level);
+// server errors log at warn.
+func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.code),
+			slog.Duration("dur", time.Since(start)),
+			slog.String("requestId", RequestIDFrom(r.Context())),
+		}
+		if rec.code >= 500 {
+			log.Warn("request", attrs...)
+		} else {
+			log.Debug("request", attrs...)
+		}
+	})
+}
+
+// AttachPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/, plus the expvar JSON dump at /debug/vars (expvar
+// only self-registers on http.DefaultServeMux, which daemons here
+// never serve), for daemons that opt in via a -pprof flag. The
+// handlers are deliberately not registered by default: debug
+// endpoints should not be reachable unless asked for.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}

@@ -1,0 +1,36 @@
+package server
+
+import "stsmatch/internal/obs"
+
+// serverMetrics bundles the server's handles into the shared default
+// registry. Registration is idempotent, so every Server in a process
+// (tests start many) shares the same underlying metrics.
+type serverMetrics struct {
+	http         *obs.HTTPMetrics
+	sessionsOpen *obs.Gauge
+	samplesIn    *obs.Counter
+	verticesOut  *obs.Counter
+	predictions  *obs.CounterVec // outcome: ok, no_matches, insufficient_history, error
+	lockWait     *obs.Histogram
+	predictWork  *obs.Histogram
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		http: obs.NewHTTPMetrics(r, "stsmatch"),
+		sessionsOpen: r.Gauge("stsmatch_sessions_open",
+			"Ingestion sessions currently open."),
+		samplesIn: r.Counter("stsmatch_server_samples_in_total",
+			"Raw samples accepted by the ingestion API."),
+		verticesOut: r.Counter("stsmatch_server_vertices_out_total",
+			"PLR vertices appended to live session streams."),
+		predictions: r.CounterVec("stsmatch_server_predictions_total",
+			"Prediction requests by outcome.", "outcome"),
+		lockWait: r.Histogram("stsmatch_server_lock_wait_seconds",
+			"Time handlers spent waiting for the server session lock (contention).",
+			obs.DefLatencyBuckets),
+		predictWork: r.Histogram("stsmatch_server_predict_seconds",
+			"Similarity search plus prediction wall time, outside the session lock.",
+			obs.DefLatencyBuckets),
+	}
+}

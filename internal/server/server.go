@@ -14,18 +14,26 @@
 //	GET  /v1/sessions/{sid}/predict?delta=200ms                   -> prediction
 //	GET  /v1/sessions/{sid}/plr                                   -> current PLR
 //	GET  /v1/stats                                                -> database stats
+//	GET  /v1/healthz                                              -> liveness + uptime
+//	GET  /metrics                                                 -> Prometheus text format
+//
+// Every route is instrumented through internal/obs: request counts by
+// status class, latency histograms, an in-flight gauge, and
+// request-ID-tagged access logs.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"stsmatch/internal/core"
 	"stsmatch/internal/fsm"
+	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
 	"stsmatch/internal/store"
 )
@@ -38,6 +46,17 @@ type Server struct {
 	segCfg   fsm.Config
 	sessions map[string]*session
 	mux      *http.ServeMux
+	handler  http.Handler
+	log      *slog.Logger
+	met      *serverMetrics
+	start    time.Time
+
+	// matchers pools core.Matcher instances (one in flight per
+	// prediction; a Matcher carries scratch buffers and is not safe for
+	// concurrent use). The matchers wrap the server's live *store.DB,
+	// so they never go stale as sessions append — no per-request
+	// construction and, crucially, no similarity search under s.mu.
+	matchers sync.Pool
 }
 
 // session is one live ingestion stream.
@@ -70,17 +89,49 @@ func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
 		segCfg:   segCfg,
 		sessions: make(map[string]*session),
 		mux:      http.NewServeMux(),
+		log:      obs.Logger("server"),
+		met:      newServerMetrics(obs.Default()),
+		start:    time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	s.mux.HandleFunc("POST /v1/sessions/{sid}/samples", s.handleSamples)
-	s.mux.HandleFunc("GET /v1/sessions/{sid}/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/sessions/{sid}/plr", s.handlePLR)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.matchers.New = func() any {
+		// params were validated above; the error path is unreachable.
+		m, _ := core.NewMatcher(s.db, s.params)
+		return m
+	}
+	s.route("POST /v1/sessions", "create_session", s.handleCreateSession)
+	s.route("POST /v1/sessions/{sid}/samples", "ingest_samples", s.handleSamples)
+	s.route("GET /v1/sessions/{sid}/predict", "predict", s.handlePredict)
+	s.route("GET /v1/sessions/{sid}/plr", "plr", s.handlePLR)
+	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", obs.Default().Handler())
+	s.handler = obs.RequestID(obs.AccessLog(s.log, s.mux))
 	return s, nil
 }
 
+// route registers a handler wrapped with per-route instrumentation.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.met.http.Wrap(name, h))
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// OpenSessions returns the number of currently open ingestion
+// sessions (used by daemons for shutdown reporting).
+func (s *Server) OpenSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// lock acquires the session lock, recording how long the caller
+// waited — the contention signal for the ingestion/prediction paths.
+func (s *Server) lock() {
+	start := time.Now()
+	s.mu.Lock()
+	s.met.lockWait.Observe(time.Since(start).Seconds())
+}
 
 // httpError writes a JSON error body.
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -111,7 +162,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("patientId and sessionId are required"))
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	if _, exists := s.sessions[req.SessionID]; exists {
 		httpError(w, http.StatusConflict, fmt.Errorf("session %q already open", req.SessionID))
@@ -143,6 +194,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		seg:       seg,
 		stream:    st,
 	}
+	s.met.sessionsOpen.Set(int64(len(s.sessions)))
+	s.log.Info("session opened",
+		slog.String("patientId", req.PatientID),
+		slog.String("sessionId", req.SessionID),
+		slog.String("requestId", obs.RequestIDFrom(r.Context())))
 	writeJSON(w, http.StatusCreated, map[string]string{
 		"patientId": req.PatientID,
 		"sessionId": req.SessionID,
@@ -170,7 +226,7 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding samples: %w", err))
 		return
 	}
-	s.mu.Lock()
+	s.lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[sid]
 	if !ok {
@@ -194,6 +250,8 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		resp.Accepted++
 		resp.NewVertices += len(vs)
 	}
+	s.met.samplesIn.Add(resp.Accepted)
+	s.met.verticesOut.Add(resp.NewVertices)
 	resp.TotalSamples = sess.samples
 	resp.CurrentState = sess.seg.CurrentState().String()
 	writeJSON(w, http.StatusOK, resp)
@@ -220,27 +278,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad delta %q", deltaStr))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+
+	// Snapshot the session under the lock, then run the expensive
+	// similarity search and prediction outside it so concurrent
+	// ingestion is never blocked behind a search.
+	s.lock()
 	sess, ok := s.sessions[sid]
 	if !ok {
+		s.mu.Unlock()
 		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
 		return
 	}
+	patientID, sessionID := sess.patientID, sess.sessionID
+	lastT := sess.lastT
+	lastPos := append([]float64(nil), sess.lastPos...)
 	seq := sess.stream.Seq()
+	s.mu.Unlock()
+
 	if len(seq) < 2 {
+		s.met.predictions.With("insufficient_history").Inc()
 		httpError(w, http.StatusConflict, errors.New("not enough segmented history yet"))
 		return
 	}
 	qseq, info := s.params.DynamicQuery(seq)
-	q := core.NewQuery(qseq, sess.patientID, sess.sessionID)
-	matcher, err := core.NewMatcher(s.db, s.params)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
+	q := core.NewQuery(qseq, patientID, sessionID)
+	matcher := s.matchers.Get().(*core.Matcher)
+	defer s.matchers.Put(matcher)
+	work := time.Now()
 	matches, err := matcher.FindSimilar(q, nil)
 	if err != nil {
+		s.met.predictions.With("error").Inc()
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -248,20 +315,23 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// PLR vertex (which can lag it by most of a segment): predict the
 	// displacement from the observation time to observation+delta and
 	// add it to the observed position.
-	d1 := sess.lastT - q.Now
+	d1 := lastT - q.Now
 	d2 := d1 + delta.Seconds()
 	disp, err := matcher.PredictDisplacement(q, matches, d1, d2, 0)
+	s.met.predictWork.Observe(time.Since(work).Seconds())
 	if errors.Is(err, core.ErrNoMatches) {
+		s.met.predictions.With("no_matches").Inc()
 		httpError(w, http.StatusConflict, err)
 		return
 	}
 	if err != nil {
+		s.met.predictions.With("error").Inc()
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	pos := make([]float64, len(disp))
 	for k := range pos {
-		pos[k] = sess.lastPos[k] + disp[k]
+		pos[k] = lastPos[k] + disp[k]
 	}
 	var meanDist float64
 	for _, mt := range matches {
@@ -270,6 +340,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if len(matches) > 0 {
 		meanDist /= float64(len(matches))
 	}
+	s.met.predictions.With("ok").Inc()
 	writeJSON(w, http.StatusOK, PredictionResponse{
 		Pos:        pos,
 		DeltaMS:    float64(delta.Milliseconds()),
@@ -288,9 +359,9 @@ type PLRResponse struct {
 
 func (s *Server) handlePLR(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("sid")
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lock()
 	sess, ok := s.sessions[sid]
+	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
 		return
@@ -311,13 +382,29 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	open := len(s.sessions)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Patients:     s.db.NumPatients(),
 		Streams:      len(s.db.Streams()),
 		Vertices:     s.db.NumVertices(),
-		OpenSessions: open,
+		OpenSessions: s.OpenSessions(),
+	})
+}
+
+// HealthzResponse is the liveness payload.
+type HealthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Patients      int     `json:"patients"`
+	Vertices      int     `json:"vertices"`
+	OpenSessions  int     `json:"openSessions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Patients:      s.db.NumPatients(),
+		Vertices:      s.db.NumVertices(),
+		OpenSessions:  s.OpenSessions(),
 	})
 }

@@ -1,0 +1,15 @@
+package store
+
+import "stsmatch/internal/obs"
+
+// Process-wide database gauges. They aggregate over every DB in the
+// process (daemons run exactly one), tracking the size of the
+// hierarchical store as sessions are ingested or loaded.
+var (
+	mPatients = obs.Default().Gauge("stsmatch_store_patients",
+		"Patient records registered in the stream database.")
+	mStreams = obs.Default().Gauge("stsmatch_store_streams",
+		"Session streams registered in the stream database.")
+	mVertices = obs.Default().Gauge("stsmatch_store_vertices",
+		"PLR vertices stored across all streams.")
+)

@@ -67,6 +67,7 @@ func (s *Stream) Append(vs ...plr.Vertex) error {
 		if s.index != nil {
 			s.index.extend(s.stateStr)
 		}
+		mVertices.Inc()
 	}
 	return nil
 }
@@ -160,6 +161,7 @@ type Patient struct {
 func (p *Patient) AddStream(sessionID string) *Stream {
 	st := NewStream(p.Info.ID, sessionID)
 	p.Streams = append(p.Streams, st)
+	mStreams.Inc()
 	return st
 }
 
@@ -202,6 +204,7 @@ func (db *DB) AddPatient(info PatientInfo) (*Patient, error) {
 	p := &Patient{Info: info}
 	db.patients = append(db.patients, p)
 	db.byID[info.ID] = p
+	mPatients.Inc()
 	return p, nil
 }
 

@@ -149,6 +149,40 @@ func TestIndexStaysCurrentAcrossAppends(t *testing.T) {
 	}
 }
 
+// TestIndexFreshAfterDBEnableIndexes guards the live-ingestion path:
+// DB.EnableIndexes() runs once at preload time, and every vertex
+// appended afterwards must still be found through the index.
+func TestIndexFreshAfterDBEnableIndexes(t *testing.T) {
+	db := NewDB()
+	p, err := db.AddPatient(PatientInfo{ID: "P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S")
+	if err := st.Append(seqFromStates("EOIEOIEOI")...); err != nil {
+		t.Fatal(err)
+	}
+	db.EnableIndexes()
+
+	// Append a suffix whose signature appears nowhere in the prefix.
+	more := seqFromStates("EEOOI")
+	for i := range more {
+		more[i].T += 9
+	}
+	if err := st.Append(more...); err != nil {
+		t.Fatal(err)
+	}
+	got := st.FindWindows("EEOO") // needs vertices 9..13: only in the suffix
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("FindWindows after post-EnableIndexes append = %v, want [9]", got)
+	}
+	// And the indexed result must agree with a brute-force scan.
+	want := scanWindows([]byte("EOIEOIEOIEEOOI"), "EEOO", st.Len()-4-1)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("indexed = %v, scan = %v", got, want)
+	}
+}
+
 func TestDBPatients(t *testing.T) {
 	db := NewDB()
 	p1, err := db.AddPatient(PatientInfo{ID: "P1", Class: "calm"})
