@@ -4,6 +4,8 @@
 // as they are imaged, and polls predictions.
 //
 //	streamd -listen :8750 -db cohort.json     # preload history
+//	streamd -data-dir /var/lib/stsmatch \
+//	        -fsync 50ms -snapshot-every 5m    # durable: WAL + snapshots
 //
 //	curl -X POST localhost:8750/v1/sessions \
 //	     -d '{"patientId":"P01","sessionId":"live"}'
@@ -14,10 +16,16 @@
 //	curl localhost:8750/v1/healthz
 //	curl localhost:8750/metrics            # Prometheus text format
 //
+// With -data-dir the daemon journals every mutation to a write-ahead
+// log and periodically compacts it into snapshots; on restart it
+// recovers the database and resumes the sessions that were open. The
+// -fsync flag sets the group-commit interval (0 = fsync every append)
+// and bounds how much acknowledged data a hard crash can lose.
+//
 // With -pprof the daemon additionally serves net/http/pprof under
 // /debug/pprof/ on the same listener. The daemon shuts down gracefully
-// on SIGINT/SIGTERM, draining in-flight requests and logging how many
-// sessions were open.
+// on SIGINT/SIGTERM, draining in-flight requests, then flushing the
+// WAL and writing a final snapshot so no in-memory state is lost.
 //
 // With -demo, streamd instead runs an in-process end-to-end demo
 // against its own API: it starts the server on the listen address,
@@ -53,6 +61,9 @@ import (
 func main() {
 	listen := flag.String("listen", ":8750", "HTTP listen address")
 	dbPath := flag.String("db", "", "optional PLR database to preload as history")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
+	fsyncEvery := flag.Duration("fsync", 50*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic WAL compaction into snapshots (0 = only on shutdown)")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -84,13 +95,26 @@ func main() {
 			slog.Int("vertices", db.NumVertices()))
 	}
 
-	srv, err := server.New(db, core.DefaultParams(), fsm.DefaultConfig())
+	srv, err := server.NewWithOptions(db, core.DefaultParams(), fsm.DefaultConfig(), server.Options{
+		DataDir:       *dataDir,
+		FsyncInterval: *fsyncEvery,
+		SnapshotEvery: *snapshotEvery,
+	})
 	if err != nil {
 		fatal(log, err)
+	}
+	if *dataDir != "" {
+		log.Info("durability enabled",
+			slog.String("dataDir", *dataDir),
+			slog.Duration("fsync", *fsyncEvery),
+			slog.Duration("snapshotEvery", *snapshotEvery))
 	}
 
 	if *demo {
 		runDemo(log, srv)
+		if err := srv.Close(); err != nil {
+			log.Error("persisting state", slog.Any("err", err))
+		}
 		log.Info("metrics summary", obs.SummaryAttrs(obs.Default())...)
 		return
 	}
@@ -124,6 +148,13 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			log.Warn("shutdown did not drain cleanly", slog.Any("err", err))
+		}
+		// Persist after the drain: flush the WAL and write a final
+		// snapshot so a configured data dir loses nothing on restart.
+		if err := srv.Close(); err != nil {
+			log.Error("persisting state on shutdown", slog.Any("err", err))
+		} else if *dataDir != "" {
+			log.Info("state persisted", slog.String("dataDir", *dataDir))
 		}
 		log.Info("drained", slog.Int("openSessions", open))
 	}()

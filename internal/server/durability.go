@@ -1,0 +1,289 @@
+// Durability wiring: the server opens/recovers the write-ahead log at
+// construction, replays it into the live database, resumes the
+// sessions that were open at the crash (fresh segmenters re-primed
+// from the recovered PLR tail), journals every subsequent mutation
+// through the store's mutation hook, and snapshots periodically plus
+// on graceful shutdown.
+
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/store"
+	"stsmatch/internal/wal"
+)
+
+// Options configures the server's durability subsystem. The zero
+// value disables it (fully in-memory, the pre-durability behavior).
+type Options struct {
+	// DataDir enables durability: WAL segments and snapshots live
+	// here. Empty disables the subsystem entirely.
+	DataDir string
+
+	// FsyncInterval is the WAL group-commit interval. Ingestion
+	// responses are acknowledged as soon as records are buffered, so a
+	// crash loses at most one interval of samples. Zero fsyncs every
+	// append (durable before ack, slower).
+	FsyncInterval time.Duration
+
+	// SnapshotEvery compacts the WAL into a snapshot on this period.
+	// Zero snapshots only on graceful shutdown.
+	SnapshotEvery time.Duration
+
+	// SegmentMaxBytes overrides the WAL segment rotation size
+	// (0 = wal default).
+	SegmentMaxBytes int64
+}
+
+// durability is the server's handle on the WAL subsystem.
+type durability struct {
+	log      *wal.Log
+	recovery *wal.RecoveryResult
+	dataDir  string
+	resumed  int
+
+	lastErr  atomic.Value // string: sticky append-failure note for healthz
+	snapStop chan struct{}
+	snapDone chan struct{}
+	stopOnce sync.Once
+}
+
+// openDurability recovers (or initializes) the data dir, installs the
+// recovered database as s.db, rebuilds open sessions, and hooks the
+// store so every further mutation is journaled.
+func (s *Server) openDurability(initial *store.DB, opts Options) error {
+	log, res, err := wal.Open(wal.Options{
+		Dir:             opts.DataDir,
+		FsyncInterval:   opts.FsyncInterval,
+		SegmentMaxBytes: opts.SegmentMaxBytes,
+	}, initial)
+	if err != nil {
+		return fmt.Errorf("server: opening WAL: %w", err)
+	}
+	d := &durability{log: log, recovery: res, dataDir: opts.DataDir}
+	s.db = res.DB
+	if !res.Fresh {
+		s.db.EnableIndexes()
+		if initial != nil && initial.NumPatients() > 0 {
+			s.log.Warn("data dir holds recovered state; preloaded database ignored",
+				slog.String("dataDir", opts.DataDir))
+		}
+		s.log.Info("recovered from data dir",
+			slog.String("dataDir", opts.DataDir),
+			slog.Uint64("snapshotLsn", res.SnapshotLSN),
+			slog.Uint64("recordsReplayed", res.RecordsReplayed),
+			slog.Uint64("recordsTruncated", res.RecordsTruncated),
+			slog.Int64("bytesTruncated", res.BytesTruncated),
+			slog.Int("patients", s.db.NumPatients()),
+			slog.Int("vertices", s.db.NumVertices()),
+			slog.Duration("took", res.Duration))
+	}
+
+	// Resume the sessions that were open at the crash: the stream (and
+	// its vertices) came back via snapshot+replay; the segmenter is
+	// fresh and re-primed from the PLR tail.
+	for _, ss := range res.Sessions {
+		if err := s.resumeSession(ss); err != nil {
+			s.log.Warn("could not resume session",
+				slog.String("sessionId", ss.SessionID), slog.Any("err", err))
+			continue
+		}
+		d.resumed++
+	}
+	s.met.sessionsOpen.Set(int64(len(s.sessions)))
+
+	s.db.SetMutationHook(s.onMutation)
+	s.wal = d
+	if opts.SnapshotEvery > 0 {
+		d.snapStop = make(chan struct{})
+		d.snapDone = make(chan struct{})
+		go s.snapshotLoop(opts.SnapshotEvery)
+	}
+	return nil
+}
+
+// resumeSession rebuilds one live session from its recovered state.
+func (s *Server) resumeSession(ss wal.SessionState) error {
+	p := s.db.Patient(ss.PatientID)
+	if p == nil {
+		return fmt.Errorf("recovered session references unknown patient %q", ss.PatientID)
+	}
+	st := p.StreamBySession(ss.SessionID)
+	if st == nil {
+		return fmt.Errorf("recovered session references unknown stream %q", ss.SessionID)
+	}
+	seg, err := fsm.New(s.segCfg)
+	if err != nil {
+		return err
+	}
+	seq := st.Seq()
+	if err := seg.Prime(seq); err != nil {
+		return err
+	}
+	sess := &session{
+		patientID: ss.PatientID,
+		sessionID: ss.SessionID,
+		seg:       seg,
+		stream:    st,
+		samples:   int(ss.Samples),
+		lastT:     ss.LastT,
+		lastPos:   append([]float64(nil), ss.LastPos...),
+		resumed:   true,
+	}
+	if n := len(seq); n > 0 {
+		sess.resumedAt = seq[n-1].T
+		// The anchor record can lag the last replayed vertex when the
+		// crash clipped the final anchor; never resume behind the PLR.
+		if sess.lastT < seq[n-1].T {
+			sess.lastT = seq[n-1].T
+			sess.lastPos = append([]float64(nil), seq[n-1].Pos...)
+		}
+	}
+	s.sessions[ss.SessionID] = sess
+	return nil
+}
+
+// onMutation is the store hook: translate each mutation into a WAL
+// record. Append errors are sticky in the log; the server keeps
+// serving (availability over durability) and surfaces the degradation
+// in /v1/healthz and the error log.
+func (s *Server) onMutation(m store.Mutation) {
+	var rec wal.Record
+	switch m.Kind {
+	case store.MutPatientUpsert:
+		rec = wal.Record{Type: wal.TypePatientUpsert, Patient: m.Patient}
+	case store.MutStreamOpen:
+		rec = wal.Record{Type: wal.TypeStreamOpen, PatientID: m.PatientID, SessionID: m.SessionID}
+	case store.MutVertexAppend:
+		rec = wal.Record{Type: wal.TypeVertexAppend, PatientID: m.PatientID, SessionID: m.SessionID, Vertices: m.Vertices}
+	default:
+		return
+	}
+	s.walAppend(rec)
+}
+
+// walAppend journals one record, recording (and logging once) any
+// sticky failure.
+func (s *Server) walAppend(rec wal.Record) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.log.Append(rec); err != nil {
+		if s.wal.lastErr.Load() == nil {
+			s.log.Error("WAL append failed; serving without durability",
+				slog.Any("err", err))
+		}
+		s.wal.lastErr.Store(err.Error())
+	}
+}
+
+// sessionStates snapshots the open sessions. Callers hold s.mu.
+func (s *Server) sessionStates() []wal.SessionState {
+	out := make([]wal.SessionState, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, wal.SessionState{
+			PatientID: sess.patientID,
+			SessionID: sess.sessionID,
+			Samples:   uint64(sess.samples),
+			LastT:     sess.lastT,
+			LastPos:   append([]float64(nil), sess.lastPos...),
+		})
+	}
+	return out
+}
+
+// snapshot compacts the WAL into a snapshot. It holds the session
+// lock so the database is quiescent, making the snapshot exact.
+func (s *Server) snapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.lock()
+	defer s.mu.Unlock()
+	lsn, err := s.wal.log.Snapshot(s.db, s.sessionStates())
+	if err != nil {
+		s.log.Error("snapshot failed", slog.Any("err", err))
+		return err
+	}
+	s.log.Info("snapshot written",
+		slog.Uint64("lsn", lsn),
+		slog.Int("vertices", s.db.NumVertices()),
+		slog.Int("openSessions", len(s.sessions)))
+	return nil
+}
+
+// snapshotLoop runs periodic snapshots until Close.
+func (s *Server) snapshotLoop(every time.Duration) {
+	defer close(s.wal.snapDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.wal.snapStop:
+			return
+		case <-t.C:
+			s.snapshot() //nolint:errcheck // logged inside
+		}
+	}
+}
+
+// Close flushes the WAL, takes a final snapshot, and releases the data
+// dir. It is a no-op for in-memory servers. Call it after the HTTP
+// listener has drained so no requests race the final snapshot.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	var err error
+	s.wal.stopOnce.Do(func() {
+		if s.wal.snapStop != nil {
+			close(s.wal.snapStop)
+			<-s.wal.snapDone
+		}
+		err = s.snapshot()
+		if cerr := s.wal.log.Close(); err == nil {
+			err = cerr
+		}
+	})
+	return err
+}
+
+// WALHealth is the durability section of the healthz payload.
+type WALHealth struct {
+	Enabled          bool   `json:"enabled"`
+	DataDir          string `json:"dataDir,omitempty"`
+	SnapshotLSN      uint64 `json:"snapshotLsn,omitempty"`
+	RecordsReplayed  uint64 `json:"recordsReplayed"`
+	RecordsTruncated uint64 `json:"recordsTruncated"`
+	BytesTruncated   int64  `json:"bytesTruncated"`
+	ResumedSessions  int    `json:"resumedSessions"`
+	NextLSN          uint64 `json:"nextLsn"`
+	LastError        string `json:"lastError,omitempty"`
+}
+
+// walHealth summarizes the durability subsystem for /v1/healthz.
+func (s *Server) walHealth() *WALHealth {
+	if s.wal == nil {
+		return nil
+	}
+	h := &WALHealth{
+		Enabled:          true,
+		DataDir:          s.wal.dataDir,
+		SnapshotLSN:      s.wal.recovery.SnapshotLSN,
+		RecordsReplayed:  s.wal.recovery.RecordsReplayed,
+		RecordsTruncated: s.wal.recovery.RecordsTruncated,
+		BytesTruncated:   s.wal.recovery.BytesTruncated,
+		ResumedSessions:  s.wal.resumed,
+		NextLSN:          s.wal.log.NextLSN(),
+	}
+	if e := s.wal.lastErr.Load(); e != nil {
+		h.LastError = e.(string)
+	}
+	return h
+}

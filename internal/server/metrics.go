@@ -6,13 +6,14 @@ import "stsmatch/internal/obs"
 // registry. Registration is idempotent, so every Server in a process
 // (tests start many) shares the same underlying metrics.
 type serverMetrics struct {
-	http         *obs.HTTPMetrics
-	sessionsOpen *obs.Gauge
-	samplesIn    *obs.Counter
-	verticesOut  *obs.Counter
-	predictions  *obs.CounterVec // outcome: ok, no_matches, insufficient_history, error
-	lockWait     *obs.Histogram
-	predictWork  *obs.Histogram
+	http           *obs.HTTPMetrics
+	sessionsOpen   *obs.Gauge
+	sessionsClosed *obs.Counter
+	samplesIn      *obs.Counter
+	verticesOut    *obs.Counter
+	predictions    *obs.CounterVec // outcome: ok, no_matches, insufficient_history, error
+	lockWait       *obs.Histogram
+	predictWork    *obs.Histogram
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -20,6 +21,8 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		http: obs.NewHTTPMetrics(r, "stsmatch"),
 		sessionsOpen: r.Gauge("stsmatch_sessions_open",
 			"Ingestion sessions currently open."),
+		sessionsClosed: r.Counter("stsmatch_sessions_closed_total",
+			"Ingestion sessions closed via DELETE /v1/sessions/{sid}."),
 		samplesIn: r.Counter("stsmatch_server_samples_in_total",
 			"Raw samples accepted by the ingestion API."),
 		verticesOut: r.Counter("stsmatch_server_vertices_out_total",

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/signal"
+)
+
+// newDurableServer builds a Server journaling to dir with fsync on
+// every append, so abandoning it without Close models a hard crash
+// that loses nothing already acknowledged.
+func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), Options{
+		DataDir:       dir,
+		FsyncInterval: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON[T any](t *testing.T, url string) (T, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var zero T
+		return zero, resp.StatusCode
+	}
+	return decode[T](t, resp), resp.StatusCode
+}
+
+// TestCrashRecovery ingests through the public API, abandons the
+// server without any shutdown (simulating kill -9), restarts on the
+// same data directory, and requires the recovered session to carry
+// the exact PLR and prediction state it had before the crash.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- Server A: ingest, then crash. ---
+	_, ts := newDurableServer(t, dir)
+	resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := gen.Generate(60)
+	for i := 0; i < len(samples); i += 256 {
+		end := min(i+256, len(samples))
+		batch := make([]SampleIn, 0, end-i)
+		for _, s := range samples[i:end] {
+			batch = append(batch, SampleIn{T: s.T, Pos: s.Pos})
+		}
+		if resp := postJSON(t, ts.URL+"/v1/sessions/S01/samples", batch); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	beforePLR, code := getJSON[PLRResponse](t, ts.URL+"/v1/sessions/S01/plr")
+	if code != http.StatusOK {
+		t.Fatalf("plr status %d", code)
+	}
+	beforePred, code := getJSON[PredictionResponse](t, ts.URL+"/v1/sessions/S01/predict?delta=200ms")
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	// Crash: no srv.Close(), no snapshot — only the WAL survives.
+	ts.Close()
+
+	// --- Server B: recover from the same directory. ---
+	_, ts2 := newDurableServer(t, dir)
+	hz, code := getJSON[HealthzResponse](t, ts2.URL+"/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if hz.WAL == nil || !hz.WAL.Enabled {
+		t.Fatal("healthz reports no WAL after durable restart")
+	}
+	if hz.WAL.RecordsReplayed == 0 {
+		t.Error("recovery replayed no records")
+	}
+	if hz.WAL.RecordsTruncated != 0 {
+		t.Errorf("clean WAL reported %d truncated records", hz.WAL.RecordsTruncated)
+	}
+	if hz.WAL.ResumedSessions != 1 {
+		t.Errorf("ResumedSessions = %d, want 1", hz.WAL.ResumedSessions)
+	}
+	if hz.OpenSessions != 1 {
+		t.Errorf("OpenSessions = %d after recovery, want 1", hz.OpenSessions)
+	}
+
+	// The recovered PLR must match the pre-crash PLR vertex for vertex.
+	afterPLR, code := getJSON[PLRResponse](t, ts2.URL+"/v1/sessions/S01/plr")
+	if code != http.StatusOK {
+		t.Fatalf("recovered plr status %d", code)
+	}
+	if len(afterPLR.Vertices) != len(beforePLR.Vertices) {
+		t.Fatalf("recovered %d vertices, want %d", len(afterPLR.Vertices), len(beforePLR.Vertices))
+	}
+	for i, v := range beforePLR.Vertices {
+		w := afterPLR.Vertices[i]
+		if v.T != w.T || v.State != w.State || len(v.Pos) != len(w.Pos) {
+			t.Fatalf("vertex %d mismatch: before %+v, after %+v", i, v, w)
+		}
+		for d := range v.Pos {
+			if v.Pos[d] != w.Pos[d] {
+				t.Fatalf("vertex %d dim %d: before %v, after %v", i, d, v.Pos[d], w.Pos[d])
+			}
+		}
+	}
+	if afterPLR.StateString != beforePLR.StateString {
+		t.Errorf("state string changed across recovery: %q vs %q",
+			beforePLR.StateString, afterPLR.StateString)
+	}
+
+	// The prediction must match: the anchor record journals the exact
+	// last raw observation, so the recovered query is identical.
+	afterPred, code := getJSON[PredictionResponse](t, ts2.URL+"/v1/sessions/S01/predict?delta=200ms")
+	if code != http.StatusOK {
+		t.Fatalf("recovered predict status %d", code)
+	}
+	if len(afterPred.Pos) != len(beforePred.Pos) {
+		t.Fatalf("prediction dims: %d vs %d", len(afterPred.Pos), len(beforePred.Pos))
+	}
+	for d := range beforePred.Pos {
+		if math.Abs(afterPred.Pos[d]-beforePred.Pos[d]) > 1e-9 {
+			t.Errorf("prediction dim %d: before %v, after %v", d, beforePred.Pos[d], afterPred.Pos[d])
+		}
+	}
+	if afterPred.NumMatches != beforePred.NumMatches {
+		t.Errorf("NumMatches: before %d, after %d", beforePred.NumMatches, afterPred.NumMatches)
+	}
+
+	// The resumed session keeps accepting samples where it left off.
+	tail := gen.Generate(70)
+	var cont []SampleIn
+	lastT := samples[len(samples)-1].T
+	for _, s := range tail {
+		if s.T > lastT {
+			cont = append(cont, SampleIn{T: s.T, Pos: s.Pos})
+		}
+	}
+	resp = postJSON(t, ts2.URL+"/v1/sessions/S01/samples", cont)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery ingest status %d", resp.StatusCode)
+	}
+	sr := decode[SamplesResponse](t, resp)
+	if sr.Accepted != len(cont) {
+		t.Errorf("post-recovery Accepted = %d, want %d", sr.Accepted, len(cont))
+	}
+}
+
+// TestRecoverySkipsClosedSessions verifies DELETE is durable: a closed
+// session must not resurrect on restart, while its stream stays in the
+// database as history.
+func TestRecoverySkipsClosedSessions(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newDurableServer(t, dir)
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []SampleIn
+	for _, s := range gen.Generate(30) {
+		batch = append(batch, SampleIn{T: s.T, Pos: s.Pos})
+	}
+	if resp := postJSON(t, ts.URL+"/v1/sessions/S01/samples", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/S01", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	ts.Close()
+
+	_, ts2 := newDurableServer(t, dir)
+	hz, _ := getJSON[HealthzResponse](t, ts2.URL+"/v1/healthz")
+	if hz.OpenSessions != 0 {
+		t.Errorf("closed session resurrected: OpenSessions = %d", hz.OpenSessions)
+	}
+	if hz.Vertices == 0 {
+		t.Error("closed session's history lost on recovery")
+	}
+}
+
+// TestCloseSessionEndpoint exercises DELETE /v1/sessions/{sid} on an
+// in-memory server.
+func TestCloseSessionEndpoint(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []SampleIn
+	for _, s := range gen.Generate(30) {
+		batch = append(batch, SampleIn{T: s.T, Pos: s.Pos})
+	}
+	if resp := postJSON(t, ts.URL+"/v1/sessions/S01/samples", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	del := func() *http.Response {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/S01", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp = del()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	closed := decode[CloseSessionResponse](t, resp)
+	if closed.PatientID != "P01" || closed.SessionID != "S01" {
+		t.Errorf("close response = %+v", closed)
+	}
+	if closed.TotalSamples != len(batch) {
+		t.Errorf("TotalSamples = %d, want %d", closed.TotalSamples, len(batch))
+	}
+	if closed.Vertices == 0 {
+		t.Error("close response reports zero vertices")
+	}
+
+	// The session is gone: further ingestion and a second DELETE 404.
+	if resp := postJSON(t, ts.URL+"/v1/sessions/S01/samples", batch); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ingest after close status %d, want 404", resp.StatusCode)
+	}
+	if resp := del(); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete status %d, want 404", resp.StatusCode)
+	}
+	hz, _ := getJSON[HealthzResponse](t, ts.URL+"/v1/healthz")
+	if hz.OpenSessions != 0 {
+		t.Errorf("OpenSessions = %d after close, want 0", hz.OpenSessions)
+	}
+}

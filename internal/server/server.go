@@ -9,13 +9,18 @@
 //
 // The API is deliberately small and stdlib-only:
 //
-//	POST /v1/sessions                 {"patientId","sessionId"}   -> 201
-//	POST /v1/sessions/{sid}/samples   [{"t","pos"},...]           -> appended vertices
-//	GET  /v1/sessions/{sid}/predict?delta=200ms                   -> prediction
-//	GET  /v1/sessions/{sid}/plr                                   -> current PLR
-//	GET  /v1/stats                                                -> database stats
-//	GET  /v1/healthz                                              -> liveness + uptime
-//	GET  /metrics                                                 -> Prometheus text format
+//	POST   /v1/sessions                 {"patientId","sessionId"}   -> 201
+//	POST   /v1/sessions/{sid}/samples   [{"t","pos"},...]           -> appended vertices
+//	DELETE /v1/sessions/{sid}                                      -> close session
+//	GET    /v1/sessions/{sid}/predict?delta=200ms                  -> prediction
+//	GET    /v1/sessions/{sid}/plr                                  -> current PLR
+//	GET    /v1/stats                                               -> database stats
+//	GET    /v1/healthz                                             -> liveness + recovery stats
+//	GET    /metrics                                                -> Prometheus text format
+//
+// With Options.DataDir set, every mutation is journaled to a
+// write-ahead log and compacted into snapshots (see internal/wal); a
+// restarted server recovers the database and resumes open sessions.
 //
 // Every route is instrumented through internal/obs: request counts by
 // status class, latency histograms, an in-flight gauge, and
@@ -36,6 +41,7 @@ import (
 	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
 	"stsmatch/internal/store"
+	"stsmatch/internal/wal"
 )
 
 // Server is the HTTP ingestion/prediction service.
@@ -50,6 +56,7 @@ type Server struct {
 	log      *slog.Logger
 	met      *serverMetrics
 	start    time.Time
+	wal      *durability // nil when Options.DataDir is unset
 
 	// matchers pools core.Matcher instances (one in flight per
 	// prediction; a Matcher carries scratch buffers and is not safe for
@@ -68,12 +75,26 @@ type session struct {
 	samples   int
 	lastT     float64
 	lastPos   []float64
+
+	// resumed marks a session rebuilt by crash recovery: its segmenter
+	// was re-primed from the stored PLR tail, so vertices it re-emits
+	// at or before resumedAt are already in the stream and are dropped.
+	resumed   bool
+	resumedAt float64
 }
 
-// New builds a server around an existing database (which may already
-// hold historical sessions for cross-session matching). The database
-// is owned by the server afterwards.
+// New builds a fully in-memory server around an existing database
+// (which may already hold historical sessions for cross-session
+// matching). The database is owned by the server afterwards.
 func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
+	return NewWithOptions(db, params, segCfg, Options{})
+}
+
+// NewWithOptions builds a server with durability options. When
+// opts.DataDir is set, the server recovers the write-ahead log before
+// serving: the recovered database replaces db (db then only seeds a
+// fresh data dir), and sessions open at the crash resume mid-stream.
+func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Options) (*Server, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,6 +114,11 @@ func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
 		met:      newServerMetrics(obs.Default()),
 		start:    time.Now(),
 	}
+	if opts.DataDir != "" {
+		if err := s.openDurability(db, opts); err != nil {
+			return nil, err
+		}
+	}
 	s.matchers.New = func() any {
 		// params were validated above; the error path is unreachable.
 		m, _ := core.NewMatcher(s.db, s.params)
@@ -100,6 +126,7 @@ func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
 	}
 	s.route("POST /v1/sessions", "create_session", s.handleCreateSession)
 	s.route("POST /v1/sessions/{sid}/samples", "ingest_samples", s.handleSamples)
+	s.route("DELETE /v1/sessions/{sid}", "close_session", s.handleCloseSession)
 	s.route("GET /v1/sessions/{sid}/predict", "predict", s.handlePredict)
 	s.route("GET /v1/sessions/{sid}/plr", "plr", s.handlePLR)
 	s.route("GET /v1/stats", "stats", s.handleStats)
@@ -240,6 +267,17 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("sample at t=%v: %w", in.T, err))
 			return
 		}
+		if sess.resumed {
+			// A re-primed segmenter re-emits the vertex that anchors
+			// its open segment; the recovered stream already holds it.
+			kept := vs[:0]
+			for _, v := range vs {
+				if v.T > sess.resumedAt {
+					kept = append(kept, v)
+				}
+			}
+			vs = kept
+		}
 		if err := sess.stream.Append(vs...); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
@@ -252,9 +290,67 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.samplesIn.Add(resp.Accepted)
 	s.met.verticesOut.Add(resp.NewVertices)
+	if s.wal != nil && resp.Accepted > 0 {
+		// Journal the raw-sample anchor so a recovered session predicts
+		// from exactly the newest pre-crash observation.
+		s.walAppend(wal.Record{
+			Type:      wal.TypeSessionAnchor,
+			PatientID: sess.patientID,
+			SessionID: sess.sessionID,
+			Samples:   uint64(sess.samples),
+			AnchorT:   sess.lastT,
+			AnchorPos: sess.lastPos,
+		})
+	}
 	resp.TotalSamples = sess.samples
 	resp.CurrentState = sess.seg.CurrentState().String()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// CloseSessionResponse reports the final state of a closed session.
+type CloseSessionResponse struct {
+	PatientID    string `json:"patientId"`
+	SessionID    string `json:"sessionId"`
+	TotalSamples int    `json:"totalSamples"`
+	Vertices     int    `json:"vertices"`
+}
+
+// handleCloseSession closes an open ingestion session: the stream
+// stays in the database as history, the segmenter is released, and —
+// with durability on — the close is journaled and flushed so the
+// session does not resurrect on restart. Without this endpoint the
+// sessions map only ever grows.
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	s.lock()
+	sess, ok := s.sessions[sid]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		return
+	}
+	delete(s.sessions, sid)
+	s.met.sessionsOpen.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+
+	if s.wal != nil {
+		s.walAppend(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
+		if err := s.wal.log.Sync(); err != nil {
+			s.log.Warn("flushing session close", slog.Any("err", err))
+		}
+	}
+	s.met.sessionsClosed.Inc()
+	s.log.Info("session closed",
+		slog.String("patientId", sess.patientID),
+		slog.String("sessionId", sid),
+		slog.Int("samples", sess.samples),
+		slog.String("requestId", obs.RequestIDFrom(r.Context())))
+	writeJSON(w, http.StatusOK, CloseSessionResponse{
+		PatientID:    sess.patientID,
+		SessionID:    sid,
+		TotalSamples: sess.samples,
+		Vertices:     sess.stream.Len(),
+	})
 }
 
 // PredictionResponse is the prediction payload.
@@ -390,13 +486,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// HealthzResponse is the liveness payload.
+// HealthzResponse is the liveness payload. WAL is present only when
+// durability is enabled and carries the most recent recovery's stats.
 type HealthzResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Patients      int     `json:"patients"`
-	Vertices      int     `json:"vertices"`
-	OpenSessions  int     `json:"openSessions"`
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Patients      int        `json:"patients"`
+	Vertices      int        `json:"vertices"`
+	OpenSessions  int        `json:"openSessions"`
+	WAL           *WALHealth `json:"wal,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -406,5 +504,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Patients:      s.db.NumPatients(),
 		Vertices:      s.db.NumVertices(),
 		OpenSessions:  s.OpenSessions(),
+		WAL:           s.walHealth(),
 	})
 }

@@ -17,9 +17,53 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"stsmatch/internal/plr"
 )
+
+// MutationKind labels one hierarchical-database mutation.
+type MutationKind uint8
+
+// The mutation kinds a DB emits.
+const (
+	MutPatientUpsert MutationKind = iota + 1 // patient record added
+	MutStreamOpen                            // stream added under a patient
+	MutVertexAppend                          // vertices appended to a stream
+)
+
+// Mutation is one store change, delivered to the mutation hook. Only
+// the fields relevant to Kind are populated. Vertices aliases the
+// appended slice and is only valid for the duration of the call.
+type Mutation struct {
+	Kind      MutationKind
+	Patient   PatientInfo  // MutPatientUpsert
+	PatientID string       // MutStreamOpen, MutVertexAppend
+	SessionID string       // MutStreamOpen, MutVertexAppend
+	Vertices  []plr.Vertex // MutVertexAppend
+}
+
+// MutationHook observes store mutations (the write-ahead-log seam).
+// Hooks run synchronously on the mutating goroutine, while the
+// mutated stream's lock is held, so they must be fast and must not
+// call back into the store.
+type MutationHook func(Mutation)
+
+// hookRef is the shared, swappable hook cell handed down from a DB to
+// its patients and streams, so installing a hook on the DB covers
+// streams created both before and after installation.
+type hookRef struct {
+	fn atomic.Pointer[MutationHook]
+}
+
+func (h *hookRef) emit(m Mutation) {
+	if h == nil {
+		return
+	}
+	if fn := h.fn.Load(); fn != nil {
+		(*fn)(m)
+	}
+}
 
 // PatientInfo carries the patient-level metadata used by the offline
 // correlation-discovery experiments.
@@ -41,6 +85,7 @@ type Stream struct {
 	seq      plr.Sequence
 	stateStr []byte
 	index    *ngramIndex
+	hook     *hookRef
 }
 
 // NewStream creates an empty stream owned by the given patient and
@@ -55,12 +100,16 @@ func NewStream(patientID, sessionID string) *Stream {
 func (s *Stream) Append(vs ...plr.Vertex) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	appended := 0
+	var err error
 	for _, v := range vs {
 		if n := len(s.seq); n > 0 && v.T <= s.seq[n-1].T {
-			return fmt.Errorf("store: vertex time %v does not advance stream %s", v.T, s.SessionID)
+			err = fmt.Errorf("store: vertex time %v does not advance stream %s", v.T, s.SessionID)
+			break
 		}
 		if !v.State.Valid() {
-			return fmt.Errorf("store: invalid state on appended vertex")
+			err = fmt.Errorf("store: invalid state on appended vertex")
+			break
 		}
 		s.seq = append(s.seq, v)
 		s.stateStr = append(s.stateStr, v.State.Byte())
@@ -68,8 +117,19 @@ func (s *Stream) Append(vs ...plr.Vertex) error {
 			s.index.extend(s.stateStr)
 		}
 		mVertices.Inc()
+		appended++
 	}
-	return nil
+	// Report the prefix that actually landed, even on a mid-batch
+	// error: the stream state advanced, so durability must record it.
+	if appended > 0 {
+		s.hook.emit(Mutation{
+			Kind:      MutVertexAppend,
+			PatientID: s.PatientID,
+			SessionID: s.SessionID,
+			Vertices:  vs[:appended],
+		})
+	}
+	return err
 }
 
 // Len returns the number of vertices.
@@ -154,14 +214,22 @@ func scanWindows(stateStr []byte, sig string, limit int) []int {
 type Patient struct {
 	Info    PatientInfo
 	Streams []*Stream
+
+	hook *hookRef // inherited from the owning DB; nil for bare records
 }
 
 // AddStream creates, registers and returns a new stream for the given
 // session.
 func (p *Patient) AddStream(sessionID string) *Stream {
 	st := NewStream(p.Info.ID, sessionID)
+	st.hook = p.hook
 	p.Streams = append(p.Streams, st)
 	mStreams.Inc()
+	p.hook.emit(Mutation{
+		Kind:      MutStreamOpen,
+		PatientID: p.Info.ID,
+		SessionID: sessionID,
+	})
 	return st
 }
 
@@ -180,11 +248,25 @@ type DB struct {
 	mu       sync.RWMutex
 	patients []*Patient
 	byID     map[string]*Patient
+	hook     *hookRef
 }
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{byID: make(map[string]*Patient)}
+	return &DB{byID: make(map[string]*Patient), hook: &hookRef{}}
+}
+
+// SetMutationHook installs (or replaces, or removes with nil) the
+// hook observing every mutation of this database, including streams
+// that already exist. The write-ahead log uses this seam to journal
+// patient-upserts, stream-opens and vertex-appends without the store
+// knowing about files.
+func (db *DB) SetMutationHook(h MutationHook) {
+	if h == nil {
+		db.hook.fn.Store(nil)
+		return
+	}
+	db.hook.fn.Store(&h)
 }
 
 // ErrDuplicatePatient is returned when adding a patient whose ID
@@ -201,10 +283,11 @@ func (db *DB) AddPatient(info PatientInfo) (*Patient, error) {
 	if _, ok := db.byID[info.ID]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicatePatient, info.ID)
 	}
-	p := &Patient{Info: info}
+	p := &Patient{Info: info, hook: db.hook}
 	db.patients = append(db.patients, p)
 	db.byID[info.ID] = p
 	mPatients.Inc()
+	db.hook.emit(Mutation{Kind: MutPatientUpsert, Patient: info})
 	return p, nil
 }
 

@@ -313,3 +313,101 @@ func TestStreamConcurrentReadsDuringAppend(t *testing.T) {
 		t.Errorf("Len = %d, want 500", st.Len())
 	}
 }
+
+func TestMutationHookObservesAllKinds(t *testing.T) {
+	db := NewDB()
+	var got []Mutation
+	db.SetMutationHook(func(m Mutation) {
+		// Vertices alias the caller's slice only for the call; copy.
+		m.Vertices = append([]plr.Vertex(nil), m.Vertices...)
+		got = append(got, m)
+	})
+
+	p, err := db.AddPatient(PatientInfo{ID: "P1", Class: "calm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+	if err := st.Append(seqFromStates("EOI")...); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []MutationKind{MutPatientUpsert, MutStreamOpen, MutVertexAppend}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d mutations, want %d: %+v", len(got), len(want), got)
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Errorf("mutation %d kind = %d, want %d", i, got[i].Kind, k)
+		}
+	}
+	if got[0].Patient.ID != "P1" || got[0].Patient.Class != "calm" {
+		t.Errorf("upsert payload = %+v", got[0].Patient)
+	}
+	if got[1].PatientID != "P1" || got[1].SessionID != "S1" {
+		t.Errorf("stream-open payload = %+v", got[1])
+	}
+	if len(got[2].Vertices) != 3 {
+		t.Errorf("vertex-append carried %d vertices, want 3", len(got[2].Vertices))
+	}
+}
+
+func TestMutationHookCoversPreexistingStreams(t *testing.T) {
+	// Installing the hook after recovery must still journal appends to
+	// streams created before installation.
+	db := NewDB()
+	p, err := db.AddPatient(PatientInfo{ID: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+
+	var kinds []MutationKind
+	db.SetMutationHook(func(m Mutation) { kinds = append(kinds, m.Kind) })
+	if err := st.Append(seqFromStates("E")...); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 1 || kinds[0] != MutVertexAppend {
+		t.Errorf("kinds = %v, want [MutVertexAppend]", kinds)
+	}
+
+	// Removing the hook silences it again.
+	db.SetMutationHook(nil)
+	if err := st.Append(plr.Vertex{T: 100, Pos: []float64{0}, State: plr.EX}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 1 {
+		t.Error("mutation emitted after hook removal")
+	}
+}
+
+func TestMutationHookReportsPartialAppend(t *testing.T) {
+	// A batch that fails mid-way must still journal the prefix that
+	// landed, because the stream state advanced by exactly that prefix.
+	db := NewDB()
+	p, err := db.AddPatient(PatientInfo{ID: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+	var appended int
+	db.SetMutationHook(func(m Mutation) {
+		if m.Kind == MutVertexAppend {
+			appended += len(m.Vertices)
+		}
+	})
+	batch := plr.Sequence{
+		{T: 1, Pos: []float64{0}, State: plr.EX},
+		{T: 2, Pos: []float64{0}, State: plr.EOE},
+		{T: 2, Pos: []float64{0}, State: plr.IN}, // does not advance: rejected
+	}
+	if err := st.Append(batch...); err == nil {
+		t.Fatal("expected mid-batch append error")
+	}
+	if appended != 2 {
+		t.Errorf("hook saw %d appended vertices, want the 2 that landed", appended)
+	}
+	if st.Len() != 2 {
+		t.Errorf("stream holds %d vertices, want 2", st.Len())
+	}
+}

@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"testing"
+
+	"stsmatch/internal/plr"
+)
+
+// benchRecord is a representative hot-path record: a vertex-append of
+// one segment boundary (1-D position) as the server emits at ~1 Hz per
+// session, amortized over many sessions.
+func benchRecord(i int) Record {
+	return Record{
+		Type:      TypeVertexAppend,
+		PatientID: "P01",
+		SessionID: "S01",
+		Vertices: plr.Sequence{{
+			T:     float64(i),
+			Pos:   []float64{12.5},
+			State: plr.State(uint8(i) % 3),
+		}},
+	}
+}
+
+// BenchmarkWALAppend measures the buffered (group-commit) append path
+// the ingestion hot loop pays per mutation.
+func BenchmarkWALAppend(b *testing.B) {
+	l, _, err := Open(Options{Dir: b.TempDir(), FsyncInterval: 1e9}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendSync measures the fully synchronous path
+// (FsyncInterval 0): one fsync per append, the durability ceiling.
+func BenchmarkWALAppendSync(b *testing.B) {
+	l, _, err := Open(Options{Dir: b.TempDir()}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures a full Open (snapshot scan + replay of
+// 10k records) against a prebuilt log directory.
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(Options{Dir: dir, FsyncInterval: 1e9}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10_000
+	for i := 0; i < records; i++ {
+		if err := l.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, res, err := Open(Options{Dir: dir, FsyncInterval: 1e9}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RecordsReplayed != records {
+			b.Fatalf("replayed %d records, want %d", res.RecordsReplayed, records)
+		}
+		l.Close()
+	}
+}

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"stsmatch/internal/store"
+)
+
+// FuzzWALDecode hammers the record decoder with arbitrary bytes
+// (mirroring store's FuzzReadBinary): it must never panic or
+// over-allocate, must cleanly report torn/corrupt input, and anything
+// that decodes must re-encode to an identical payload.
+func FuzzWALDecode(f *testing.F) {
+	// Seed with a valid frame stream of every record type plus
+	// structured mutations of it.
+	var stream []byte
+	for _, rec := range []Record{
+		{Type: TypePatientUpsert, LSN: 1, Patient: store.PatientInfo{ID: "P1", Class: "calm", Age: 50}},
+		{Type: TypeStreamOpen, LSN: 2, PatientID: "P1", SessionID: "S1"},
+		{Type: TypeVertexAppend, LSN: 3, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 4)},
+		{Type: TypeSessionAnchor, LSN: 4, PatientID: "P1", SessionID: "S1", Samples: 120, AnchorT: 4.2, AnchorPos: []float64{7}},
+		{Type: TypeSessionClose, LSN: 5, SessionID: "S1"},
+	} {
+		stream = appendFrame(stream, encodePayload(rec))
+	}
+	f.Add(stream)
+	f.Add(stream[:len(stream)/2])
+	f.Add(stream[1:])
+	f.Add([]byte{})
+	f.Add([]byte{3, 1})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The frame reader must classify every prefix as a valid
+		// record, a clean EOF, or a torn record — nothing else.
+		r := bytes.NewReader(data)
+		for {
+			payload, err := readFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTorn) {
+					t.Fatalf("readFrame: unexpected error class: %v", err)
+				}
+				break
+			}
+			rec, err := decodePayload(payload)
+			if err != nil {
+				if !errors.Is(err, ErrTorn) {
+					t.Fatalf("decodePayload: unexpected error class: %v", err)
+				}
+				continue
+			}
+			// Valid records round-trip bit-for-bit.
+			if got := encodePayload(rec); !bytes.Equal(got, payload) {
+				t.Fatalf("re-encode mismatch:\n got %x\nwant %x", got, payload)
+			}
+		}
+
+		// The payload decoder must also survive raw (unframed) bytes.
+		if rec, err := decodePayload(data); err == nil {
+			if _, err := decodePayload(encodePayload(rec)); err != nil {
+				t.Fatalf("re-decode of valid record failed: %v", err)
+			}
+		} else if !errors.Is(err, ErrTorn) {
+			t.Fatalf("decodePayload: unexpected error class: %v", err)
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// Type identifies a WAL record. The first four are the store/session
+// mutations named in the durability design; SessionAnchor additionally
+// persists each ingest batch's raw-sample anchor so a recovered
+// session predicts from exactly the pre-crash observation.
+type Type uint8
+
+// The WAL record types.
+const (
+	TypePatientUpsert Type = 1 // patient created (or metadata updated)
+	TypeStreamOpen    Type = 2 // session stream created under a patient
+	TypeVertexAppend  Type = 3 // PLR vertices appended to a stream
+	TypeSessionClose  Type = 4 // ingestion session closed
+	TypeSessionAnchor Type = 5 // latest raw observation of an open session
+)
+
+// String returns the record type name.
+func (t Type) String() string {
+	switch t {
+	case TypePatientUpsert:
+		return "patient-upsert"
+	case TypeStreamOpen:
+		return "stream-open"
+	case TypeVertexAppend:
+		return "vertex-append"
+	case TypeSessionClose:
+		return "session-close"
+	case TypeSessionAnchor:
+		return "session-anchor"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Record is one logical WAL entry. Only the fields relevant to Type
+// are encoded; LSN is assigned by Log.Append.
+type Record struct {
+	Type Type
+	LSN  uint64
+
+	Patient   store.PatientInfo // TypePatientUpsert
+	PatientID string            // TypeStreamOpen, TypeVertexAppend, TypeSessionAnchor
+	SessionID string            // all but TypePatientUpsert
+	Vertices  plr.Sequence      // TypeVertexAppend
+
+	Samples   uint64    // TypeSessionAnchor: raw samples ingested so far
+	AnchorT   float64   // TypeSessionAnchor: time of the newest raw sample
+	AnchorPos []float64 // TypeSessionAnchor: position of the newest raw sample
+}
+
+// ErrTorn marks a record that is incomplete or fails its checksum —
+// the expected state of the final record after a crash mid-write.
+// Recovery truncates the log here instead of failing.
+var ErrTorn = errors.New("wal: torn or corrupt record")
+
+// Framing and payload limits. A frame is
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// and the payload is
+//
+//	u8 type | uvarint lsn | type-specific fields
+//
+// with strings as uvarint length + bytes and float64s as little-endian
+// IEEE words (the same primitives as the store binary format).
+const (
+	frameHeaderLen = 8
+	maxPayload     = 1 << 26 // 64 MiB: far above any real record
+	maxString      = 1 << 20
+	maxVertices    = 1 << 24
+	maxDims        = 64
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodePayload serializes a record payload (without framing).
+func encodePayload(rec Record) []byte {
+	b := make([]byte, 0, 64+len(rec.Vertices)*24)
+	b = append(b, byte(rec.Type))
+	b = binary.AppendUvarint(b, rec.LSN)
+	switch rec.Type {
+	case TypePatientUpsert:
+		b = appendString(b, rec.Patient.ID)
+		b = appendString(b, rec.Patient.Class)
+		b = appendString(b, rec.Patient.TumorSite)
+		b = binary.AppendUvarint(b, uint64(rec.Patient.Age))
+	case TypeStreamOpen:
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+	case TypeVertexAppend:
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+		dims := rec.Vertices.Dims()
+		b = binary.AppendUvarint(b, uint64(dims))
+		b = binary.AppendUvarint(b, uint64(len(rec.Vertices)))
+		for _, v := range rec.Vertices {
+			b = appendF64(b, v.T)
+			b = append(b, byte(v.State))
+			for d := 0; d < dims; d++ {
+				b = appendF64(b, v.Pos[d])
+			}
+		}
+	case TypeSessionClose:
+		b = appendString(b, rec.SessionID)
+	case TypeSessionAnchor:
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+		b = binary.AppendUvarint(b, rec.Samples)
+		b = appendF64(b, rec.AnchorT)
+		b = binary.AppendUvarint(b, uint64(len(rec.AnchorPos)))
+		for _, x := range rec.AnchorPos {
+			b = appendF64(b, x)
+		}
+	}
+	return b
+}
+
+// decodePayload parses a record payload. It never panics on hostile
+// input; anything malformed returns ErrTorn (possibly wrapped).
+func decodePayload(b []byte) (Record, error) {
+	d := decoder{b: b}
+	var rec Record
+	rec.Type = Type(d.u8())
+	rec.LSN = d.uvarint()
+	switch rec.Type {
+	case TypePatientUpsert:
+		rec.Patient.ID = d.str()
+		rec.Patient.Class = d.str()
+		rec.Patient.TumorSite = d.str()
+		rec.Patient.Age = int(d.uvarint())
+	case TypeStreamOpen:
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+	case TypeVertexAppend:
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+		dims := d.uvarint()
+		n := d.uvarint()
+		if d.err == nil && (dims > maxDims || n > maxVertices) {
+			return rec, fmt.Errorf("%w: implausible vertex batch (%d x %d dims)", ErrTorn, n, dims)
+		}
+		if d.err == nil {
+			rec.Vertices = make(plr.Sequence, 0, min(int(n), 4096))
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				v := plr.Vertex{T: d.f64(), State: plr.State(d.u8())}
+				if d.err == nil && !v.State.Valid() {
+					return rec, fmt.Errorf("%w: invalid state byte", ErrTorn)
+				}
+				v.Pos = make([]float64, dims)
+				for j := range v.Pos {
+					v.Pos[j] = d.f64()
+				}
+				rec.Vertices = append(rec.Vertices, v)
+			}
+		}
+	case TypeSessionClose:
+		rec.SessionID = d.str()
+	case TypeSessionAnchor:
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+		rec.Samples = d.uvarint()
+		rec.AnchorT = d.f64()
+		dims := d.uvarint()
+		if d.err == nil && dims > maxDims {
+			return rec, fmt.Errorf("%w: implausible anchor dims %d", ErrTorn, dims)
+		}
+		if d.err == nil {
+			rec.AnchorPos = make([]float64, dims)
+			for i := range rec.AnchorPos {
+				rec.AnchorPos[i] = d.f64()
+			}
+		}
+	default:
+		return rec, fmt.Errorf("%w: unknown record type %d", ErrTorn, rec.Type)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if d.off != len(d.b) {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrTorn, len(d.b)-d.off)
+	}
+	return rec, nil
+}
+
+// appendFrame wraps a payload with the length + CRC framing.
+func appendFrame(b, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	b = append(b, hdr[:]...)
+	return append(b, payload...)
+}
+
+// readFrame reads one framed payload. It returns io.EOF at a clean end
+// of input and ErrTorn for a partial or checksum-failing record.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: partial frame header", ErrTorn)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrTorn, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: partial payload", ErrTorn)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrTorn)
+	}
+	return payload, nil
+}
+
+// decoder is a bounds-checked cursor over a payload; the first failure
+// sticks so call sites can read fields linearly and check once.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.err = fmt.Errorf("%w: short payload", ErrTorn)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad uvarint", ErrTorn)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.err = fmt.Errorf("%w: short float", ErrTorn)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString || d.off+int(n) > len(d.b) {
+		d.err = fmt.Errorf("%w: bad string length %d", ErrTorn, n)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

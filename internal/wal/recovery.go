@@ -1,0 +1,338 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stsmatch/internal/store"
+)
+
+// RecoveryResult reports what Open found and rebuilt.
+type RecoveryResult struct {
+	// DB is the recovered database: the latest valid snapshot with the
+	// WAL tail replayed on top (or the caller's initial database when
+	// the directory was fresh).
+	DB *store.DB
+
+	// Sessions are the ingestion sessions that were open at the crash,
+	// in open order.
+	Sessions []SessionState
+
+	// Fresh reports that the directory held no snapshot and no
+	// segments, so DB is the initial database untouched.
+	Fresh bool
+
+	// SnapshotLSN is the LSN of the loaded snapshot (0 when none).
+	SnapshotLSN uint64
+
+	// RecordsReplayed counts WAL records applied on top of the
+	// snapshot.
+	RecordsReplayed uint64
+
+	// RecordsTruncated counts torn or corrupt records dropped;
+	// everything after the first one is discarded too, so this is 0 or
+	// 1 per recovery in practice.
+	RecordsTruncated uint64
+
+	// BytesTruncated is how many bytes of torn log were cut off.
+	BytesTruncated int64
+
+	// SegmentsScanned is how many log segments replay visited.
+	SegmentsScanned int
+
+	// Duration is the wall time of snapshot load plus replay.
+	Duration time.Duration
+}
+
+// Open opens (creating if necessary) the write-ahead log in opts.Dir
+// and runs crash recovery: load the newest readable snapshot, replay
+// every record at or above its LSN in segment order, and truncate the
+// log at the first torn or corrupt record. The initial database is
+// used only when the directory holds no prior state (it seeds the
+// first snapshot so preloaded history is durable from the start);
+// otherwise the recovered state wins and initial is ignored.
+func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	removeTempFiles(opts.Dir)
+
+	start := time.Now()
+	snaps, err := listSeq(opts.Dir, "snap-", ".db")
+	if err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSeq(opts.Dir, "wal-", ".log")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &RecoveryResult{Fresh: len(snaps) == 0 && len(segs) == 0}
+	l := &Log{opts: opts}
+
+	// Load the newest snapshot that parses; a torn snapshot (crash
+	// during rename is prevented, but disks rot) falls back to the
+	// previous one, and failing all of them to an empty database plus
+	// full replay.
+	var db *store.DB
+	var sessions []SessionState
+	var snapLSN uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		d, ss, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
+		if err == nil {
+			db, sessions, snapLSN = d, ss, lsn
+			break
+		}
+	}
+	if db == nil {
+		if res.Fresh && initial != nil {
+			db = initial
+		} else {
+			db = store.NewDB()
+		}
+	}
+	res.SnapshotLSN = snapLSN
+
+	rs := &replayState{db: db, idx: make(map[string]int)}
+	for _, ss := range sessions {
+		rs.open(ss)
+	}
+
+	// Replay segments in LSN order, verifying checksums and LSN
+	// contiguity; the first torn record truncates the log there and
+	// discards anything after it.
+	nextLSN := snapLSN
+	if nextLSN == 0 {
+		nextLSN = 1
+	}
+	resume := -1 // index in segs of the segment to keep appending to
+	var resumeEnd int64
+	for i, first := range segs {
+		end, last, err := replaySegment(filepath.Join(opts.Dir, segmentName(first)), first, snapLSN, rs, res)
+		res.SegmentsScanned++
+		if last >= nextLSN {
+			nextLSN = last + 1
+		}
+		resume, resumeEnd = i, end
+		if err != nil {
+			// Truncate the torn tail and drop any later segments
+			// (they cannot contain valid records past a tear).
+			res.RecordsTruncated++
+			if fi, statErr := os.Stat(filepath.Join(opts.Dir, segmentName(first))); statErr == nil {
+				res.BytesTruncated += fi.Size() - end
+			}
+			os.Truncate(filepath.Join(opts.Dir, segmentName(first)), end) //nolint:errcheck
+			for _, later := range segs[i+1:] {
+				os.Remove(filepath.Join(opts.Dir, segmentName(later))) //nolint:errcheck
+			}
+			break
+		}
+	}
+	l.nextLSN = nextLSN
+	res.Sessions = rs.list()
+	res.RecordsReplayed = rs.applied
+	res.DB = db
+
+	// Reopen the tail segment for appending, or start the first one.
+	if resume >= 0 {
+		err = l.resumeSegmentLocked(segs[resume], resumeEnd)
+	} else {
+		err = l.openSegmentLocked(l.nextLSN)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res.Duration = time.Since(start)
+	met.recoverySeconds.Observe(res.Duration.Seconds())
+	met.replayedRecords.Set(int64(res.RecordsReplayed))
+	met.truncatedRecords.Set(int64(res.RecordsTruncated))
+
+	// A fresh directory seeded with preloaded history gets an initial
+	// snapshot so the data dir is self-contained from the start.
+	if res.Fresh && initial != nil && initial.NumPatients() > 0 {
+		if _, err := l.Snapshot(initial, nil); err != nil {
+			l.Close() //nolint:errcheck
+			return nil, nil, err
+		}
+	}
+
+	if opts.FsyncInterval > 0 {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher()
+	}
+	return l, res, nil
+}
+
+// replaySegment reads one segment, applying records with LSN >=
+// snapLSN. It returns the offset just past the last valid record, the
+// last valid LSN seen (0 if none), and a non-nil error if the segment
+// is torn at that offset.
+func replaySegment(path string, nameLSN, snapLSN uint64, rs *replayState, res *RecoveryResult) (int64, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [segHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: segment header: %v", ErrTorn, err)
+	}
+	if string(hdr[:4]) != segMagic {
+		return 0, 0, fmt.Errorf("%w: bad segment magic %q", ErrTorn, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != segVersion {
+		return 0, 0, fmt.Errorf("wal: unsupported segment version %d", v)
+	}
+	if first := binary.LittleEndian.Uint64(hdr[6:]); first != nameLSN {
+		return 0, 0, fmt.Errorf("%w: segment header LSN %d != name %d", ErrTorn, first, nameLSN)
+	}
+
+	offset := int64(segHdrLen)
+	expect := nameLSN
+	var last uint64
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			return offset, last, nil
+		}
+		if err != nil {
+			return offset, last, err
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return offset, last, err
+		}
+		if rec.LSN != expect {
+			return offset, last, fmt.Errorf("%w: LSN %d, expected %d", ErrTorn, rec.LSN, expect)
+		}
+		if rec.LSN >= snapLSN {
+			if err := rs.apply(rec); err != nil {
+				return offset, last, fmt.Errorf("%w: applying %s: %v", ErrTorn, rec.Type, err)
+			}
+		}
+		offset += int64(frameHeaderLen + len(payload))
+		last = rec.LSN
+		expect++
+	}
+}
+
+// replayState rebuilds the database and the open-session set from
+// records. Application is tolerant of replays that overlap the
+// snapshot: existing patients/streams are reused and vertices that do
+// not advance a stream are skipped.
+type replayState struct {
+	db       *store.DB
+	sessions []SessionState
+	idx      map[string]int // sessionID -> index in sessions, -1 when closed
+	applied  uint64
+}
+
+func (rs *replayState) open(ss SessionState) {
+	if i, ok := rs.idx[ss.SessionID]; ok && i >= 0 {
+		return
+	}
+	rs.idx[ss.SessionID] = len(rs.sessions)
+	rs.sessions = append(rs.sessions, ss)
+}
+
+func (rs *replayState) list() []SessionState {
+	out := make([]SessionState, 0, len(rs.sessions))
+	for _, ss := range rs.sessions {
+		if i, ok := rs.idx[ss.SessionID]; ok && i >= 0 {
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+func (rs *replayState) patient(id string) (*store.Patient, error) {
+	if p := rs.db.Patient(id); p != nil {
+		return p, nil
+	}
+	return rs.db.AddPatient(store.PatientInfo{ID: id})
+}
+
+func (rs *replayState) apply(rec Record) error {
+	rs.applied++
+	switch rec.Type {
+	case TypePatientUpsert:
+		p := rs.db.Patient(rec.Patient.ID)
+		if p == nil {
+			_, err := rs.db.AddPatient(rec.Patient)
+			return err
+		}
+		p.Info = rec.Patient
+	case TypeStreamOpen:
+		p, err := rs.patient(rec.PatientID)
+		if err != nil {
+			return err
+		}
+		if p.StreamBySession(rec.SessionID) == nil {
+			p.AddStream(rec.SessionID)
+		}
+		rs.open(SessionState{PatientID: rec.PatientID, SessionID: rec.SessionID})
+	case TypeVertexAppend:
+		p, err := rs.patient(rec.PatientID)
+		if err != nil {
+			return err
+		}
+		st := p.StreamBySession(rec.SessionID)
+		if st == nil {
+			st = p.AddStream(rec.SessionID)
+		}
+		vs := rec.Vertices
+		if seq := st.Seq(); len(seq) > 0 {
+			lastT := seq[len(seq)-1].T
+			keep := vs[:0]
+			for _, v := range vs {
+				if v.T > lastT {
+					keep = append(keep, v)
+				}
+			}
+			vs = keep
+		}
+		if len(vs) > 0 {
+			return st.Append(vs...)
+		}
+	case TypeSessionClose:
+		if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
+			rs.idx[rec.SessionID] = -1
+		}
+	case TypeSessionAnchor:
+		if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
+			rs.sessions[i].Samples = rec.Samples
+			rs.sessions[i].LastT = rec.AnchorT
+			rs.sessions[i].LastPos = rec.AnchorPos
+		}
+	default:
+		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// removeTempFiles clears half-written snapshot temp files left by a
+// crash mid-snapshot (the rename never happened, so they are garbage).
+func removeTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".tmp" {
+			os.Remove(filepath.Join(dir, e.Name())) //nolint:errcheck
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"stsmatch/internal/store"
+)
+
+const (
+	snapMagic   = "STSS"
+	snapVersion = 1
+)
+
+// SessionState is the durable part of one open ingestion session: the
+// identifiers plus the raw-sample anchor the prediction path resumes
+// from. The segmenter itself is re-primed from the recovered PLR tail.
+type SessionState struct {
+	PatientID string
+	SessionID string
+	Samples   uint64
+	LastT     float64
+	LastPos   []float64
+}
+
+// Snapshot serializes the database plus the open-session manifest to
+// snap-<LSN>.db, then compacts: segments entirely below the snapshot
+// LSN and all but the newest KeepSnapshots snapshots are deleted.
+//
+// The caller must guarantee the database is quiescent for the duration
+// (the server holds its session lock), so the snapshot is exactly the
+// state produced by every record below the returned LSN.
+func (l *Log) Snapshot(db *store.DB, sessions []SessionState) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	lsn := l.nextLSN
+	final := filepath.Join(l.opts.Dir, snapshotName(lsn))
+	tmp := final + ".tmp"
+	if err := writeSnapshotFile(tmp, lsn, db, sessions); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		l.fail(err)
+		return 0, l.err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		l.fail(err)
+		return 0, l.err
+	}
+	syncDir(l.opts.Dir)
+	l.compactLocked(lsn)
+	met.snapshots.Inc()
+	met.snapshotSeconds.Observe(time.Since(start).Seconds())
+	return lsn, nil
+}
+
+// writeSnapshotFile writes and fsyncs one snapshot file.
+func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []SessionState) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<16)
+	var hdr [4 + 2 + 8]byte
+	copy(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[6:], lsn)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(sessions)))
+	for _, ss := range sessions {
+		b = appendString(b, ss.PatientID)
+		b = appendString(b, ss.SessionID)
+		b = binary.AppendUvarint(b, ss.Samples)
+		b = appendF64(b, ss.LastT)
+		b = binary.AppendUvarint(b, uint64(len(ss.LastPos)))
+		for _, x := range ss.LastPos {
+			b = appendF64(b, x)
+		}
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if err := db.WriteBinary(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readSnapshotFile loads one snapshot file.
+func readSnapshotFile(path string) (*store.DB, []SessionState, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [4 + 2 + 8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	if string(hdr[:4]) != snapMagic {
+		return nil, nil, 0, fmt.Errorf("wal: bad snapshot magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != snapVersion {
+		return nil, nil, 0, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[6:])
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if n > 1<<20 {
+		return nil, nil, 0, fmt.Errorf("wal: implausible session count %d", n)
+	}
+	sessions := make([]SessionState, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var ss SessionState
+		if ss.PatientID, err = readSnapString(r); err != nil {
+			return nil, nil, 0, err
+		}
+		if ss.SessionID, err = readSnapString(r); err != nil {
+			return nil, nil, 0, err
+		}
+		if ss.Samples, err = binary.ReadUvarint(r); err != nil {
+			return nil, nil, 0, err
+		}
+		var tbuf [8]byte
+		if _, err := io.ReadFull(r, tbuf[:]); err != nil {
+			return nil, nil, 0, err
+		}
+		ss.LastT = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
+		dims, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if dims > maxDims {
+			return nil, nil, 0, fmt.Errorf("wal: implausible anchor dims %d", dims)
+		}
+		ss.LastPos = make([]float64, dims)
+		for j := range ss.LastPos {
+			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
+				return nil, nil, 0, err
+			}
+			ss.LastPos[j] = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
+		}
+		sessions = append(sessions, ss)
+	}
+	db, err := store.ReadBinary(r)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: snapshot payload: %w", err)
+	}
+	return db, sessions, lsn, nil
+}
+
+func readSnapString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("wal: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// compactLocked deletes log segments whose records all precede lsn and
+// prunes old snapshots. The active segment is never deleted.
+func (l *Log) compactLocked(lsn uint64) {
+	segs, err := listSeq(l.opts.Dir, "wal-", ".log")
+	if err != nil {
+		return
+	}
+	for i, first := range segs {
+		if first == l.segFirst {
+			break
+		}
+		// A segment's records end where the next one begins; it is
+		// disposable once that boundary is at or below the snapshot.
+		if i+1 < len(segs) && segs[i+1] <= lsn {
+			os.Remove(filepath.Join(l.opts.Dir, segmentName(first))) //nolint:errcheck
+		}
+	}
+	snaps, err := listSeq(l.opts.Dir, "snap-", ".db")
+	if err != nil {
+		return
+	}
+	for i := 0; i < len(snaps)-l.opts.KeepSnapshots; i++ {
+		os.Remove(filepath.Join(l.opts.Dir, snapshotName(snaps[i]))) //nolint:errcheck
+	}
+	syncDir(l.opts.Dir)
+}

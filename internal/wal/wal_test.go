@@ -1,0 +1,373 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// mkVerts builds n valid vertices starting at time t0 spaced 1 s,
+// cycling the regular states.
+func mkVerts(t0 float64, n int) plr.Sequence {
+	states := []plr.State{plr.EX, plr.EOE, plr.IN}
+	seq := make(plr.Sequence, n)
+	for i := range seq {
+		seq[i] = plr.Vertex{
+			T:     t0 + float64(i),
+			Pos:   []float64{float64(i) * 0.5},
+			State: states[i%len(states)],
+		}
+	}
+	return seq
+}
+
+// appendSession writes the standard record sequence of one ingesting
+// session: patient, stream, vertex batches, anchors.
+func appendSession(t *testing.T, l *Log, pid, sid string, verts plr.Sequence) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(l.Append(Record{Type: TypePatientUpsert, Patient: store.PatientInfo{ID: pid, Class: "calm", Age: 61}}))
+	must(l.Append(Record{Type: TypeStreamOpen, PatientID: pid, SessionID: sid}))
+	for i := 0; i < len(verts); i += 4 {
+		end := min(i+4, len(verts))
+		must(l.Append(Record{Type: TypeVertexAppend, PatientID: pid, SessionID: sid, Vertices: verts[i:end]}))
+		last := verts[end-1]
+		must(l.Append(Record{
+			Type: TypeSessionAnchor, PatientID: pid, SessionID: sid,
+			Samples: uint64(end * 30), AnchorT: last.T + 0.4, AnchorPos: []float64{last.Pos[0] + 0.1},
+		}))
+	}
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fresh {
+		t.Error("expected fresh directory")
+	}
+	verts := mkVerts(0, 12)
+	appendSession(t, l, "P1", "S1", verts)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res2, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res2.Fresh {
+		t.Error("second open should not be fresh")
+	}
+	if res2.RecordsTruncated != 0 {
+		t.Errorf("truncated %d records on a clean log", res2.RecordsTruncated)
+	}
+	if res2.RecordsReplayed == 0 {
+		t.Error("no records replayed")
+	}
+	p := res2.DB.Patient("P1")
+	if p == nil {
+		t.Fatal("patient not recovered")
+	}
+	if p.Info.Class != "calm" || p.Info.Age != 61 {
+		t.Errorf("patient info not recovered: %+v", p.Info)
+	}
+	st := p.StreamBySession("S1")
+	if st == nil {
+		t.Fatal("stream not recovered")
+	}
+	if st.Len() != len(verts) {
+		t.Errorf("recovered %d vertices, want %d", st.Len(), len(verts))
+	}
+	if len(res2.Sessions) != 1 {
+		t.Fatalf("recovered %d open sessions, want 1", len(res2.Sessions))
+	}
+	ss := res2.Sessions[0]
+	if ss.PatientID != "P1" || ss.SessionID != "S1" {
+		t.Errorf("session identity = %+v", ss)
+	}
+	if ss.LastT != verts[len(verts)-1].T+0.4 {
+		t.Errorf("anchor LastT = %v", ss.LastT)
+	}
+	if ss.Samples != uint64(len(verts)*30) {
+		t.Errorf("anchor Samples = %d", ss.Samples)
+	}
+
+	// The recovered log keeps accepting appends with contiguous LSNs.
+	if err := l2.Append(Record{Type: TypeSessionClose, SessionID: "S1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionCloseRemovesSession(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 6))
+	if err := l.Append(Record{Type: TypeSessionClose, SessionID: "S1"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 0 {
+		t.Errorf("closed session resurrected: %+v", res.Sessions)
+	}
+	if res.DB.NumVertices() != 6 {
+		t.Errorf("stream history lost on close: %d vertices", res.DB.NumVertices())
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 8))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: a partial frame at the end of the segment.
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %d", len(segs))
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("recovery must tolerate a torn tail: %v", err)
+	}
+	if res.RecordsTruncated != 1 {
+		t.Errorf("RecordsTruncated = %d, want 1", res.RecordsTruncated)
+	}
+	if res.BytesTruncated != 3 {
+		t.Errorf("BytesTruncated = %d, want 3", res.BytesTruncated)
+	}
+	if got := res.DB.NumVertices(); got != 8 {
+		t.Errorf("recovered %d vertices, want all 8", got)
+	}
+	// The tear is gone: appends resume and the next recovery is clean.
+	if err := l2.Append(Record{Type: TypeSessionClose, SessionID: "S1"}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, res3, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.RecordsTruncated != 0 {
+		t.Errorf("second recovery still truncating: %d", res3.RecordsTruncated)
+	}
+	if len(res3.Sessions) != 0 {
+		t.Error("post-tear append lost")
+	}
+}
+
+func TestRecoveryStopsAtCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 8))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the record stream: everything
+	// from that record on is discarded, everything before survives.
+	segs := segFiles(t, dir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := segHdrLen + (len(data)-segHdrLen)/2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("recovery must tolerate mid-log corruption: %v", err)
+	}
+	if res.RecordsTruncated != 1 {
+		t.Errorf("RecordsTruncated = %d, want 1", res.RecordsTruncated)
+	}
+	if res.BytesTruncated == 0 {
+		t.Error("no bytes truncated")
+	}
+	got := res.DB.NumVertices()
+	if got == 0 || got >= 8 {
+		t.Errorf("recovered %d vertices, want a proper prefix of 8", got)
+	}
+}
+
+func TestSnapshotCompactsSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotations.
+	l, _, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verts := mkVerts(0, 60)
+	appendSession(t, l, "P1", "S1", verts)
+	if len(segFiles(t, dir)) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segFiles(t, dir)))
+	}
+
+	// Rebuild the DB the same way recovery would, then snapshot it.
+	l.Close()
+	l, res, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Snapshot(res.DB, res.Sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn == 0 {
+		t.Fatal("snapshot LSN is 0")
+	}
+	if got := len(segFiles(t, dir)); got != 1 {
+		t.Errorf("%d segments survive compaction, want 1 (the active one)", got)
+	}
+	l.Close()
+
+	// Recovery now starts from the snapshot and replays nothing.
+	_, res2, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SnapshotLSN != lsn {
+		t.Errorf("SnapshotLSN = %d, want %d", res2.SnapshotLSN, lsn)
+	}
+	if res2.RecordsReplayed != 0 {
+		t.Errorf("replayed %d records past a fresh snapshot", res2.RecordsReplayed)
+	}
+	if res2.DB.NumVertices() != len(verts) {
+		t.Errorf("snapshot recovered %d vertices, want %d", res2.DB.NumVertices(), len(verts))
+	}
+	if len(res2.Sessions) != 1 {
+		t.Errorf("snapshot lost the open session manifest: %+v", res2.Sessions)
+	}
+}
+
+func TestSnapshotPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, KeepSnapshots: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	db := store.NewDB()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Record{Type: TypePatientUpsert, Patient: store.PatientInfo{ID: "P1"}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Snapshot(db, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Errorf("%d snapshots kept, want 2", len(snaps))
+	}
+}
+
+func TestFreshDirSeedsInitialSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	initial := store.NewDB()
+	p, err := initial.AddPatient(store.PatientInfo{ID: "HIST"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddStream("old").Append(mkVerts(0, 5)...); err != nil {
+		t.Fatal(err)
+	}
+
+	l, res, err := Open(Options{Dir: dir}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fresh || res.DB != initial {
+		t.Error("fresh open should adopt the initial database")
+	}
+	l.Close()
+
+	// Restart without the preload: history must come back from disk.
+	_, res2, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Fresh {
+		t.Error("seeded directory reported fresh")
+	}
+	if res2.DB.NumVertices() != 5 {
+		t.Errorf("preloaded history not durable: %d vertices", res2.DB.NumVertices())
+	}
+}
+
+func TestRecordRoundTripAllTypes(t *testing.T) {
+	recs := []Record{
+		{Type: TypePatientUpsert, LSN: 1, Patient: store.PatientInfo{ID: "P", Class: "calm", TumorSite: "lung", Age: 70}},
+		{Type: TypeStreamOpen, LSN: 2, PatientID: "P", SessionID: "S"},
+		{Type: TypeVertexAppend, LSN: 3, PatientID: "P", SessionID: "S", Vertices: mkVerts(10, 3)},
+		{Type: TypeSessionClose, LSN: 4, SessionID: "S"},
+		{Type: TypeSessionAnchor, LSN: 5, PatientID: "P", SessionID: "S", Samples: 99, AnchorT: 12.5, AnchorPos: []float64{1, 2, 3}},
+	}
+	for _, rec := range recs {
+		got, err := decodePayload(encodePayload(rec))
+		if err != nil {
+			t.Fatalf("%s: %v", rec.Type, err)
+		}
+		if got.Type != rec.Type || got.LSN != rec.LSN ||
+			got.PatientID != rec.PatientID || got.SessionID != rec.SessionID ||
+			got.Patient != rec.Patient || got.Samples != rec.Samples ||
+			got.AnchorT != rec.AnchorT || len(got.AnchorPos) != len(rec.AnchorPos) ||
+			len(got.Vertices) != len(rec.Vertices) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", rec.Type, got, rec)
+		}
+	}
+}
