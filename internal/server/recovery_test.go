@@ -210,6 +210,39 @@ func TestRecoverySkipsClosedSessions(t *testing.T) {
 	}
 }
 
+// TestCloseSessionFailsWhenWALFlushFails: with durability on, a close
+// whose WAL flush cannot succeed must not claim success — the session
+// stays open (retryable) and the response is a 500, never a 200 that a
+// crash would contradict.
+func TestCloseSessionFailsWhenWALFlushFails(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableServer(t, dir)
+	resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	// Close the log out from under the server: every further append
+	// fails, modeling an unwritable WAL.
+	if err := srv.wal.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/S01", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("delete with failed WAL flush: status %d, want 500", dresp.StatusCode)
+	}
+	if n := srv.OpenSessions(); n != 1 {
+		t.Errorf("session removed despite failed close flush: OpenSessions = %d", n)
+	}
+}
+
 // TestCloseSessionEndpoint exercises DELETE /v1/sessions/{sid} on an
 // in-memory server.
 func TestCloseSessionEndpoint(t *testing.T) {

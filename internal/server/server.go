@@ -323,22 +323,30 @@ type CloseSessionResponse struct {
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("sid")
 	s.lock()
+	defer s.mu.Unlock()
 	sess, ok := s.sessions[sid]
 	if !ok {
-		s.mu.Unlock()
 		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
 		return
 	}
-	delete(s.sessions, sid)
-	s.met.sessionsOpen.Set(int64(len(s.sessions)))
-	s.mu.Unlock()
-
 	if s.wal != nil {
-		s.walAppend(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
-		if err := s.wal.log.Sync(); err != nil {
-			s.log.Warn("flushing session close", slog.Any("err", err))
+		// Journal and fsync the close record before removing the
+		// session, so a 200 really means "durably closed": if the flush
+		// fails the session stays open and the client can retry.
+		// Holding s.mu across one fsync is acceptable on this rare path.
+		err := s.wal.log.Append(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
+		if err == nil {
+			err = s.wal.log.Sync()
+		}
+		if err != nil {
+			s.wal.lastErr.Store(err.Error())
+			s.log.Error("flushing session close", slog.Any("err", err))
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("flushing session close: %w", err))
+			return
 		}
 	}
+	delete(s.sessions, sid)
+	s.met.sessionsOpen.Set(int64(len(s.sessions)))
 	s.met.sessionsClosed.Inc()
 	s.log.Info("session closed",
 		slog.String("patientId", sess.patientID),

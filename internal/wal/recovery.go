@@ -110,7 +110,9 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 
 	// Replay segments in LSN order, verifying checksums and LSN
 	// contiguity; the first torn record truncates the log there and
-	// discards anything after it.
+	// discards anything after it. Only ErrTorn is recoverable — I/O
+	// errors and unsupported versions fail Open rather than destroy
+	// data a retry (or a newer binary) could still read.
 	nextLSN := snapLSN
 	if nextLSN == 0 {
 		nextLSN = 1
@@ -118,6 +120,12 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	resume := -1 // index in segs of the segment to keep appending to
 	var resumeEnd int64
 	for i, first := range segs {
+		if first > nextLSN {
+			// Records in [nextLSN, first) exist nowhere: replaying over
+			// the hole would silently produce an inconsistent database.
+			return nil, nil, fmt.Errorf("wal: gap in log: segment %s starts at LSN %d but %d is next; refusing to replay over missing records",
+				segmentName(first), first, nextLSN)
+		}
 		end, last, err := replaySegment(filepath.Join(opts.Dir, segmentName(first)), first, snapLSN, rs, res)
 		res.SegmentsScanned++
 		if last >= nextLSN {
@@ -125,6 +133,9 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 		}
 		resume, resumeEnd = i, end
 		if err != nil {
+			if !errors.Is(err, ErrTorn) {
+				return nil, nil, fmt.Errorf("wal: reading %s: %w", segmentName(first), err)
+			}
 			// Truncate the torn tail and drop any later segments
 			// (they cannot contain valid records past a tear).
 			res.RecordsTruncated++
@@ -143,7 +154,17 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	res.RecordsReplayed = rs.applied
 	res.DB = db
 
-	// Reopen the tail segment for appending, or start the first one.
+	// Reopen the tail segment for appending, or start the first one. A
+	// tail whose own header was torn (crash between segment creation
+	// and header fsync) cannot be resumed: appending at offset 0 would
+	// leave the segment headerless, and the next recovery would fail
+	// its magic check and truncate everything written since. Replace it
+	// with a fresh, properly-headered segment instead.
+	if resume >= 0 && resumeEnd < segHdrLen {
+		os.Remove(filepath.Join(opts.Dir, segmentName(segs[resume]))) //nolint:errcheck
+		syncDir(opts.Dir)
+		resume = -1
+	}
 	if resume >= 0 {
 		err = l.resumeSegmentLocked(segs[resume], resumeEnd)
 	} else {
@@ -178,7 +199,10 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 // replaySegment reads one segment, applying records with LSN >=
 // snapLSN. It returns the offset just past the last valid record, the
 // last valid LSN seen (0 if none), and a non-nil error if the segment
-// is torn at that offset.
+// could not be fully read: an error wrapping ErrTorn means the segment
+// is torn at that offset (safe to truncate there); any other error —
+// I/O failure, unsupported version — means the data may be intact and
+// the caller must not truncate.
 func replaySegment(path string, nameLSN, snapLSN uint64, rs *replayState, res *RecoveryResult) (int64, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -30,8 +30,10 @@ type SessionState struct {
 }
 
 // Snapshot serializes the database plus the open-session manifest to
-// snap-<LSN>.db, then compacts: segments entirely below the snapshot
-// LSN and all but the newest KeepSnapshots snapshots are deleted.
+// snap-<LSN>.db, then compacts: all but the newest KeepSnapshots
+// snapshots are deleted, along with every segment entirely below the
+// oldest snapshot that remains (so each kept snapshot still has a
+// contiguous WAL tail to replay).
 //
 // The caller must guarantee the database is quiescent for the duration
 // (the server holds its session lock), so the snapshot is exactly the
@@ -186,9 +188,30 @@ func readSnapString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// compactLocked deletes log segments whose records all precede lsn and
-// prunes old snapshots. The active segment is never deleted.
+// compactLocked prunes old snapshots and deletes log segments no
+// retained snapshot needs. Recovery may fall back to the OLDEST kept
+// snapshot when newer ones are unreadable, so segments are retained
+// back to that snapshot's LSN — not just the newest's — keeping the
+// snapshot+tail replay contiguous for every snapshot still on disk.
+// The active segment is never deleted. lsn is the LSN of the snapshot
+// just written, used as the retention floor if listing fails.
 func (l *Log) compactLocked(lsn uint64) {
+	snaps, err := listSeq(l.opts.Dir, "snap-", ".db")
+	if err != nil {
+		return
+	}
+	for i := 0; i < len(snaps)-l.opts.KeepSnapshots; i++ {
+		os.Remove(filepath.Join(l.opts.Dir, snapshotName(snaps[i]))) //nolint:errcheck
+	}
+	retain := lsn
+	if oldest := len(snaps) - l.opts.KeepSnapshots; oldest < len(snaps) {
+		if oldest < 0 {
+			oldest = 0
+		}
+		if snaps[oldest] < retain {
+			retain = snaps[oldest]
+		}
+	}
 	segs, err := listSeq(l.opts.Dir, "wal-", ".log")
 	if err != nil {
 		return
@@ -198,17 +221,11 @@ func (l *Log) compactLocked(lsn uint64) {
 			break
 		}
 		// A segment's records end where the next one begins; it is
-		// disposable once that boundary is at or below the snapshot.
-		if i+1 < len(segs) && segs[i+1] <= lsn {
+		// disposable once that boundary is at or below every LSN a
+		// surviving snapshot could resume replay from.
+		if i+1 < len(segs) && segs[i+1] <= retain {
 			os.Remove(filepath.Join(l.opts.Dir, segmentName(first))) //nolint:errcheck
 		}
-	}
-	snaps, err := listSeq(l.opts.Dir, "snap-", ".db")
-	if err != nil {
-		return
-	}
-	for i := 0; i < len(snaps)-l.opts.KeepSnapshots; i++ {
-		os.Remove(filepath.Join(l.opts.Dir, snapshotName(snaps[i]))) //nolint:errcheck
 	}
 	syncDir(l.opts.Dir)
 }

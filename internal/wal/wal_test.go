@@ -241,6 +241,192 @@ func TestRecoveryStopsAtCorruptRecord(t *testing.T) {
 	}
 }
 
+// TestRecoveryReplacesTornHeaderSegment models a crash between
+// segment creation and header fsync: the tail segment's header is
+// torn, so it cannot be resumed (appends at offset 0 would be
+// headerless and unreadable). Recovery must replace it with a fresh,
+// properly-headered segment, and everything appended afterwards must
+// survive the next recovery.
+func TestRecoveryReplacesTornHeaderSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 24))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	// Tear the newest segment's header down to a partial write.
+	if err := os.Truncate(segs[len(segs)-1], int64(segHdrLen-9)); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatalf("recovery must tolerate a torn segment header: %v", err)
+	}
+	if res.RecordsTruncated != 1 {
+		t.Errorf("RecordsTruncated = %d, want 1", res.RecordsTruncated)
+	}
+	recovered := res.DB.NumVertices()
+	if recovered == 0 {
+		t.Fatal("earlier segments lost")
+	}
+	// Writes after the torn-header recovery must be durable: the
+	// replacement segment needs a valid header or the next recovery
+	// truncates everything at offset 0.
+	if err := l2.Append(Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(1000, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res3, err := Open(Options{Dir: dir, SegmentMaxBytes: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.RecordsTruncated != 0 {
+		t.Errorf("recovery after torn-header replacement truncated %d records", res3.RecordsTruncated)
+	}
+	if got := res3.DB.NumVertices(); got != recovered+2 {
+		t.Errorf("post-replacement appends lost: %d vertices, want %d", got, recovered+2)
+	}
+}
+
+// TestUnsupportedSegmentVersionFailsOpen: a version this binary does
+// not understand is not a torn record — Open must fail and leave the
+// segment untouched for a binary that can read it.
+func TestUnsupportedSegmentVersionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 8))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := segFiles(t, dir)[0]
+	before, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{99, 0}, 4); err != nil { // version field
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, _, err := Open(Options{Dir: dir}, nil); err == nil {
+		t.Fatal("Open accepted an unsupported segment version")
+	}
+	after, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("failed Open modified the segment: %d bytes, was %d", len(after), len(before))
+	}
+
+	// Restoring the version makes the directory fully recoverable —
+	// nothing was truncated or deleted.
+	f, err = os.OpenFile(seg, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{segVersion, 0}, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsTruncated != 0 || res.DB.NumVertices() != 8 {
+		t.Errorf("restored segment not fully recovered: truncated=%d vertices=%d",
+			res.RecordsTruncated, res.DB.NumVertices())
+	}
+}
+
+// TestFallbackSnapshotReplaysContiguousTail pins the KeepSnapshots
+// contract: when the newest snapshot is unreadable, recovery falls
+// back to the previous one, and compaction must have retained every
+// segment that fallback needs — no silent hole between the older
+// snapshot and the surviving WAL tail.
+func TestFallbackSnapshotReplaysContiguousTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, SegmentMaxBytes: 256, KeepSnapshots: 2}
+	reopen := func(l *Log) (*Log, *RecoveryResult) {
+		t.Helper()
+		if l != nil {
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l2, res, err := Open(opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l2, res
+	}
+
+	l, _, err := Open(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(0, 8))
+	l, res := reopen(l)
+	if _, err := l.Snapshot(res.DB, res.Sessions); err != nil { // snapshot A
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(100, 8)) // rotates several segments
+	l, res = reopen(l)
+	if _, err := l.Snapshot(res.DB, res.Sessions); err != nil { // snapshot B compacts
+		t.Fatal(err)
+	}
+	appendSession(t, l, "P1", "S1", mkVerts(200, 4))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest snapshot; recovery must fall back to A and
+	// still rebuild the full 20-vertex state from retained segments.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots on disk, want 2", len(snaps))
+	}
+	fi, err := os.Stat(snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snaps[len(snaps)-1], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res2, err := Open(opts, nil)
+	if err != nil {
+		t.Fatalf("fallback recovery failed: %v", err)
+	}
+	if got := res2.DB.NumVertices(); got != 20 {
+		t.Errorf("fallback recovered %d vertices, want 20", got)
+	}
+	if len(res2.Sessions) != 1 {
+		t.Errorf("fallback lost the open session: %+v", res2.Sessions)
+	}
+}
+
 func TestSnapshotCompactsSegments(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny segments force rotations.
