@@ -1,0 +1,325 @@
+// Command benchmatch is the reproducible matcher/gateway benchmark
+// runner: it builds a deterministic synthetic cohort, measures
+// similarity-search latency and pruning-funnel counters for (a) a
+// single-node in-process matcher and (b) a 3-shard deployment behind
+// the consistent-hash gateway, and writes the results to
+// BENCH_matcher.json so the perf trajectory of the matcher and the
+// scatter-gather path is tracked in-repo.
+//
+//	benchmatch                       # defaults: 6 patients, k=10, 200 iters
+//	benchmatch -patients 12 -iters 500 -out BENCH_matcher.json
+//
+// The cohort is seeded deterministically, so candidate counts and
+// match sets are identical run to run; only wall-clock numbers vary
+// with the hardware.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/obs"
+	"stsmatch/internal/plr"
+	"stsmatch/internal/server"
+	"stsmatch/internal/shard"
+	"stsmatch/internal/signal"
+	"stsmatch/internal/store"
+)
+
+// patientData is one synthetic patient's segmented stream.
+type patientData struct {
+	pid, sid string
+	vertices plr.Sequence
+}
+
+// scenarioResult is one benchmarked configuration.
+type scenarioResult struct {
+	NsPerOp           float64 `json:"nsPerOp"`
+	Matches           int     `json:"matches"`
+	CandidatesScanned int     `json:"candidatesScanned"`
+	IndexPruned       int     `json:"indexPruned"`
+	Shards            int     `json:"shards,omitempty"`
+}
+
+// benchReport is the BENCH_matcher.json schema.
+type benchReport struct {
+	Patients   int            `json:"patients"`
+	DurationS  float64        `json:"durationSeconds"`
+	K          int            `json:"k"`
+	Iters      int            `json:"iters"`
+	QueryLen   int            `json:"queryLen"`
+	SingleNode scenarioResult `json:"singleNode"`
+	Sharded    scenarioResult `json:"sharded"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_matcher.json", "output path for the benchmark report")
+	patients := flag.Int("patients", 6, "synthetic patients in the cohort")
+	duration := flag.Float64("duration", 45, "seconds of breathing data per patient")
+	k := flag.Int("k", 10, "top-k for the benchmark queries")
+	iters := flag.Int("iters", 200, "measured iterations per scenario")
+	flag.Parse()
+
+	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
+
+	data, err := buildCohort(*patients, *duration)
+	if err != nil {
+		fatal(err)
+	}
+	qseq := data[0].vertices
+	if len(qseq) < 12 {
+		fatal(fmt.Errorf("query stream too short: %d vertices", len(qseq)))
+	}
+	qseq = qseq[len(qseq)-10:]
+
+	report := benchReport{
+		Patients:  *patients,
+		DurationS: *duration,
+		K:         *k,
+		Iters:     *iters,
+		QueryLen:  len(qseq),
+	}
+
+	report.SingleNode, err = benchSingleNode(data, qseq, *k, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	report.Sharded, err = benchSharded(data, qseq, *k, *iters)
+	if err != nil {
+		fatal(err)
+	}
+
+	if report.SingleNode.Matches != report.Sharded.Matches {
+		fatal(fmt.Errorf("sharded top-k (%d matches) disagrees with single node (%d): merge is broken",
+			report.Sharded.Matches, report.SingleNode.Matches))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("single-node: %.0f ns/op (%d candidates, %d pruned)\n",
+		report.SingleNode.NsPerOp, report.SingleNode.CandidatesScanned, report.SingleNode.IndexPruned)
+	fmt.Printf("3-shard gw : %.0f ns/op (%d candidates, %d pruned)\n",
+		report.Sharded.NsPerOp, report.Sharded.CandidatesScanned, report.Sharded.IndexPruned)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// buildCohort segments deterministic respiration traces into PLR
+// streams, one patient each.
+func buildCohort(patients int, duration float64) ([]patientData, error) {
+	var out []patientData
+	for i := 0; i < patients; i++ {
+		gen, err := signal.NewRespiration(signal.DefaultRespiration(), int64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		seg, err := fsm.New(fsm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		var seq plr.Sequence
+		for _, s := range gen.Generate(duration) {
+			vs, err := seg.Push(s)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, vs...)
+		}
+		out = append(out, patientData{
+			pid:      fmt.Sprintf("P%02d", i),
+			sid:      fmt.Sprintf("S-P%02d", i),
+			vertices: seq,
+		})
+	}
+	return out, nil
+}
+
+// loadDB builds a store database holding the given patients.
+func loadDB(data []patientData) (*store.DB, error) {
+	db := store.NewDB()
+	for _, pd := range data {
+		p, err := db.AddPatient(store.PatientInfo{ID: pd.pid})
+		if err != nil {
+			return nil, err
+		}
+		st := p.AddStream(pd.sid)
+		if err := st.Append(pd.vertices...); err != nil {
+			return nil, err
+		}
+	}
+	db.EnableIndexes()
+	return db, nil
+}
+
+// counters snapshots the matcher pruning funnel.
+func counters() (scanned, pruned, matched int) {
+	for _, p := range obs.Default().Gather() {
+		switch p.Name {
+		case "stsmatch_matcher_candidates_scanned_total":
+			scanned = int(p.Value)
+		case "stsmatch_matcher_index_pruned_total":
+			pruned = int(p.Value)
+		case "stsmatch_matcher_matches_total":
+			matched = int(p.Value)
+		}
+	}
+	return
+}
+
+func benchSingleNode(data []patientData, qseq plr.Sequence, k, iters int) (scenarioResult, error) {
+	db, err := loadDB(data)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	m, err := core.NewMatcher(db, core.DefaultParams())
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	q := core.NewQuery(qseq, data[0].pid, data[0].sid)
+	// Warmup.
+	matches, err := m.TopK(q, k, nil)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	s0, p0, _ := counters()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := m.TopK(q, k, nil); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	s1, p1, _ := counters()
+	return scenarioResult{
+		NsPerOp:           float64(elapsed.Nanoseconds()) / float64(iters),
+		Matches:           len(matches),
+		CandidatesScanned: (s1 - s0) / iters,
+		IndexPruned:       (p1 - p0) / iters,
+	}, nil
+}
+
+func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenarioResult, error) {
+	// Three shards on loopback listeners.
+	const shards = 3
+	var urls []string
+	var servers []*http.Server
+	var listeners []net.Listener
+	defer func() {
+		for _, hs := range servers {
+			hs.Close() //nolint:errcheck
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		listeners = append(listeners, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+
+	// Partition patients exactly as the gateway's ring will.
+	ring := shard.NewRing(shard.DefaultReplicas)
+	for _, u := range urls {
+		ring.Add(u)
+	}
+	parts := make(map[string][]patientData)
+	for _, pd := range data {
+		owner := ring.Owner(pd.pid)
+		parts[owner] = append(parts[owner], pd)
+	}
+	for i, u := range urls {
+		db, err := loadDB(parts[u])
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		srv, err := server.New(db, core.DefaultParams(), fsm.DefaultConfig())
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		hs := &http.Server{Handler: srv}
+		servers = append(servers, hs)
+		go hs.Serve(listeners[i]) //nolint:errcheck
+	}
+
+	gw, err := shard.NewGateway(urls, shard.Options{HealthInterval: -1})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	defer gw.Close()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	ghs := &http.Server{Handler: gw}
+	servers = append(servers, ghs)
+	go ghs.Serve(gln) //nolint:errcheck
+	gURL := "http://" + gln.Addr().String()
+
+	body, err := json.Marshal(server.MatchRequest{
+		Seq: qseq, PatientID: data[0].pid, SessionID: data[0].sid, K: k,
+	})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	call := func() (shard.MatchResult, error) {
+		resp, err := client.Post(gURL+"/v1/match", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return shard.MatchResult{}, err
+		}
+		defer resp.Body.Close()
+		var res shard.MatchResult
+		if resp.StatusCode != http.StatusOK {
+			return res, fmt.Errorf("gateway status %d", resp.StatusCode)
+		}
+		return res, json.NewDecoder(resp.Body).Decode(&res)
+	}
+	// Warmup (also establishes keep-alive connections).
+	res, err := call()
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	if res.Degraded || res.ShardsOK != shards {
+		return scenarioResult{}, fmt.Errorf("sharded warmup degraded: %d/%d shards", res.ShardsOK, res.ShardsQueried)
+	}
+	s0, p0, _ := counters()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := call(); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	s1, p1, _ := counters()
+	return scenarioResult{
+		NsPerOp:           float64(elapsed.Nanoseconds()) / float64(iters),
+		Matches:           len(res.Matches),
+		CandidatesScanned: (s1 - s0) / iters,
+		IndexPruned:       (p1 - p0) / iters,
+		Shards:            shards,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmatch:", err)
+	os.Exit(1)
+}

@@ -62,7 +62,8 @@ type Matcher struct {
 
 	// scratch buffers reused across searches (a Matcher is not safe
 	// for concurrent use; create one per goroutine).
-	vw []float64
+	vw     []float64
+	starts []int // ablation-mode candidate starts, reused across streams
 }
 
 // NewMatcher builds a matcher; it returns an error for invalid
@@ -122,9 +123,20 @@ func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error
 			}
 		} else {
 			// Ablation mode: every window of the query's length is a
-			// candidate, regardless of its state order.
-			for j := 0; j+n <= len(seq); j++ {
-				starts = append(starts, j)
+			// candidate, regardless of its state order. The start list
+			// is written into a scratch buffer sized once per stream
+			// (len(seq)-n+1 entries) and reused across streams, keeping
+			// this hot loop allocation-free after the largest stream.
+			possible := len(seq) - n + 1
+			if possible < 0 {
+				possible = 0
+			}
+			if cap(m.starts) < possible {
+				m.starts = make([]int, 0, possible)
+			}
+			starts = m.starts[:possible]
+			for j := range starts {
+				starts[j] = j
 			}
 		}
 		mCandidates.Add(len(starts))

@@ -206,6 +206,83 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+func TestTopKRestrict(t *testing.T) {
+	db := buildTestDB(t)
+	p := DefaultParams()
+	p.DistThreshold = 1e-12 // TopK must ignore the threshold
+	m, _ := NewMatcher(db, p)
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+
+	restrict := map[string]bool{"P2": true}
+	got, err := m.TopK(q, 50, restrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("restricted TopK found nothing in P2's near-identical stream")
+	}
+	for _, mt := range got {
+		if mt.Stream.PatientID != "P2" {
+			t.Errorf("restricted TopK returned a match from %s", mt.Stream.PatientID)
+		}
+	}
+	// The restricted result must equal the unrestricted result
+	// filtered to the allowed patients: restriction prunes candidate
+	// streams, it must not change scoring.
+	all, err := m.TopK(q, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Match
+	for _, mt := range all {
+		if restrict[mt.Stream.PatientID] {
+			want = append(want, mt)
+		}
+	}
+	if len(want) != len(got) {
+		t.Fatalf("restricted TopK has %d matches, filtered unrestricted has %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Stream != got[i].Stream || want[i].Start != got[i].Start || want[i].Distance != got[i].Distance {
+			t.Errorf("match %d: restricted %+v != filtered %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFindSimilarAblationScratchReuse(t *testing.T) {
+	// With RequireStateOrder off, candidate starts come from a scratch
+	// buffer reused across streams and searches; reuse must not change
+	// results, including when a longer query follows a shorter one.
+	db := buildTestDB(t)
+	p := DefaultParams()
+	p.RequireStateOrder = false
+	reused, _ := NewMatcher(db, p)
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	for _, n := range []int{6, 12, 8} {
+		q := NewQuery(seq[len(seq)-n:], "P1", "S1")
+		fresh, _ := NewMatcher(db, p)
+		want, err := fresh.FindSimilar(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reused.FindSimilar(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: reused matcher found %d matches, fresh found %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Stream != want[i].Stream || got[i].Start != want[i].Start || got[i].Distance != want[i].Distance {
+				t.Errorf("n=%d match %d: reused %+v != fresh %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestMatchWeightFormula(t *testing.T) {
 	db := buildTestDB(t)
 	m, _ := NewMatcher(db, DefaultParams())

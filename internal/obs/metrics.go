@@ -254,6 +254,20 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(strings.Join(values, labelSep)).(*Counter)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values (created on first
+// use). The number of values must match the registered labels.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(strings.Join(values, labelSep)).(*Gauge)
+}
+
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ f *family }
 

@@ -39,7 +39,18 @@ type Options struct {
 	// SegmentMaxBytes overrides the WAL segment rotation size
 	// (0 = wal default).
 	SegmentMaxBytes int64
+
+	// MaxBodyBytes caps request bodies on the body-accepting endpoints
+	// (session create, sample ingest, remote match) via
+	// http.MaxBytesReader, so a misbehaving client cannot balloon a
+	// shard's memory. 0 selects DefaultMaxBodyBytes; negative disables
+	// the cap.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds
+// ~100k samples per ingest batch, far above any sane client.
+const DefaultMaxBodyBytes = 8 << 20
 
 // durability is the server's handle on the WAL subsystem.
 type durability struct {

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/plr"
+)
+
+// MatchRequest is a serialized similarity query, as POSTed by the
+// sharding gateway (or any remote caller) to /v1/match. The sequence
+// carries its provenance so the shard can classify every candidate's
+// source relation exactly as a local search would.
+type MatchRequest struct {
+	Seq plr.Sequence `json:"seq"`
+	// PatientID/SessionID identify the stream the query was taken
+	// from; empty for ad-hoc queries (every candidate is then
+	// other-patient).
+	PatientID string `json:"patientId,omitempty"`
+	SessionID string `json:"sessionId,omitempty"`
+	// Now overrides the query's current time (defaults to the last
+	// vertex's T). Same-session candidates must end strictly before
+	// the query begins regardless.
+	Now *float64 `json:"now,omitempty"`
+	// K > 0 requests the k nearest neighbours ignoring the distance
+	// threshold (Matcher.TopK); K == 0 returns every match within the
+	// threshold (Matcher.FindSimilar).
+	K int `json:"k,omitempty"`
+}
+
+// RemoteMatch is one match in wire form: the stream is named rather
+// than referenced, and the relation/weight are resolved so a merging
+// gateway needs no knowledge of the shard's parameters.
+type RemoteMatch struct {
+	PatientID string  `json:"patientId"`
+	SessionID string  `json:"sessionId"`
+	Start     int     `json:"start"`
+	N         int     `json:"n"`
+	Relation  string  `json:"relation"`
+	Distance  float64 `json:"distance"`
+	Weight    float64 `json:"weight"`
+}
+
+// MatchResponse is the shard-local result set, sorted by ascending
+// distance.
+type MatchResponse struct {
+	Matches []RemoteMatch `json:"matches"`
+}
+
+// handleMatch runs a similarity search for a serialized query. Like
+// prediction, the search runs on a pooled matcher outside the session
+// lock, so remote queries never block ingestion.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.capBody(w, r)
+	var req MatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, bodyErrCode(err), fmt.Errorf("decoding match request: %w", err))
+		return
+	}
+	if len(req.Seq) < 2 {
+		httpError(w, http.StatusBadRequest, errors.New("query sequence needs at least 2 vertices"))
+		return
+	}
+	if err := req.Seq.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid query sequence: %w", err))
+		return
+	}
+	if req.K < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 0, got %d", req.K))
+		return
+	}
+	q := core.NewQuery(req.Seq, req.PatientID, req.SessionID)
+	if req.Now != nil {
+		q.Now = *req.Now
+	}
+	matcher := s.matchers.Get().(*core.Matcher)
+	defer s.matchers.Put(matcher)
+	var matches []core.Match
+	var err error
+	if req.K > 0 {
+		matches, err = matcher.TopK(q, req.K, nil)
+	} else {
+		matches, err = matcher.FindSimilar(q, nil)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]RemoteMatch, len(matches))
+	for i, mt := range matches {
+		out[i] = RemoteMatch{
+			PatientID: mt.Stream.PatientID,
+			SessionID: mt.Stream.SessionID,
+			Start:     mt.Start,
+			N:         mt.N,
+			Relation:  mt.Relation.String(),
+			Distance:  mt.Distance,
+			Weight:    mt.Weight,
+		}
+	}
+	writeJSON(w, http.StatusOK, MatchResponse{Matches: out})
+}
+
+// ShardSession describes one open ingestion session in shard-local
+// stats.
+type ShardSession struct {
+	SessionID string `json:"sessionId"`
+	PatientID string `json:"patientId"`
+	Samples   int    `json:"samples"`
+}
+
+// ShardStatsResponse is the shard-local inventory served at
+// /v1/shard/stats: enough for a gateway to aggregate database totals
+// and to rediscover which shard owns an open session after a restart.
+type ShardStatsResponse struct {
+	Patients int            `json:"patients"`
+	Streams  int            `json:"streams"`
+	Vertices int            `json:"vertices"`
+	Sessions []ShardSession `json:"sessions"`
+}
+
+func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
+	s.lock()
+	sessions := make([]ShardSession, 0, len(s.sessions))
+	for sid, sess := range s.sessions {
+		sessions = append(sessions, ShardSession{
+			SessionID: sid,
+			PatientID: sess.patientID,
+			Samples:   sess.samples,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(a, b int) bool { return sessions[a].SessionID < sessions[b].SessionID })
+	writeJSON(w, http.StatusOK, ShardStatsResponse{
+		Patients: s.db.NumPatients(),
+		Streams:  len(s.db.Streams()),
+		Vertices: s.db.NumVertices(),
+		Sessions: sessions,
+	})
+}

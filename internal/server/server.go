@@ -14,9 +14,16 @@
 //	DELETE /v1/sessions/{sid}                                      -> close session
 //	GET    /v1/sessions/{sid}/predict?delta=200ms                  -> prediction
 //	GET    /v1/sessions/{sid}/plr                                  -> current PLR
+//	POST   /v1/match                    {"seq",...,"k"}            -> similarity search
 //	GET    /v1/stats                                               -> database stats
+//	GET    /v1/shard/stats                                         -> shard-local inventory
 //	GET    /v1/healthz                                             -> liveness + recovery stats
 //	GET    /metrics                                                -> Prometheus text format
+//
+// /v1/match and /v1/shard/stats exist for the sharding gateway
+// (internal/shard): the former runs a similarity search for a
+// serialized query sequence, the latter inventories open sessions so
+// a restarted gateway can rediscover session placement.
 //
 // With Options.DataDir set, every mutation is journaled to a
 // write-ahead log and compacted into snapshots (see internal/wal); a
@@ -57,6 +64,7 @@ type Server struct {
 	met      *serverMetrics
 	start    time.Time
 	wal      *durability // nil when Options.DataDir is unset
+	maxBody  int64       // request-body cap; <= 0 disables
 
 	// matchers pools core.Matcher instances (one in flight per
 	// prediction; a Matcher carries scratch buffers and is not safe for
@@ -113,6 +121,10 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		log:      obs.Logger("server"),
 		met:      newServerMetrics(obs.Default()),
 		start:    time.Now(),
+		maxBody:  opts.MaxBodyBytes,
+	}
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
 	}
 	if opts.DataDir != "" {
 		if err := s.openDurability(db, opts); err != nil {
@@ -129,7 +141,9 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	s.route("DELETE /v1/sessions/{sid}", "close_session", s.handleCloseSession)
 	s.route("GET /v1/sessions/{sid}/predict", "predict", s.handlePredict)
 	s.route("GET /v1/sessions/{sid}/plr", "plr", s.handlePLR)
+	s.route("POST /v1/match", "match", s.handleMatch)
 	s.route("GET /v1/stats", "stats", s.handleStats)
+	s.route("GET /v1/shard/stats", "shard_stats", s.handleShardStats)
 	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.Default().Handler())
 	s.handler = obs.RequestID(obs.AccessLog(s.log, s.mux))
@@ -160,6 +174,25 @@ func (s *Server) lock() {
 	s.met.lockWait.Observe(time.Since(start).Seconds())
 }
 
+// capBody applies the request-body limit (Options.MaxBodyBytes) on a
+// body-accepting handler, so decoding a hostile body aborts at the cap
+// instead of exhausting the shard's memory.
+func (s *Server) capBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+}
+
+// bodyErrCode maps a request-decode error to a status code: 413 when
+// the body cap tripped, 400 otherwise.
+func bodyErrCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // httpError writes a JSON error body.
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
@@ -180,9 +213,10 @@ type CreateSessionRequest struct {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	s.capBody(w, r)
 	var req CreateSessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		httpError(w, bodyErrCode(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.PatientID == "" || req.SessionID == "" {
@@ -248,9 +282,10 @@ type SamplesResponse struct {
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("sid")
+	s.capBody(w, r)
 	var batch []SampleIn
 	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding samples: %w", err))
+		httpError(w, bodyErrCode(err), fmt.Errorf("decoding samples: %w", err))
 		return
 	}
 	s.lock()

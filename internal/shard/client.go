@@ -1,0 +1,331 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stsmatch/internal/obs"
+)
+
+// Options tunes the gateway's backend clients. The zero value selects
+// production-shaped defaults.
+type Options struct {
+	// Replicas is the number of virtual nodes per backend on the
+	// consistent-hash ring (0 = DefaultReplicas).
+	Replicas int
+
+	// Timeout bounds each individual backend request attempt
+	// (0 = 5s).
+	Timeout time.Duration
+
+	// MaxRetries is the number of retry attempts (beyond the first)
+	// for idempotent calls that fail with a transport error or a
+	// retryable status (negative = 0, zero = default 2).
+	MaxRetries int
+
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// retries; each sleep is jittered to 50-100% of the nominal value
+	// (0 = 25ms base, 1s max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// HealthInterval is the active health-probe period (0 = 2s,
+	// negative = disable active checking).
+	HealthInterval time.Duration
+
+	// FailThreshold is the number of consecutive failures (probes or
+	// requests) after which a backend is ejected (0 = 3).
+	FailThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 25 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	return o
+}
+
+// maxResponseBytes caps how much of a backend response the gateway
+// buffers (a full-stream PLR response can be large, but not this
+// large).
+const maxResponseBytes = 64 << 20
+
+// Backend is one streamd instance as seen by the gateway: a base URL,
+// a pooled HTTP client, and the health state maintained by active
+// probes and passive request outcomes.
+type Backend struct {
+	url     string
+	hc      *http.Client
+	healthy atomic.Bool
+	fails   atomic.Int64
+}
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// Healthy reports whether the backend is currently admitted.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Pool manages the set of backends: per-backend pooled clients,
+// bounded retries with jittered exponential backoff on idempotent
+// calls, and an active health checker that ejects backends after
+// FailThreshold consecutive failures and readmits them on the first
+// successful probe.
+type Pool struct {
+	backends []*Backend
+	byURL    map[string]*Backend
+	opts     Options
+	met      *shardMetrics
+	log      *slog.Logger
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewPool builds a pool over the given backend base URLs (e.g.
+// "http://10.0.0.1:8750"). Backends start healthy; the active checker
+// runs until Close.
+func NewPool(urls []string, opts Options) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("shard: pool needs at least one backend")
+	}
+	opts = opts.withDefaults()
+	p := &Pool{
+		byURL: make(map[string]*Backend, len(urls)),
+		opts:  opts,
+		met:   newShardMetrics(obs.Default()),
+		log:   obs.Logger("shard"),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, u := range urls {
+		if u == "" {
+			return nil, fmt.Errorf("shard: empty backend URL")
+		}
+		if _, dup := p.byURL[u]; dup {
+			return nil, fmt.Errorf("shard: duplicate backend URL %s", u)
+		}
+		b := &Backend{
+			url: u,
+			hc: &http.Client{Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     90 * time.Second,
+			}},
+		}
+		b.healthy.Store(true)
+		p.met.healthy.With(u).Set(1)
+		p.backends = append(p.backends, b)
+		p.byURL[u] = b
+	}
+	if opts.HealthInterval > 0 {
+		go p.healthLoop()
+	} else {
+		close(p.done)
+	}
+	return p, nil
+}
+
+// Close stops the active health checker.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// Backends returns every backend, healthy or not, in configuration
+// order.
+func (p *Pool) Backends() []*Backend { return p.backends }
+
+// ByURL returns the backend with the given base URL, or nil.
+func (p *Pool) ByURL(url string) *Backend { return p.byURL[url] }
+
+// NumHealthy returns the number of currently admitted backends.
+func (p *Pool) NumHealthy() int {
+	n := 0
+	for _, b := range p.backends {
+		if b.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// retryableStatus reports whether a response status indicates a
+// transient backend-side condition worth retrying.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// backoff returns the jittered sleep before retry attempt n (n >= 1):
+// base·2^(n-1) capped at max, scaled to 50-100% so synchronized
+// retries from concurrent requests spread out.
+func (p *Pool) backoff(n int) time.Duration {
+	d := p.opts.BackoffBase << uint(n-1)
+	if d > p.opts.BackoffMax || d <= 0 {
+		d = p.opts.BackoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+}
+
+// do performs one logical request against a backend. Idempotent calls
+// are retried up to MaxRetries times on transport errors and
+// retryable statuses; non-idempotent calls get exactly one attempt.
+// The returned status/body reflect the backend's response verbatim; a
+// non-nil error means no usable response was obtained.
+func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []byte, idempotent bool) (int, []byte, error) {
+	attempts := 1
+	if idempotent {
+		attempts += p.opts.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			p.met.retries.With(b.url).Inc()
+			select {
+			case <-time.After(p.backoff(attempt)):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		status, respBody, err := p.once(ctx, b, method, path, body)
+		if err != nil {
+			lastErr = fmt.Errorf("backend %s: %w", b.url, err)
+			p.met.requests.With(b.url, "error").Inc()
+			p.recordFailure(b)
+			if ctx.Err() != nil {
+				return 0, nil, lastErr
+			}
+			continue
+		}
+		// Any well-formed response means the backend is alive, even a
+		// 4xx/5xx: ejection is about reachability, not application
+		// errors.
+		p.recordSuccess(b)
+		if retryableStatus(status) && attempt+1 < attempts {
+			lastErr = fmt.Errorf("backend %s: status %d", b.url, status)
+			p.met.requests.With(b.url, "error").Inc()
+			continue
+		}
+		p.met.requests.With(b.url, "ok").Inc()
+		return status, respBody, nil
+	}
+	return 0, nil, lastErr
+}
+
+// once performs a single attempt with the per-attempt timeout.
+func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body []byte) (int, []byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(rctx, method, b.url+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := b.hc.Do(req)
+	p.met.latency.With(b.url).Observe(time.Since(start).Seconds())
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// recordFailure counts one failure; crossing the threshold ejects the
+// backend.
+func (p *Pool) recordFailure(b *Backend) {
+	if b.fails.Add(1) >= int64(p.opts.FailThreshold) && b.healthy.CompareAndSwap(true, false) {
+		p.met.healthy.With(b.url).Set(0)
+		p.log.Warn("backend ejected", slog.String("backend", b.url))
+	}
+}
+
+// recordSuccess resets the failure streak and readmits an ejected
+// backend.
+func (p *Pool) recordSuccess(b *Backend) {
+	b.fails.Store(0)
+	if b.healthy.CompareAndSwap(false, true) {
+		p.met.healthy.With(b.url).Set(1)
+		p.log.Info("backend readmitted", slog.String("backend", b.url))
+	}
+}
+
+// healthLoop actively probes every backend's /v1/healthz. Probes run
+// for ejected backends too: a successful probe is the readmission
+// path.
+func (p *Pool) healthLoop() {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.ProbeAll()
+		}
+	}
+}
+
+// ProbeAll health-checks every backend once, concurrently, and
+// returns when all probes finish. The background checker calls this
+// on every tick; tests call it directly for deterministic
+// ejection/readmission.
+func (p *Pool) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, b := range p.backends {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			status, _, err := p.once(context.Background(), b, http.MethodGet, "/v1/healthz", nil)
+			if err != nil || status != http.StatusOK {
+				p.recordFailure(b)
+				return
+			}
+			p.recordSuccess(b)
+		}(b)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps retry/backoff timing negligible in tests; the active
+// checker is disabled so tests drive probes deterministically via
+// ProbeAll.
+func fastOpts() Options {
+	return Options{
+		Timeout:        2 * time.Second,
+		MaxRetries:     2,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+		HealthInterval: -1,
+		FailThreshold:  3,
+	}
+}
+
+func TestPoolRetriesIdempotent(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	p, err := NewPool([]string{ts.URL}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	b := p.Backends()[0]
+
+	status, body, err := p.do(context.Background(), b, http.MethodGet, "/", nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Errorf("status %d after retries, want 200", status)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Errorf("body %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("backend saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestPoolNoRetryOnMutation(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	p, err := NewPool([]string{ts.URL}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	status, _, err := p.do(context.Background(), p.Backends()[0], http.MethodPost, "/", []byte("[]"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503 passed through", status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("non-idempotent call attempted %d times, want exactly 1", got)
+	}
+}
+
+func TestPoolEjectionAndReadmission(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			// Simulate a dead process: hijack-close would be more
+			// realistic, but an error status on /v1/healthz is what the
+			// prober treats as failure too.
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	p, err := NewPool([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	b := p.Backends()[0]
+	if !b.Healthy() {
+		t.Fatal("backend must start healthy")
+	}
+
+	down.Store(true)
+	for i := 0; i < opts.FailThreshold; i++ {
+		p.ProbeAll()
+	}
+	if b.Healthy() {
+		t.Fatalf("backend still healthy after %d failed probes", opts.FailThreshold)
+	}
+	if p.NumHealthy() != 0 {
+		t.Error("NumHealthy != 0 after ejection")
+	}
+
+	down.Store(false)
+	p.ProbeAll()
+	if !b.Healthy() {
+		t.Error("backend not readmitted by a successful probe")
+	}
+	if p.NumHealthy() != 1 {
+		t.Error("NumHealthy != 1 after readmission")
+	}
+}
+
+func TestPoolPassiveFailureDetection(t *testing.T) {
+	// A backend that stops responding is ejected by request failures
+	// alone, without waiting for the active checker.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	opts := fastOpts()
+	opts.Timeout = 200 * time.Millisecond
+	p, err := NewPool([]string{ts.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	b := p.Backends()[0]
+	ts.Close() // kill the backend
+
+	for i := 0; i < opts.FailThreshold; i++ {
+		if _, _, err := p.do(context.Background(), b, http.MethodGet, "/", nil, false); err == nil {
+			t.Fatal("request to a closed backend succeeded")
+		}
+	}
+	if b.Healthy() {
+		t.Error("backend not ejected after repeated request failures")
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, Options{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewPool([]string{"http://a", "http://a"}, Options{HealthInterval: -1}); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+	if _, err := NewPool([]string{""}, Options{HealthInterval: -1}); err == nil {
+		t.Error("empty URL accepted")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := &Pool{opts: fastOpts().withDefaults()}
+	for n := 1; n < 20; n++ {
+		d := p.backoff(n)
+		if d <= 0 || d > p.opts.BackoffMax {
+			t.Fatalf("backoff(%d) = %v out of (0, %v]", n, d, p.opts.BackoffMax)
+		}
+	}
+}

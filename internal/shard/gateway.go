@@ -1,0 +1,473 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"stsmatch/internal/obs"
+	"stsmatch/internal/server"
+)
+
+// Gateway fronts N streamd backends. Session-scoped traffic (create,
+// ingest, predict, PLR, close) is routed to the shard owning the
+// session's patient on the consistent-hash ring; similarity queries
+// scatter to every backend and gather into an exact merged result.
+// When a backend is down, session traffic for its patients fails fast
+// with 503 while scatter queries degrade gracefully: the gateway
+// returns the surviving shards' merged matches with "degraded": true
+// and per-shard error detail.
+type Gateway struct {
+	ring    *Ring
+	pool    *Pool
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	met     *shardMetrics
+	http    *obs.HTTPMetrics
+	start   time.Time
+
+	// sessions maps open session IDs to the owning backend URL. The
+	// table is populated on create and lazily rebuilt from the shards'
+	// /v1/shard/stats inventories after a gateway restart.
+	sessions sync.Map // string -> string
+}
+
+// NewGateway builds a gateway over the given backend base URLs.
+func NewGateway(backends []string, opts Options) (*Gateway, error) {
+	opts = opts.withDefaults()
+	pool, err := NewPool(backends, opts)
+	if err != nil {
+		return nil, err
+	}
+	ring := NewRing(opts.Replicas)
+	for _, b := range backends {
+		ring.Add(b)
+	}
+	g := &Gateway{
+		ring:  ring,
+		pool:  pool,
+		mux:   http.NewServeMux(),
+		log:   obs.Logger("gateway"),
+		met:   pool.met,
+		http:  obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
+		start: time.Now(),
+	}
+	g.route("POST /v1/sessions", "create_session", g.handleCreateSession)
+	g.route("POST /v1/sessions/{sid}/samples", "ingest_samples", g.handleSessionScoped)
+	g.route("DELETE /v1/sessions/{sid}", "close_session", g.handleSessionScoped)
+	g.route("GET /v1/sessions/{sid}/predict", "predict", g.handleSessionScoped)
+	g.route("GET /v1/sessions/{sid}/plr", "plr", g.handleSessionScoped)
+	g.route("POST /v1/match", "match", g.handleMatch)
+	g.route("GET /v1/stats", "stats", g.handleStats)
+	g.route("GET /v1/healthz", "healthz", g.handleHealthz)
+	g.mux.Handle("GET /metrics", obs.Default().Handler())
+	g.handler = obs.RequestID(obs.AccessLog(g.log, g.mux))
+	return g, nil
+}
+
+func (g *Gateway) route(pattern, name string, h http.HandlerFunc) {
+	g.mux.Handle(pattern, g.http.Wrap(name, h))
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.handler.ServeHTTP(w, r) }
+
+// Close stops the pool's health checker.
+func (g *Gateway) Close() { g.pool.Close() }
+
+// Ring exposes the gateway's hash ring (read-only use).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Pool exposes the gateway's backend pool (health introspection).
+func (g *Gateway) Pool() *Pool { return g.pool }
+
+func gwError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}
+
+func gwJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// readBody buffers a request body under the proxy cap.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, server.DefaultMaxBodyBytes))
+}
+
+// relay forwards a backend response verbatim.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck
+}
+
+// handleCreateSession routes a session create to the shard owning the
+// requested patient and records the placement.
+func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		gwError(w, bodyErrCode(err), fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var req server.CreateSessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		gwError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.PatientID == "" || req.SessionID == "" {
+		gwError(w, http.StatusBadRequest, errors.New("patientId and sessionId are required"))
+		return
+	}
+	owner := g.ring.Owner(req.PatientID)
+	b := g.pool.ByURL(owner)
+	if b == nil {
+		gwError(w, http.StatusServiceUnavailable, errors.New("no backends configured"))
+		return
+	}
+	if !b.Healthy() {
+		gwError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("shard %s owning patient %s is unhealthy", owner, req.PatientID))
+		return
+	}
+	status, respBody, err := g.pool.do(r.Context(), b, http.MethodPost, "/v1/sessions", body, false)
+	if err != nil {
+		gwError(w, http.StatusBadGateway, err)
+		return
+	}
+	if status == http.StatusCreated {
+		g.sessions.Store(req.SessionID, owner)
+		g.met.routed.With(owner).Inc()
+		g.log.Info("session routed",
+			slog.String("patientId", req.PatientID),
+			slog.String("sessionId", req.SessionID),
+			slog.String("backend", owner))
+	}
+	relay(w, status, respBody)
+}
+
+// handleSessionScoped forwards a session-addressed request to the
+// shard holding the session. GETs are idempotent and retried;
+// mutations get a single attempt.
+func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	b, err := g.resolveSession(r, sid)
+	if err != nil {
+		gwError(w, http.StatusNotFound, err)
+		return
+	}
+	if !b.Healthy() {
+		gwError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("shard %s holding session %s is unhealthy", b.URL(), sid))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		gwError(w, bodyErrCode(err), fmt.Errorf("reading request: %w", err))
+		return
+	}
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	idempotent := r.Method == http.MethodGet
+	status, respBody, err := g.pool.do(r.Context(), b, r.Method, path, body, idempotent)
+	if err != nil {
+		gwError(w, http.StatusBadGateway, err)
+		return
+	}
+	if r.Method == http.MethodDelete && status == http.StatusOK {
+		g.sessions.Delete(sid)
+	}
+	relay(w, status, respBody)
+}
+
+// bodyErrCode maps a buffered-read error to a status: 413 when the
+// proxy body cap tripped, 400 otherwise.
+func bodyErrCode(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// resolveSession finds the backend holding an open session: the local
+// table first, then (after e.g. a gateway restart) a scatter over the
+// healthy shards' session inventories.
+func (g *Gateway) resolveSession(r *http.Request, sid string) (*Backend, error) {
+	if v, ok := g.sessions.Load(sid); ok {
+		if b := g.pool.ByURL(v.(string)); b != nil {
+			return b, nil
+		}
+	}
+	type found struct{ url string }
+	results := make([]*found, len(g.pool.Backends()))
+	var wg sync.WaitGroup
+	for i, b := range g.pool.Backends() {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			status, body, err := g.pool.do(r.Context(), b, http.MethodGet, "/v1/shard/stats", nil, true)
+			if err != nil || status != http.StatusOK {
+				return
+			}
+			var stats server.ShardStatsResponse
+			if json.Unmarshal(body, &stats) != nil {
+				return
+			}
+			for _, s := range stats.Sessions {
+				if s.SessionID == sid {
+					results[i] = &found{url: b.URL()}
+					return
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, f := range results {
+		if f != nil {
+			g.sessions.Store(sid, f.url)
+			return g.pool.ByURL(f.url), nil
+		}
+	}
+	return nil, fmt.Errorf("no open session %q on any reachable shard", sid)
+}
+
+// MatchResult is the gateway's scatter-gather response: the exact
+// merged match list, plus degradation detail when one or more shards
+// could not answer.
+type MatchResult struct {
+	Matches []server.RemoteMatch `json:"matches"`
+	// Degraded is true when at least one shard failed to answer; the
+	// matches then cover only the surviving shards.
+	Degraded bool `json:"degraded"`
+	// ShardErrors details each failed shard (URL -> error).
+	ShardErrors map[string]string `json:"shardErrors,omitempty"`
+	// ShardsQueried / ShardsOK count the fan-out.
+	ShardsQueried int `json:"shardsQueried"`
+	ShardsOK      int `json:"shardsOk"`
+}
+
+// handleMatch scatters a similarity query to every backend and merges
+// the shard-local results into the global answer. The merge is exact:
+// every shard scores candidates with identical Params and the query's
+// own provenance, so ascending weighted distance is a total order the
+// gateway can merge on; for k-NN queries each shard returns its local
+// top-k and the merged top-k of those is the union's top-k.
+func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := readBody(w, r)
+	if err != nil {
+		gwError(w, bodyErrCode(err), fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var req server.MatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		gwError(w, http.StatusBadRequest, fmt.Errorf("decoding match request: %w", err))
+		return
+	}
+	backends := g.pool.Backends()
+	type leg struct {
+		resp server.MatchResponse
+		err  error
+	}
+	legs := make([]leg, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if !b.Healthy() {
+			legs[i].err = errors.New("unhealthy (ejected)")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			status, respBody, err := g.pool.do(r.Context(), b, http.MethodPost, "/v1/match", body, true)
+			switch {
+			case err != nil:
+				legs[i].err = err
+			case status != http.StatusOK:
+				legs[i].err = fmt.Errorf("status %d: %s", status, errDetail(respBody))
+			default:
+				legs[i].err = json.Unmarshal(respBody, &legs[i].resp)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	res := MatchResult{ShardsQueried: len(backends), ShardErrors: map[string]string{}}
+	var lists [][]server.RemoteMatch
+	for i, b := range backends {
+		if legs[i].err != nil {
+			res.ShardErrors[b.URL()] = legs[i].err.Error()
+			continue
+		}
+		res.ShardsOK++
+		lists = append(lists, legs[i].resp.Matches)
+	}
+	if res.ShardsOK == 0 {
+		g.met.scatter.Observe(time.Since(start).Seconds())
+		gwJSON(w, http.StatusBadGateway, map[string]any{
+			"error":       "all shards failed",
+			"shardErrors": res.ShardErrors,
+		})
+		return
+	}
+	res.Matches = mergeMatches(lists, req.K)
+	res.Degraded = len(res.ShardErrors) > 0
+	if !res.Degraded {
+		res.ShardErrors = nil
+	} else {
+		g.met.degraded.Inc()
+	}
+	g.met.scatter.Observe(time.Since(start).Seconds())
+	gwJSON(w, http.StatusOK, res)
+}
+
+// errDetail extracts the "error" field of a JSON error body, falling
+// back to a truncated raw body.
+func errDetail(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	const max = 200
+	if len(body) > max {
+		body = body[:max]
+	}
+	return string(body)
+}
+
+// mergeMatches merges shard-local result lists into the global order:
+// ascending distance, with a deterministic (patient, session, start)
+// tie-break so equal-distance matches do not flap between requests.
+// k > 0 truncates to the global top-k.
+func mergeMatches(lists [][]server.RemoteMatch, k int) []server.RemoteMatch {
+	out := []server.RemoteMatch{}
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Distance != y.Distance {
+			return x.Distance < y.Distance
+		}
+		if x.PatientID != y.PatientID {
+			return x.PatientID < y.PatientID
+		}
+		if x.SessionID != y.SessionID {
+			return x.SessionID < y.SessionID
+		}
+		return x.Start < y.Start
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// GatewayStatsResponse aggregates the shards' database stats.
+type GatewayStatsResponse struct {
+	Patients     int               `json:"patients"`
+	Streams      int               `json:"streams"`
+	Vertices     int               `json:"vertices"`
+	OpenSessions int               `json:"openSessions"`
+	Shards       int               `json:"shards"`
+	ShardsOK     int               `json:"shardsOk"`
+	Degraded     bool              `json:"degraded"`
+	ShardErrors  map[string]string `json:"shardErrors,omitempty"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	backends := g.pool.Backends()
+	type leg struct {
+		stats server.StatsResponse
+		err   error
+	}
+	legs := make([]leg, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if !b.Healthy() {
+			legs[i].err = errors.New("unhealthy (ejected)")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			status, body, err := g.pool.do(r.Context(), b, http.MethodGet, "/v1/stats", nil, true)
+			switch {
+			case err != nil:
+				legs[i].err = err
+			case status != http.StatusOK:
+				legs[i].err = fmt.Errorf("status %d: %s", status, errDetail(body))
+			default:
+				legs[i].err = json.Unmarshal(body, &legs[i].stats)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	res := GatewayStatsResponse{Shards: len(backends), ShardErrors: map[string]string{}}
+	for i, b := range backends {
+		if legs[i].err != nil {
+			res.ShardErrors[b.URL()] = legs[i].err.Error()
+			continue
+		}
+		res.ShardsOK++
+		res.Patients += legs[i].stats.Patients
+		res.Streams += legs[i].stats.Streams
+		res.Vertices += legs[i].stats.Vertices
+		res.OpenSessions += legs[i].stats.OpenSessions
+	}
+	res.Degraded = len(res.ShardErrors) > 0
+	if !res.Degraded {
+		res.ShardErrors = nil
+	}
+	gwJSON(w, http.StatusOK, res)
+}
+
+// BackendHealth is one backend's state in the gateway healthz payload.
+type BackendHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// GatewayHealthResponse is the gateway liveness payload, aggregating
+// backend health as seen by the active checker.
+type GatewayHealthResponse struct {
+	Status        string          `json:"status"` // ok | degraded
+	UptimeSeconds float64         `json:"uptimeSeconds"`
+	Backends      []BackendHealth `json:"backends"`
+	HealthyCount  int             `json:"healthyCount"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	res := GatewayHealthResponse{Status: "ok", UptimeSeconds: time.Since(g.start).Seconds()}
+	for _, b := range g.pool.Backends() {
+		h := b.Healthy()
+		if h {
+			res.HealthyCount++
+		} else {
+			res.Status = "degraded"
+		}
+		res.Backends = append(res.Backends, BackendHealth{URL: b.URL(), Healthy: h})
+	}
+	gwJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,159 @@
+// Package shard implements horizontal scale-out for the stream
+// database: a consistent-hash ring that partitions patients across N
+// streamd backends, a production-shaped HTTP client pool (connection
+// reuse, timeouts, bounded retries with jittered backoff, active
+// health checking), and a gateway that routes session traffic to the
+// owning shard while scatter-gathering similarity queries across every
+// healthy backend and merging them into an exact global result.
+//
+// The partition key is the patient ID: the paper's hierarchical
+// database (database -> patients -> streams -> vertices) never shares
+// state across patients on the write path, so a patient's sessions all
+// land on one shard and ingestion scales linearly. Similarity search
+// intentionally crosses patients (other-patient candidates carry
+// weight w_op), so reads fan out to all shards and merge centrally;
+// because every shard scores its candidates with the same Params and
+// the same query provenance, a merge by ascending weighted distance is
+// exactly the result a single node holding the union would produce.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the default number of virtual nodes per backend.
+// 128 vnodes keep the keyspace imbalance across a handful of backends
+// within a few percent while the ring stays tiny.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring with virtual nodes. Keys (patient
+// IDs) map to the first vnode clockwise from the key's hash, so adding
+// or removing one backend remaps only ~1/N of the keyspace. All
+// methods are safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	hashes   []uint64          // sorted vnode hashes
+	owner    map[uint64]string // vnode hash -> node
+	nodes    map[string]struct{}
+}
+
+// NewRing creates an empty ring with the given number of virtual
+// nodes per backend (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{
+		replicas: replicas,
+		owner:    make(map[uint64]string),
+		nodes:    make(map[string]struct{}),
+	}
+}
+
+// hashKey is FNV-1a 64 followed by a 64-bit avalanche finalizer:
+// deterministic across processes and platforms, so every gateway
+// instance agrees on the layout without coordination. Raw FNV-1a does
+// not avalanche on short, similar keys — sequential patient IDs like
+// "P001".."P099" hash to adjacent ring positions and pile onto a
+// single arc — so the finalizer (MurmurHash3 fmix64) diffuses every
+// input bit across the output.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// vnodeKey names the i-th virtual node of a backend.
+func vnodeKey(node string, i int) string {
+	return fmt.Sprintf("%s#%d", node, i)
+}
+
+// Add inserts a backend's virtual nodes. Adding an existing node is a
+// no-op. When two vnodes hash identically (vanishingly rare), the
+// lexically smaller node keeps the slot so the layout stays
+// deterministic regardless of insertion order.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		h := hashKey(vnodeKey(node, i))
+		if prev, ok := r.owner[h]; ok {
+			if node < prev {
+				r.owner[h] = node
+			}
+			continue
+		}
+		r.owner[h] = node
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(a, b int) bool { return r.hashes[a] < r.hashes[b] })
+}
+
+// Remove deletes a backend and its virtual nodes.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.hashes[:0]
+	for _, h := range r.hashes {
+		if r.owner[h] == node {
+			delete(r.owner, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.hashes = kept
+}
+
+// Owner returns the backend owning the given key, or "" when the ring
+// is empty.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	// First vnode clockwise of h, wrapping to the start.
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[r.hashes[i]]
+}
+
+// Nodes returns the backends currently in the ring, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of backends in the ring.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndConsistent(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	nodes := []string{"http://s1", "http://s2", "http://s3"}
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	// Insertion order must not change the layout.
+	b.Add(nodes[2])
+	b.Add(nodes[0])
+	b.Add(nodes[1])
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("P%04d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("layout depends on insertion order for key %s", key)
+		}
+	}
+	// Lookups are stable.
+	if a.Owner("P42") != a.Owner("P42") {
+		t.Error("owner lookup not stable")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultReplicas)
+	nodes := []string{"http://s1", "http://s2", "http://s3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("P%05d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		// With 128 vnodes per node, shares stay well within 2x of the
+		// fair 1/3.
+		if share < 1.0/6 || share > 2.0/3 {
+			t.Errorf("node %s owns %.1f%% of the keyspace (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingBalanceSequentialKeys(t *testing.T) {
+	// Patient IDs are short and sequential ("P001", "P002", ...). Raw
+	// FNV-1a hashes such keys to adjacent ring positions, piling them
+	// all onto one arc; the avalanche finalizer must spread them.
+	r := NewRing(DefaultReplicas)
+	nodes := []string{"http://127.0.0.1:33341", "http://127.0.0.1:33343", "http://127.0.0.1:33345"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("P%03d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 1.0/6 || share > 2.0/3 {
+			t.Errorf("node %s owns %.1f%% of sequential keys (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalReshuffle(t *testing.T) {
+	r := NewRing(DefaultReplicas)
+	nodes := []string{"http://s1", "http://s2", "http://s3", "http://s4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 5000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("P%05d", i))
+	}
+	r.Remove("http://s4")
+	moved, lost := 0, 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("P%05d", i))
+		if before[i] == "http://s4" {
+			lost++
+			continue // had to move
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node moved (consistent hashing must only remap the removed node's keys)", moved)
+	}
+	if lost == 0 {
+		t.Error("removed node owned no keys — balance test should have caught this")
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if r.Owner("P1") != "" {
+		t.Error("empty ring returned an owner")
+	}
+	r.Add("http://s1")
+	r.Add("http://s1") // idempotent
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if r.Owner("anything") != "http://s1" {
+		t.Error("single-node ring must own every key")
+	}
+	r.Remove("http://missing") // no-op
+	r.Remove("http://s1")
+	if r.Len() != 0 || r.Owner("P1") != "" {
+		t.Error("ring not empty after removing the only node")
+	}
+	if n := r.Nodes(); len(n) != 0 {
+		t.Errorf("Nodes = %v, want empty", n)
+	}
+}

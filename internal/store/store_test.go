@@ -84,6 +84,46 @@ func TestFindWindowsScan(t *testing.T) {
 	}
 }
 
+func TestFindWindowsShortSignatureFallback(t *testing.T) {
+	// Signatures shorter than ngramSize cannot use the n-gram
+	// postings: even with the index enabled, FindWindows must fall
+	// back to the linear state-string scan and return identical
+	// results.
+	st := NewStream("P1", "S1")
+	if err := st.Append(seqFromStates("EOIEOIEOIE")...); err != nil {
+		t.Fatal(err)
+	}
+	sigs := []string{"E", "EO", "EOI"}
+	for _, sig := range sigs {
+		if len(sig) >= ngramSize {
+			t.Fatalf("test signature %q not shorter than ngramSize %d", sig, ngramSize)
+		}
+	}
+	unindexed := map[string][]int{}
+	for _, sig := range sigs {
+		unindexed[sig] = st.FindWindows(sig)
+	}
+	st.EnableIndex()
+	if !st.IndexEnabled() {
+		t.Fatal("index not enabled")
+	}
+	for _, sig := range sigs {
+		got := st.FindWindows(sig)
+		if !reflect.DeepEqual(got, unindexed[sig]) {
+			t.Errorf("FindWindows(%q) with index = %v, scan fallback gave %v", sig, got, unindexed[sig])
+		}
+	}
+	// Known positions for the 3-segment signature: starts 0, 3, 6.
+	if got := st.FindWindows("EOI"); !reflect.DeepEqual(got, []int{0, 3, 6}) {
+		t.Errorf("FindWindows(EOI) = %v, want [0 3 6]", got)
+	}
+	// A signature at exactly ngramSize exercises the indexed path on
+	// the same stream and must agree with a pre-index scan too.
+	if got, want := st.FindWindows("EOIE"), []int{0, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("FindWindows(EOIE) = %v, want %v", got, want)
+	}
+}
+
 func TestFindWindowsIndexMatchesScan(t *testing.T) {
 	letters := []byte("EOIR")
 	rng := rand.New(rand.NewSource(5))
