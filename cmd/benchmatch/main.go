@@ -1,17 +1,22 @@
 // Command benchmatch is the reproducible matcher/gateway benchmark
 // runner: it builds a deterministic synthetic cohort, measures
-// similarity-search latency and pruning-funnel counters for (a) a
-// single-node in-process matcher and (b) a 3-shard deployment behind
-// the consistent-hash gateway, and writes the results to
+// similarity-search latency and the full pruning-funnel counters for
+// (a) a single-node matcher scanning sequentially, (b) the same
+// matcher with stream-parallel search, and (c) a 3-shard deployment
+// behind the consistent-hash gateway, and writes the results to
 // BENCH_matcher.json so the perf trajectory of the matcher and the
 // scatter-gather path is tracked in-repo.
 //
-//	benchmatch                       # defaults: 6 patients, k=10, 200 iters
-//	benchmatch -patients 12 -iters 500 -out BENCH_matcher.json
+//	benchmatch                       # defaults: 12 patients, k=10, 300 iters
+//	benchmatch -patients 24 -iters 500 -out BENCH_matcher.json
 //
 // The cohort is seeded deterministically, so candidate counts and
 // match sets are identical run to run; only wall-clock numbers vary
-// with the hardware.
+// with the hardware. The sequential and parallel scenarios are
+// additionally asserted to return element-wise identical match lists
+// (the determinism contract of core.Params.Parallelism), and the
+// recorded parallelSpeedup is only meaningful on multi-core hardware —
+// the report carries cpus/gomaxprocs so readers can tell.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"stsmatch/internal/core"
@@ -41,32 +47,55 @@ type patientData struct {
 	vertices plr.Sequence
 }
 
+// funnel is one scenario's per-query pruning-funnel averages, reading
+// top to bottom: windows that passed the state-order filter reach
+// candidatesScanned; the remaining layers each remove a slice before
+// the next (lower bound before exact distance arithmetic).
+type funnel struct {
+	CandidatesScanned int `json:"candidatesScanned"`
+	IndexPruned       int `json:"indexPruned"`
+	SelfExcluded      int `json:"selfExcluded"`
+	LBPruned          int `json:"lbPruned"`
+	DistanceRejected  int `json:"distanceRejected"`
+	Matched           int `json:"matched"`
+}
+
 // scenarioResult is one benchmarked configuration.
 type scenarioResult struct {
-	NsPerOp           float64 `json:"nsPerOp"`
-	Matches           int     `json:"matches"`
-	CandidatesScanned int     `json:"candidatesScanned"`
-	IndexPruned       int     `json:"indexPruned"`
-	Shards            int     `json:"shards,omitempty"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	Matches     int     `json:"matches"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Funnel      funnel  `json:"funnel"`
 }
 
 // benchReport is the BENCH_matcher.json schema.
 type benchReport struct {
-	Patients   int            `json:"patients"`
-	DurationS  float64        `json:"durationSeconds"`
-	K          int            `json:"k"`
-	Iters      int            `json:"iters"`
-	QueryLen   int            `json:"queryLen"`
-	SingleNode scenarioResult `json:"singleNode"`
-	Sharded    scenarioResult `json:"sharded"`
+	Patients   int     `json:"patients"`
+	DurationS  float64 `json:"durationSeconds"`
+	K          int     `json:"k"`
+	Iters      int     `json:"iters"`
+	QueryLen   int     `json:"queryLen"`
+	CPUs       int     `json:"cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+
+	SingleNodeSequential scenarioResult `json:"singleNodeSequential"`
+	SingleNodeParallel   scenarioResult `json:"singleNodeParallel"`
+	Sharded              scenarioResult `json:"sharded"`
+
+	// ParallelSpeedup is sequential ns/op over parallel ns/op. On a
+	// single-CPU runner it hovers around 1 (the parallel path should
+	// at least not regress); the >= 2x expectation applies to >= 4
+	// core hardware.
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_matcher.json", "output path for the benchmark report")
-	patients := flag.Int("patients", 6, "synthetic patients in the cohort")
-	duration := flag.Float64("duration", 45, "seconds of breathing data per patient")
+	patients := flag.Int("patients", 12, "synthetic patients in the cohort")
+	duration := flag.Float64("duration", 180, "seconds of breathing data per patient")
 	k := flag.Int("k", 10, "top-k for the benchmark queries")
-	iters := flag.Int("iters", 200, "measured iterations per scenario")
+	iters := flag.Int("iters", 300, "measured iterations per scenario")
 	flag.Parse()
 
 	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
@@ -82,25 +111,43 @@ func main() {
 	qseq = qseq[len(qseq)-10:]
 
 	report := benchReport{
-		Patients:  *patients,
-		DurationS: *duration,
-		K:         *k,
-		Iters:     *iters,
-		QueryLen:  len(qseq),
+		Patients:   *patients,
+		DurationS:  *duration,
+		K:          *k,
+		Iters:      *iters,
+		QueryLen:   len(qseq),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
-	report.SingleNode, err = benchSingleNode(data, qseq, *k, *iters)
+	db, err := loadDB(data)
 	if err != nil {
 		fatal(err)
 	}
+	var seqMatches, parMatches []core.Match
+	report.SingleNodeSequential, seqMatches, err = benchSingleNode(db, data, qseq, *k, *iters, 1)
+	if err != nil {
+		fatal(err)
+	}
+	report.SingleNodeParallel, parMatches, err = benchSingleNode(db, data, qseq, *k, *iters, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if err := assertIdentical(seqMatches, parMatches); err != nil {
+		fatal(fmt.Errorf("parallel search diverges from sequential: %w", err))
+	}
+	if report.SingleNodeParallel.NsPerOp > 0 {
+		report.ParallelSpeedup = report.SingleNodeSequential.NsPerOp / report.SingleNodeParallel.NsPerOp
+	}
+
 	report.Sharded, err = benchSharded(data, qseq, *k, *iters)
 	if err != nil {
 		fatal(err)
 	}
 
-	if report.SingleNode.Matches != report.Sharded.Matches {
+	if report.SingleNodeSequential.Matches != report.Sharded.Matches {
 		fatal(fmt.Errorf("sharded top-k (%d matches) disagrees with single node (%d): merge is broken",
-			report.Sharded.Matches, report.SingleNode.Matches))
+			report.Sharded.Matches, report.SingleNodeSequential.Matches))
 	}
 
 	f, err := os.Create(*out)
@@ -115,11 +162,30 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("single-node: %.0f ns/op (%d candidates, %d pruned)\n",
-		report.SingleNode.NsPerOp, report.SingleNode.CandidatesScanned, report.SingleNode.IndexPruned)
-	fmt.Printf("3-shard gw : %.0f ns/op (%d candidates, %d pruned)\n",
-		report.Sharded.NsPerOp, report.Sharded.CandidatesScanned, report.Sharded.IndexPruned)
-	fmt.Printf("wrote %s\n", *out)
+	line := func(name string, r scenarioResult) {
+		fmt.Printf("%-14s: %9.0f ns/op  funnel %d scanned / %d lb-pruned / %d dist-rejected -> %d matched\n",
+			name, r.NsPerOp, r.Funnel.CandidatesScanned, r.Funnel.LBPruned, r.Funnel.DistanceRejected, r.Matches)
+	}
+	line("sequential", report.SingleNodeSequential)
+	line("parallel", report.SingleNodeParallel)
+	line("3-shard gw", report.Sharded)
+	fmt.Printf("parallel speedup %.2fx on %d CPUs; wrote %s\n", report.ParallelSpeedup, report.CPUs, *out)
+}
+
+// assertIdentical checks the determinism contract: both runs returned
+// the same matches in the same order with bit-identical distances.
+func assertIdentical(a, b []core.Match) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d matches vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Stream != b[i].Stream || a[i].Start != b[i].Start || a[i].Distance != b[i].Distance {
+			return fmt.Errorf("match %d: %s/%s#%d d=%v vs %s/%s#%d d=%v", i,
+				a[i].Stream.PatientID, a[i].Stream.SessionID, a[i].Start, a[i].Distance,
+				b[i].Stream.PatientID, b[i].Stream.SessionID, b[i].Start, b[i].Distance)
+		}
+	}
+	return nil
 }
 
 // buildCohort segments deterministic respiration traces into PLR
@@ -169,51 +235,72 @@ func loadDB(data []patientData) (*store.DB, error) {
 	return db, nil
 }
 
-// counters snapshots the matcher pruning funnel.
-func counters() (scanned, pruned, matched int) {
+// counters snapshots the matcher pruning-funnel totals.
+func counters() funnel {
+	var f funnel
 	for _, p := range obs.Default().Gather() {
 		switch p.Name {
 		case "stsmatch_matcher_candidates_scanned_total":
-			scanned = int(p.Value)
+			f.CandidatesScanned = int(p.Value)
 		case "stsmatch_matcher_index_pruned_total":
-			pruned = int(p.Value)
+			f.IndexPruned = int(p.Value)
+		case "stsmatch_matcher_self_excluded_total":
+			f.SelfExcluded = int(p.Value)
+		case "stsmatch_matcher_lb_pruned_total":
+			f.LBPruned = int(p.Value)
+		case "stsmatch_matcher_distance_rejected_total":
+			f.DistanceRejected = int(p.Value)
 		case "stsmatch_matcher_matches_total":
-			matched = int(p.Value)
+			f.Matched = int(p.Value)
 		}
 	}
-	return
+	return f
 }
 
-func benchSingleNode(data []patientData, qseq plr.Sequence, k, iters int) (scenarioResult, error) {
-	db, err := loadDB(data)
-	if err != nil {
-		return scenarioResult{}, err
+// perIter is the per-query funnel delta between two snapshots.
+func perIter(before, after funnel, iters int) funnel {
+	return funnel{
+		CandidatesScanned: (after.CandidatesScanned - before.CandidatesScanned) / iters,
+		IndexPruned:       (after.IndexPruned - before.IndexPruned) / iters,
+		SelfExcluded:      (after.SelfExcluded - before.SelfExcluded) / iters,
+		LBPruned:          (after.LBPruned - before.LBPruned) / iters,
+		DistanceRejected:  (after.DistanceRejected - before.DistanceRejected) / iters,
+		Matched:           (after.Matched - before.Matched) / iters,
 	}
-	m, err := core.NewMatcher(db, core.DefaultParams())
+}
+
+// benchSingleNode measures the in-process matcher at the given
+// parallelism (0 = GOMAXPROCS, 1 = sequential) and returns the match
+// list for the determinism cross-check (both scenarios share db, so
+// the lists are comparable by stream identity).
+func benchSingleNode(db *store.DB, data []patientData, qseq plr.Sequence, k, iters, parallelism int) (scenarioResult, []core.Match, error) {
+	params := core.DefaultParams()
+	params.Parallelism = parallelism
+	m, err := core.NewMatcher(db, params)
 	if err != nil {
-		return scenarioResult{}, err
+		return scenarioResult{}, nil, err
 	}
 	q := core.NewQuery(qseq, data[0].pid, data[0].sid)
 	// Warmup.
 	matches, err := m.TopK(q, k, nil)
 	if err != nil {
-		return scenarioResult{}, err
+		return scenarioResult{}, nil, err
 	}
-	s0, p0, _ := counters()
+	before := counters()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := m.TopK(q, k, nil); err != nil {
-			return scenarioResult{}, err
+			return scenarioResult{}, nil, err
 		}
 	}
 	elapsed := time.Since(start)
-	s1, p1, _ := counters()
-	return scenarioResult{
-		NsPerOp:           float64(elapsed.Nanoseconds()) / float64(iters),
-		Matches:           len(matches),
-		CandidatesScanned: (s1 - s0) / iters,
-		IndexPruned:       (p1 - p0) / iters,
-	}, nil
+	res := scenarioResult{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		Matches:     len(matches),
+		Parallelism: parallelism,
+		Funnel:      perIter(before, counters(), iters),
+	}
+	return res, matches, nil
 }
 
 func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenarioResult, error) {
@@ -301,7 +388,7 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 	if res.Degraded || res.ShardsOK != shards {
 		return scenarioResult{}, fmt.Errorf("sharded warmup degraded: %d/%d shards", res.ShardsOK, res.ShardsQueried)
 	}
-	s0, p0, _ := counters()
+	before := counters()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := call(); err != nil {
@@ -309,13 +396,11 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		}
 	}
 	elapsed := time.Since(start)
-	s1, p1, _ := counters()
 	return scenarioResult{
-		NsPerOp:           float64(elapsed.Nanoseconds()) / float64(iters),
-		Matches:           len(res.Matches),
-		CandidatesScanned: (s1 - s0) / iters,
-		IndexPruned:       (p1 - p0) / iters,
-		Shards:            shards,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+		Matches: len(res.Matches),
+		Shards:  shards,
+		Funnel:  perIter(before, counters(), iters),
 	}, nil
 }
 

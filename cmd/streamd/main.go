@@ -64,6 +64,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
 	fsyncEvery := flag.Duration("fsync", 50*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic WAL compaction into snapshots (0 = only on shutdown)")
+	matchPar := flag.Int("match-parallelism", 0, "worker goroutines per similarity search (0 = GOMAXPROCS, 1 = sequential)")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -96,9 +97,10 @@ func main() {
 	}
 
 	srv, err := server.NewWithOptions(db, core.DefaultParams(), fsm.DefaultConfig(), server.Options{
-		DataDir:       *dataDir,
-		FsyncInterval: *fsyncEvery,
-		SnapshotEvery: *snapshotEvery,
+		DataDir:            *dataDir,
+		FsyncInterval:      *fsyncEvery,
+		SnapshotEvery:      *snapshotEvery,
+		MatcherParallelism: *matchPar,
 	})
 	if err != nil {
 		fatal(log, err)

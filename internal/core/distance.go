@@ -83,10 +83,16 @@ func (p Params) distanceBounded(q, c plr.Sequence, rel SourceRelation, vw []floa
 	for _, w := range vw {
 		wsum += w
 	}
-	// Early abandonment threshold on the raw (unnormalized) sum.
+	// Early abandonment threshold on the raw (unnormalized) sum. The
+	// tiny relative slack makes abandonment conservative under
+	// floating-point rounding: a candidate whose final distance ties
+	// the bound exactly is always computed in full, which the adaptive
+	// top-k search needs so that equal-distance candidates at the k-th
+	// boundary reach the deterministic tie-break instead of being
+	// dropped by a round-trip (d*c)/c != d artifact.
 	abandonAt := math.Inf(1)
 	if bound > 0 {
-		abandonAt = bound * ws * wsum
+		abandonAt = bound * ws * wsum * (1 + boundSlack)
 	}
 
 	var sum float64
@@ -109,6 +115,50 @@ func (p Params) distanceBounded(q, c plr.Sequence, rel SourceRelation, vw []floa
 		}
 	}
 	return sum / (ws * wsum), true, nil
+}
+
+// boundSlack is the relative float safety margin of the pruning
+// layers: abandonment triggers only when the partial sum exceeds the
+// bound by more than this fraction, and the O(1) lower bound is
+// deflated by the same fraction of its input magnitude. Rounding
+// errors in the distance pipeline are O(n * 2^-53) relative — many
+// orders of magnitude below 1e-9 for any realistic window — so the
+// slack guarantees admissibility of both layers in computed (not just
+// exact) arithmetic while giving up no meaningful pruning power.
+const boundSlack = 1e-9
+
+// distanceLowerBound returns a constant-time admissible lower bound on
+// the Definition-2 weighted distance between a query and a candidate
+// window, from aggregate quantities alone:
+//
+//	ampQ, ampC — sums of per-segment displacement norms Σ|Δ_i|
+//	durQ, durC — total durations (last vertex time - first)
+//	vwMin      — the smallest per-segment vertex weight
+//	wsum       — the total vertex weight Σ w_i
+//
+// Derivation: each amplitude term satisfies the reverse triangle
+// inequality |Δq_i - Δc_i| >= ||Δq_i| - |Δc_i||, and summing,
+// Σ||Δq_i|-|Δc_i|| >= |Σ(|Δq_i|-|Δc_i|)| = |ampQ - ampC|; likewise
+// Σ|dq_i - dc_i| >= |durQ - durC|. Bounding every vertex weight below
+// by vwMin,
+//
+//	D * ws * wsum >= vwMin * (wa*|ampQ-ampC| + wf*|durQ-durC|)
+//
+// The candidate-side sums come from store.Stream prefix sums in O(1),
+// so candidates can be rejected before any per-segment arithmetic.
+func (p Params) distanceLowerBound(ampQ, durQ, ampC, durC, vwMin, wsum float64, rel SourceRelation) float64 {
+	wa, wf := p.ampFreqWeights()
+	ws := p.StreamWeight(rel)
+	gap := wa*math.Abs(ampQ-ampC) + wf*math.Abs(durQ-durC)
+	// Deflate by a slack proportional to the input magnitude (not the
+	// gap): rounding error in the prefix sums and in the exact
+	// distance scales with the magnitudes, so a near-zero gap between
+	// large sums must not produce a spuriously positive bound.
+	gap -= boundSlack * (wa*(ampQ+ampC) + wf*(durQ+durC))
+	if gap <= 0 || wsum <= 0 {
+		return 0
+	}
+	return vwMin * gap / (ws * wsum)
 }
 
 // Similar reports whether q and c satisfy Definition 2: same state

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stsmatch/internal/plr"
@@ -45,6 +48,12 @@ type Match struct {
 	// Weight is the subsequence weight w'_j used by prediction:
 	// the source-stream trust scaled by closeness, w_s / (1 + D).
 	Weight float64
+
+	// ord is the candidate stream's position in the search's work
+	// list: the final tie-break of the result order, making output
+	// deterministic even for byte-identical streams registered under
+	// the same patient and session IDs.
+	ord int
 }
 
 // Window returns the matched subsequence.
@@ -55,15 +64,66 @@ func (m Match) EndTime() float64 {
 	return m.Stream.Seq()[m.Start+m.N-1].T
 }
 
+// matchLess is the total result order: ascending distance, then
+// (patient, session, start, stream ordinal). The deterministic suffix
+// keys break distance ties — sort.Slice is unstable, so ordering by
+// distance alone would make equal-distance results flap between runs
+// (and between sequential and parallel scans), breaking the gateway's
+// byte-identical exact-merge guarantee. The same key is used by the
+// sharding gateway's merge (internal/shard).
+func matchLess(a, b Match) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	if a.Stream.PatientID != b.Stream.PatientID {
+		return a.Stream.PatientID < b.Stream.PatientID
+	}
+	if a.Stream.SessionID != b.Stream.SessionID {
+		return a.Stream.SessionID < b.Stream.SessionID
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.ord < b.ord
+}
+
 // Matcher runs similarity search over a stream database.
 type Matcher struct {
 	DB     *store.DB
 	Params Params
 
-	// scratch buffers reused across searches (a Matcher is not safe
-	// for concurrent use; create one per goroutine).
-	vw     []float64
-	starts []int // ablation-mode candidate starts, reused across streams
+	// scratch reused across searches (a Matcher is not safe for
+	// concurrent use; create one per goroutine). Each search worker
+	// goroutine owns one workerState; the slice grows to the effective
+	// parallelism and is reused across searches.
+	vw      []float64
+	workers []*workerState
+}
+
+// workerState is one search worker's private scratch.
+type workerState struct {
+	starts  []int   // ablation-mode candidate starts, reused across streams
+	matches []Match // threshold-mode partial results
+	funnel  funnelCounts
+}
+
+// funnelCounts accumulates the pruning-funnel metrics worker-locally,
+// so the hot loop does not contend on the shared atomic counters; the
+// totals are flushed to the registry once per search.
+type funnelCounts struct {
+	candidates   int
+	indexPruned  int
+	selfExcluded int
+	lbPruned     int
+	distRejected int
+}
+
+func (f *funnelCounts) add(o funnelCounts) {
+	f.candidates += o.candidates
+	f.indexPruned += o.indexPruned
+	f.selfExcluded += o.selfExcluded
+	f.lbPruned += o.lbPruned
+	f.distRejected += o.distRejected
 }
 
 // NewMatcher builds a matcher; it returns an error for invalid
@@ -92,113 +152,439 @@ func relationOf(q Query, st *store.Stream) SourceRelation {
 
 // FindSimilar retrieves every stored subsequence similar to the query
 // under Definition 2: same state order, weighted distance within the
-// threshold. Results are sorted by ascending distance.
+// threshold. Results are sorted by ascending distance (ties broken by
+// patient, session, start).
 //
 // restrict, when non-nil, limits the search to streams of the listed
 // patients (the cluster-restricted search of Section 5.3); keys are
 // patient IDs.
 func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error) {
-	if len(q.Seq) < 2 {
-		return nil, ErrTooShort
-	}
-	start := time.Now()
-	mSearches.Inc()
-	sig := q.Seq.StateSignature()
-	n := len(q.Seq)
-	mQueryLen.Observe(float64(n))
-	m.vw = m.Params.VertexWeights(m.vw, n)
-
-	var out []Match
-	for _, st := range m.DB.Streams() {
-		if restrict != nil && !restrict[st.PatientID] {
-			continue
-		}
-		rel := relationOf(q, st)
-		seq := st.Seq()
-		var starts []int
-		if m.Params.RequireStateOrder {
-			starts = st.FindWindows(sig)
-			if possible := len(seq) - n + 1; possible > len(starts) {
-				mIndexPruned.Add(possible - len(starts))
-			}
-		} else {
-			// Ablation mode: every window of the query's length is a
-			// candidate, regardless of its state order. The start list
-			// is written into a scratch buffer sized once per stream
-			// (len(seq)-n+1 entries) and reused across streams, keeping
-			// this hot loop allocation-free after the largest stream.
-			possible := len(seq) - n + 1
-			if possible < 0 {
-				possible = 0
-			}
-			if cap(m.starts) < possible {
-				m.starts = make([]int, 0, possible)
-			}
-			starts = m.starts[:possible]
-			for j := range starts {
-				starts[j] = j
-			}
-		}
-		mCandidates.Add(len(starts))
-		for _, j := range starts {
-			cand := seq[j : j+n]
-			if rel == SameSession && cand[n-1].T >= q.Seq[0].T {
-				// Exclude the query itself and any window whose
-				// span overlaps the query's present.
-				mSelfExcluded.Inc()
-				continue
-			}
-			// Early abandonment: the acceptance threshold bounds the
-			// distance computation on clearly-distant candidates.
-			bound := m.Params.DistThreshold
-			if bound >= inf {
-				bound = 0 // TopK mode: exact distances needed
-			}
-			d, within, err := m.Params.distanceBounded(q.Seq, cand, rel, m.vw, bound)
-			if err != nil {
-				return nil, err
-			}
-			if (!within && bound > 0) || d > m.Params.DistThreshold {
-				mDistanceRejected.Inc()
-				continue
-			}
-			out = append(out, Match{
-				Stream:   st,
-				Start:    j,
-				N:        n,
-				Relation: rel,
-				Distance: d,
-				Weight:   m.Params.StreamWeight(rel) / (1 + d),
-			})
-		}
-	}
-	mMatched.Add(len(out))
-	mSearchSeconds.Observe(time.Since(start).Seconds())
-	sort.Slice(out, func(a, b int) bool { return out[a].Distance < out[b].Distance })
-	return out, nil
+	return m.search(q, restrict, 0, m.Params.DistThreshold)
 }
 
 // TopK retrieves the k nearest stored subsequences with the query's
 // state order, regardless of the distance threshold. It is the
 // building block of the offline stream distance (Definition 3).
+//
+// The threshold is ignored by plumbing an infinite bound through the
+// search rather than by mutating m.Params, so an error or panic
+// mid-search can never leak an infinite threshold into later calls.
 func (m *Matcher) TopK(q Query, k int, restrict map[string]bool) ([]Match, error) {
-	if len(q.Seq) < 2 {
-		return nil, ErrTooShort
-	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: TopK needs k > 0, got %d", k)
 	}
-	saved := m.Params.DistThreshold
-	m.Params.DistThreshold = inf
-	matches, err := m.FindSimilar(q, restrict)
-	m.Params.DistThreshold = saved
-	if err != nil {
+	return m.search(q, restrict, k, inf)
+}
+
+// FindSimilarTopK retrieves the k nearest matches within the distance
+// threshold: FindSimilar's acceptance filter combined with TopK's
+// adaptive bound. The search starts from the threshold and tightens
+// the bound below it as close matches accumulate, so callers that only
+// need the best k within epsilon pay far less distance arithmetic than
+// FindSimilar followed by truncation.
+func (m *Matcher) FindSimilarTopK(q Query, k int, restrict map[string]bool) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: FindSimilarTopK needs k > 0, got %d", k)
+	}
+	return m.search(q, restrict, k, m.Params.DistThreshold)
+}
+
+// searchCtx carries one search's read-only shared state across
+// workers: the query, its precomputed aggregates, and the collector.
+type searchCtx struct {
+	params    *Params
+	q         Query
+	sig       string
+	n         int
+	vw        []float64 // per-segment vertex weights (read-only)
+	wsum      float64   // Σ vw
+	vwMin     float64   // min vw — the lower-bound weight floor
+	ampQ      float64   // Σ per-segment displacement norms of the query
+	durQ      float64   // query duration
+	threshold float64
+	col       *collector
+}
+
+// search is the unified retrieval core behind FindSimilar (k == 0),
+// TopK (threshold == inf) and FindSimilarTopK. Candidate streams are
+// partitioned dynamically across Params.Parallelism workers; every
+// candidate runs the funnel
+//
+//	state-order filter -> self-exclusion -> O(1) lower bound
+//	  -> bounded exact distance -> threshold / adaptive top-k
+//
+// and partial results merge into the matchLess total order, so the
+// output is byte-identical at every parallelism setting.
+func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold float64) ([]Match, error) {
+	if len(q.Seq) < 2 {
+		return nil, ErrTooShort
+	}
+	start := time.Now()
+	mSearches.Inc()
+	n := len(q.Seq)
+	mQueryLen.Observe(float64(n))
+	m.vw = m.Params.VertexWeights(m.vw, n)
+
+	sc := &searchCtx{
+		params:    &m.Params,
+		q:         q,
+		sig:       q.Seq.StateSignature(),
+		n:         n,
+		vw:        m.vw,
+		ampQ:      dispNormSum(q.Seq),
+		durQ:      q.Seq.Duration(),
+		threshold: threshold,
+		col:       newCollector(k, threshold),
+	}
+	sc.wsum, sc.vwMin = sumMin(m.vw)
+
+	streams := m.DB.Streams()
+	if restrict != nil {
+		kept := streams[:0]
+		for _, st := range streams {
+			if restrict[st.PatientID] {
+				kept = append(kept, st)
+			}
+		}
+		streams = kept
+	}
+
+	par := m.Params.parallelism(len(streams))
+	for len(m.workers) < par {
+		m.workers = append(m.workers, &workerState{})
+	}
+	active := m.workers[:par]
+
+	// Flush the worker-local funnel counters to the registry and reset
+	// the match buffers whatever happens — the workers are reused, so
+	// stale state must never survive into the next search, even on an
+	// error or panic.
+	defer func() {
+		var f funnelCounts
+		for _, w := range active {
+			f.add(w.funnel)
+			w.funnel = funnelCounts{}
+			w.matches = w.matches[:0]
+		}
+		mCandidates.Add(f.candidates)
+		mIndexPruned.Add(f.indexPruned)
+		mSelfExcluded.Add(f.selfExcluded)
+		mLBPruned.Add(f.lbPruned)
+		mDistanceRejected.Add(f.distRejected)
+	}()
+
+	if par == 1 {
+		for ord, st := range streams {
+			if err := sc.scanStream(active[0], st, ord); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := runWorkers(sc, active, streams); err != nil {
 		return nil, err
 	}
-	if len(matches) > k {
-		matches = matches[:k]
+
+	// Merge: threshold mode concatenates the worker-local buffers,
+	// top-k mode drains the shared heap. Either way the matchLess
+	// total order fully determines the output, so worker scheduling
+	// cannot affect it.
+	var out []Match
+	if k > 0 {
+		out = sc.col.heap
+	} else {
+		total := 0
+		for _, w := range active {
+			total += len(w.matches)
+		}
+		out = make([]Match, 0, total)
+		for _, w := range active {
+			out = append(out, w.matches...)
+		}
 	}
-	return matches, nil
+	sort.Slice(out, func(a, b int) bool { return matchLess(out[a], out[b]) })
+	mMatched.Add(len(out))
+	mSearchSeconds.Observe(time.Since(start).Seconds())
+	return out, nil
+}
+
+// runWorkers fans the stream list across par worker goroutines pulling
+// work items off a shared atomic cursor (dynamic load balancing — long
+// streams do not serialize behind a static partition). The first error
+// stops the fan-out; a worker panic is re-raised on the caller's
+// goroutine instead of crashing the process.
+func runWorkers(sc *searchCtx, workers []*workerState, streams []*store.Stream) error {
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		panicked any
+		wg       sync.WaitGroup
+	)
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stop.Store(true)
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(streams) {
+					return
+				}
+				if err := sc.scanStream(w, streams[i], i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// scanStream runs the candidate funnel over one stream, accumulating
+// accepted matches into the collector and funnel counts into the
+// worker's scratch.
+func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error {
+	p := sc.params
+	rel := relationOf(sc.q, st)
+	seq, amps := st.Snapshot()
+	n := sc.n
+	var starts []int
+	if p.RequireStateOrder {
+		starts = st.FindWindows(sc.sig)
+		if possible := len(seq) - n + 1; possible > len(starts) {
+			w.funnel.indexPruned += possible - len(starts)
+		}
+	} else {
+		// Ablation mode: every window of the query's length is a
+		// candidate, regardless of its state order. The start list
+		// is written into a scratch buffer sized once per stream
+		// (len(seq)-n+1 entries) and reused across streams, keeping
+		// this hot loop allocation-free after the largest stream.
+		possible := len(seq) - n + 1
+		if possible < 0 {
+			possible = 0
+		}
+		if cap(w.starts) < possible {
+			w.starts = make([]int, 0, possible)
+		}
+		starts = w.starts[:possible]
+		for j := range starts {
+			starts[j] = j
+		}
+	}
+	w.funnel.candidates += len(starts)
+	ws := p.StreamWeight(rel)
+	useLB := len(amps) == len(seq)
+	for _, j := range starts {
+		if j+n > len(seq) {
+			// A concurrent append grew the stream between the snapshot
+			// and the window lookup; windows beyond the snapshot are
+			// the next search's business.
+			continue
+		}
+		cand := seq[j : j+n]
+		if rel == SameSession && cand[n-1].T >= sc.q.Seq[0].T {
+			// Exclude the query itself and any window whose
+			// span overlaps the query's present.
+			w.funnel.selfExcluded++
+			continue
+		}
+		// The acceptance bound: the distance threshold, tightened to
+		// the k-th best distance seen so far in top-k mode. It only
+		// ever shrinks, so rejecting against a stale (looser) load is
+		// always safe.
+		bound := sc.col.bound()
+		if useLB {
+			// O(1) lower-bound rejection from the stream's prefix
+			// sums: no per-segment arithmetic touched.
+			ampC := amps[j+n-1] - amps[j]
+			durC := seq[j+n-1].T - seq[j].T
+			if p.distanceLowerBound(sc.ampQ, sc.durQ, ampC, durC, sc.vwMin, sc.wsum, rel) > bound {
+				w.funnel.lbPruned++
+				continue
+			}
+		}
+		// Early abandonment: the acceptance bound caps the distance
+		// computation on clearly-distant candidates. An infinite bound
+		// (top-k mode before the heap fills) means exact distances are
+		// needed.
+		dbound := bound
+		if dbound >= inf {
+			dbound = 0
+		}
+		d, within, err := p.distanceBounded(sc.q.Seq, cand, rel, sc.vw, dbound)
+		if err != nil {
+			return err
+		}
+		if (!within && dbound > 0) || d > sc.threshold {
+			w.funnel.distRejected++
+			continue
+		}
+		mt := Match{
+			Stream:   st,
+			Start:    j,
+			N:        n,
+			Relation: rel,
+			Distance: d,
+			Weight:   ws / (1 + d),
+			ord:      ord,
+		}
+		if !sc.col.offer(mt, &w.matches) {
+			w.funnel.distRejected++
+		}
+	}
+	return nil
+}
+
+// collector accumulates accepted matches. In top-k mode it maintains a
+// bounded max-heap (ordered by matchLess) under a mutex and publishes
+// the k-th best distance as a monotonically tightening atomic bound
+// that workers feed back into the lower-bound filter and the distance
+// early-abandonment. In threshold mode matches go to worker-local
+// buffers and the bound stays pinned at the threshold.
+type collector struct {
+	k         int
+	threshold float64
+	boundBits atomic.Uint64 // float64 bits of the current acceptance bound
+
+	mu   sync.Mutex
+	heap []Match // max-heap by matchLess; len <= k
+}
+
+func newCollector(k int, threshold float64) *collector {
+	c := &collector{k: k, threshold: threshold}
+	c.boundBits.Store(math.Float64bits(threshold))
+	return c
+}
+
+// bound returns the current acceptance bound: no candidate with a
+// distance strictly above it can enter the final result set.
+func (c *collector) bound() float64 {
+	if c.k <= 0 {
+		return c.threshold
+	}
+	return math.Float64frombits(c.boundBits.Load())
+}
+
+// offer submits an accepted candidate. It reports whether the match
+// was retained; in top-k mode a candidate ordering after the current
+// k-th best is dropped.
+func (c *collector) offer(mt Match, local *[]Match) bool {
+	if c.k <= 0 {
+		*local = append(*local, mt)
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) < c.k {
+		c.heap = append(c.heap, mt)
+		siftUp(c.heap, len(c.heap)-1)
+		if len(c.heap) == c.k {
+			c.publish()
+		}
+		return true
+	}
+	if !matchLess(mt, c.heap[0]) {
+		return false
+	}
+	c.heap[0] = mt
+	siftDown(c.heap, 0)
+	c.publish()
+	return true
+}
+
+// publish tightens the shared bound to the k-th best distance (never
+// looser than the threshold). Called with c.mu held and the heap full;
+// the max-heap root carries the largest retained distance, which only
+// shrinks as better matches displace it, so the published bound is
+// monotone non-increasing — a worker reading a stale value merely
+// prunes a little less.
+func (c *collector) publish() {
+	b := c.heap[0].Distance
+	if c.threshold < b {
+		b = c.threshold
+	}
+	c.boundBits.Store(math.Float64bits(b))
+}
+
+// siftUp restores the max-heap property (parent not matchLess than
+// children) after appending at index i.
+func siftUp(h []Match, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !matchLess(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// siftDown restores the max-heap property after replacing the root.
+func siftDown(h []Match, i int) {
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && matchLess(h[big], h[l]) {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && matchLess(h[big], h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// dispNormSum returns the sum of per-segment displacement norms
+// Σ|Pos[i+1]-Pos[i]| — the query-side aggregate of the O(1) lower
+// bound (the stream side comes from store prefix sums).
+func dispNormSum(seq plr.Sequence) float64 {
+	var s float64
+	for i := 0; i+1 < len(seq); i++ {
+		var dd float64
+		for k := range seq[i].Pos {
+			d := seq[i+1].Pos[k] - seq[i].Pos[k]
+			dd += d * d
+		}
+		s += math.Sqrt(dd)
+	}
+	return s
+}
+
+// sumMin returns the sum and minimum of a weight vector.
+func sumMin(vw []float64) (sum, min float64) {
+	min = math.Inf(1)
+	for _, w := range vw {
+		sum += w
+		if w < min {
+			min = w
+		}
+	}
+	if len(vw) == 0 {
+		min = 0
+	}
+	return sum, min
 }
 
 // inf is a practically infinite distance threshold.

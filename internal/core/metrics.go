@@ -5,10 +5,11 @@ import "stsmatch/internal/obs"
 // Matching-pipeline metrics. The pruning funnel reads top to bottom:
 // of all windows a stream could offer, candidates_scanned survive the
 // state-order filter (index_pruned did not), self_excluded overlap the
-// query's own present, distance_rejected exceed the threshold or were
-// abandoned early, and matches_total are returned. A healthy index
-// keeps candidates_scanned a small fraction of candidates_scanned +
-// index_pruned.
+// query's own present, lb_pruned fail the O(1) prefix-sum lower bound
+// before any per-segment arithmetic, distance_rejected exceed the
+// acceptance bound after (possibly abandoned) exact evaluation, and
+// matches_total are returned. A healthy funnel keeps each layer a
+// small fraction of the one above it.
 var (
 	mSearches = obs.Default().Counter("stsmatch_matcher_searches_total",
 		"FindSimilar invocations.")
@@ -18,8 +19,10 @@ var (
 		"Windows eliminated by the state-order (n-gram index) filter before any distance work.")
 	mSelfExcluded = obs.Default().Counter("stsmatch_matcher_self_excluded_total",
 		"Candidate windows excluded for overlapping the query's own present.")
+	mLBPruned = obs.Default().Counter("stsmatch_matcher_lb_pruned_total",
+		"Candidate windows rejected by the O(1) prefix-sum lower bound before exact distance evaluation.")
 	mDistanceRejected = obs.Default().Counter("stsmatch_matcher_distance_rejected_total",
-		"Candidate windows rejected by the weighted distance threshold (including early abandonment).")
+		"Candidate windows rejected by the acceptance bound (threshold or adaptive top-k), including early abandonment.")
 	mMatched = obs.Default().Counter("stsmatch_matcher_matches_total",
 		"Candidate windows accepted as matches.")
 	mQueryLen = obs.Default().Histogram("stsmatch_matcher_query_vertices",

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"stsmatch/internal/plr"
 )
@@ -57,6 +58,13 @@ type Params struct {
 	// state order). Always true in the paper; exposed for the
 	// ablation that shows why the model layer matters.
 	RequireStateOrder bool
+
+	// Parallelism is the number of worker goroutines a similarity
+	// search fans its candidate streams across. 0 (the default) uses
+	// GOMAXPROCS; 1 forces the sequential scan. Results are identical
+	// at every setting: partial results merge into one deterministic
+	// total order (see DESIGN.md on the retrieval funnel).
+	Parallelism int
 
 	// AnchorAtQueryEnd selects the prediction anchor. The paper's
 	// Section 4.3 formula anchors each match's future displacement at
@@ -114,7 +122,26 @@ func (p Params) Validate() error {
 	if p.MinQueryCycles < 1 || p.MaxQueryCycles < p.MinQueryCycles {
 		return fmt.Errorf("core: query cycle bounds invalid: [%d, %d]", p.MinQueryCycles, p.MaxQueryCycles)
 	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0, got %d", p.Parallelism)
+	}
 	return nil
+}
+
+// parallelism resolves the effective worker count for a search over
+// the given number of candidate streams.
+func (p Params) parallelism(streams int) int {
+	n := p.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > streams {
+		n = streams
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // SourceRelation classifies where a candidate subsequence comes from

@@ -46,6 +46,12 @@ type Options struct {
 	// shard's memory. 0 selects DefaultMaxBodyBytes; negative disables
 	// the cap.
 	MaxBodyBytes int64
+
+	// MatcherParallelism overrides core.Params.Parallelism for the
+	// server's matcher pool: the number of worker goroutines each
+	// similarity search fans its candidate streams across. 0 keeps the
+	// params' own setting (which itself defaults to GOMAXPROCS).
+	MatcherParallelism int
 }
 
 // DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds

@@ -103,6 +103,9 @@ func New(db *store.DB, params core.Params, segCfg fsm.Config) (*Server, error) {
 // serving: the recovered database replaces db (db then only seeds a
 // fresh data dir), and sessions open at the crash resume mid-stream.
 func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Options) (*Server, error) {
+	if opts.MatcherParallelism != 0 {
+		params.Parallelism = opts.MatcherParallelism
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}

@@ -255,3 +255,26 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestMatcherParallelismOption(t *testing.T) {
+	srv, err := NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), Options{
+		MatcherParallelism: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.params.Parallelism != 3 {
+		t.Errorf("server params Parallelism = %d, want 3", srv.params.Parallelism)
+	}
+	m := srv.matchers.Get().(*core.Matcher)
+	if m.Params.Parallelism != 3 {
+		t.Errorf("pooled matcher Parallelism = %d, want 3", m.Params.Parallelism)
+	}
+	srv.matchers.Put(m)
+
+	if _, err := NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), Options{
+		MatcherParallelism: -2,
+	}); err == nil {
+		t.Error("negative MatcherParallelism accepted")
+	}
+}

@@ -15,6 +15,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,14 @@ type Stream struct {
 	stateStr []byte
 	index    *ngramIndex
 	hook     *hookRef
+
+	// ampSum holds per-vertex prefix sums of segment displacement
+	// norms: ampSum[i] is the sum of |Pos[j+1]-Pos[j]| over segments
+	// j < i (so ampSum[0] == 0 and len(ampSum) == len(seq)). The
+	// matcher derives a constant-time lower bound on the weighted
+	// subsequence distance from these sums; like the n-gram index they
+	// are extended incrementally on Append.
+	ampSum []float64
 }
 
 // NewStream creates an empty stream owned by the given patient and
@@ -110,6 +119,11 @@ func (s *Stream) Append(vs ...plr.Vertex) error {
 		if !v.State.Valid() {
 			err = fmt.Errorf("store: invalid state on appended vertex")
 			break
+		}
+		if n := len(s.seq); n == 0 {
+			s.ampSum = append(s.ampSum, 0)
+		} else {
+			s.ampSum = append(s.ampSum, s.ampSum[n-1]+dispNorm(s.seq[n-1].Pos, v.Pos))
 		}
 		s.seq = append(s.seq, v)
 		s.stateStr = append(s.stateStr, v.State.Byte())
@@ -146,6 +160,35 @@ func (s *Stream) Seq() plr.Sequence {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.seq
+}
+
+// dispNorm is the Euclidean norm of b-a over the dimensions both
+// vectors share (streams are homogeneous in practice; the clamp only
+// guards against malformed appends).
+func dispNorm(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for k := 0; k < n; k++ {
+		d := b[k] - a[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Snapshot returns the vertex sequence together with its matching
+// displacement-norm prefix sums as one consistent view: sums[i] is the
+// sum of segment displacement norms |Pos[j+1]-Pos[j]| over j < i, so a
+// window of n vertices starting at j has displacement-norm sum
+// sums[j+n-1]-sums[j] in O(1). Both slices are read-only for the
+// caller and remain valid across appends (appends may reallocate but
+// never mutate existing entries).
+func (s *Stream) Snapshot() (seq plr.Sequence, sums []float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq, s.ampSum
 }
 
 // Window returns the n-vertex window starting at index j.

@@ -451,3 +451,72 @@ func TestMutationHookReportsPartialAppend(t *testing.T) {
 		t.Errorf("stream holds %d vertices, want 2", st.Len())
 	}
 }
+
+func TestSnapshotPrefixSums(t *testing.T) {
+	// The incrementally maintained displacement-norm prefix sums must
+	// match a from-scratch recomputation bitwise (same op order), and
+	// window sums derived from them must agree with direct summation.
+	rng := rand.New(rand.NewSource(17))
+	st := NewStream("P", "S")
+	var appended plr.Sequence
+	tNow := 0.0
+	for batch := 0; batch < 5; batch++ {
+		var vs plr.Sequence
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			tNow += 0.1 + rng.Float64()
+			vs = append(vs, plr.Vertex{
+				T:     tNow,
+				Pos:   []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 3},
+				State: plr.State(rng.Intn(3)),
+			})
+		}
+		if err := st.Append(vs...); err != nil {
+			t.Fatal(err)
+		}
+		appended = append(appended, vs...)
+
+		seq, sums := st.Snapshot()
+		if len(seq) != len(appended) || len(sums) != len(seq) {
+			t.Fatalf("snapshot lengths: seq %d (want %d), sums %d", len(seq), len(appended), len(sums))
+		}
+		want := 0.0
+		for i := range seq {
+			if i > 0 {
+				want += dispNorm(seq[i-1].Pos, seq[i].Pos)
+			}
+			if sums[i] != want {
+				t.Fatalf("sums[%d] = %v, want %v", i, sums[i], want)
+			}
+		}
+	}
+
+	// O(1) window sums equal the direct per-segment summation.
+	seq, sums := st.Snapshot()
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(len(seq)-2)
+		j := rng.Intn(len(seq) - n + 1)
+		direct := 0.0
+		for i := j; i < j+n-1; i++ {
+			direct += dispNorm(seq[i].Pos, seq[i+1].Pos)
+		}
+		got := sums[j+n-1] - sums[j]
+		if diff := got - direct; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("window [%d,%d): prefix sum %v != direct %v", j, j+n, got, direct)
+		}
+	}
+}
+
+func TestSnapshotPartialBatchKeepsSumsConsistent(t *testing.T) {
+	// A mid-batch append error must leave ampSum aligned with the
+	// vertices that actually landed.
+	st := NewStream("P", "S")
+	good := seqFromStates("EOI")
+	bad := plr.Vertex{T: 1.5, Pos: []float64{0}, State: plr.EX} // time regresses
+	if err := st.Append(append(good.Clone(), bad)...); err == nil {
+		t.Fatal("expected mid-batch time-order error")
+	}
+	seq, sums := st.Snapshot()
+	if len(seq) != 3 || len(sums) != 3 {
+		t.Fatalf("after partial batch: %d vertices, %d sums (want 3, 3)", len(seq), len(sums))
+	}
+}
