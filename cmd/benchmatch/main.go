@@ -324,7 +324,7 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 	}
 
 	// Partition patients exactly as the gateway's ring will.
-	ring := shard.NewRing(shard.DefaultReplicas)
+	ring := shard.NewRing(shard.DefaultVnodes)
 	for _, u := range urls {
 		ring.Add(u)
 	}

@@ -4,9 +4,15 @@
 // ingest, predict) is routed to the shard owning the session's patient;
 // POST /v1/match fans out to every healthy shard and merges the
 // results into the exact global answer, degrading gracefully (HTTP
-// 200, "degraded": true) when a shard is down.
+// 200, "degraded": true) when a shard is down and its data has no
+// surviving replica.
 //
-//	gateway -listen :8760 \
+// With -replicas R > 1 each session is placed on R distinct backends:
+// the primary streams its WAL to the successors, and when the health
+// checker ejects the primary the gateway promotes a replica and
+// re-routes the session there with no acknowledged data lost.
+//
+//	gateway -listen :8760 -replicas 2 \
 //	        -backends http://127.0.0.1:8751,http://127.0.0.1:8752,http://127.0.0.1:8753
 //
 //	curl -X POST localhost:8760/v1/sessions \
@@ -42,11 +48,13 @@ import (
 func main() {
 	listen := flag.String("listen", ":8760", "HTTP listen address")
 	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
-	replicas := flag.Int("replicas", shard.DefaultReplicas, "virtual nodes per backend on the hash ring")
+	replicas := flag.Int("replicas", 1, "replication factor: primary plus R-1 WAL-following replicas per session")
+	vnodes := flag.Int("vnodes", shard.DefaultVnodes, "virtual nodes per backend on the hash ring")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt backend request timeout")
 	retries := flag.Int("retries", 2, "retry attempts for idempotent backend calls")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "active health-probe period (negative = disabled)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures before a backend is ejected")
+	readmitThreshold := flag.Int("readmit-threshold", 2, "consecutive probe successes before an ejected backend is readmitted")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
@@ -70,11 +78,13 @@ func main() {
 	}
 
 	gw, err := shard.NewGateway(urls, shard.Options{
-		Replicas:       *replicas,
-		Timeout:        *timeout,
-		MaxRetries:     *retries,
-		HealthInterval: *healthEvery,
-		FailThreshold:  *failThreshold,
+		Vnodes:           *vnodes,
+		Replicas:         *replicas,
+		Timeout:          *timeout,
+		MaxRetries:       *retries,
+		HealthInterval:   *healthEvery,
+		FailThreshold:    *failThreshold,
+		ReadmitThreshold: *readmitThreshold,
 	})
 	if err != nil {
 		fatalStartup(err)
@@ -82,6 +92,7 @@ func main() {
 	defer gw.Close()
 	log.Info("ring built",
 		slog.Int("backends", len(urls)),
+		slog.Int("vnodes", *vnodes),
 		slog.Int("replicas", *replicas))
 
 	mux := http.NewServeMux()

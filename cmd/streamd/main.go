@@ -22,6 +22,14 @@
 // -fsync flag sets the group-commit interval (0 = fsync every append)
 // and bounds how much acknowledged data a hard crash can lose.
 //
+// A streamd can also be a replication primary, follower, or both:
+// sessions created with "replicate" target URLs stream every WAL
+// record to those followers before acknowledging writes, and POST
+// /v1/replicate applies shipped batches on the receiving side. The
+// -advertise flag names this daemon in its outgoing shipments (so
+// followers can allowlist it) and -replicate-from restricts which
+// sources may ship WAL batches here.
+//
 // With -pprof the daemon additionally serves net/http/pprof under
 // /debug/pprof/ on the same listener. The daemon shuts down gracefully
 // on SIGINT/SIGTERM, draining in-flight requests, then flushing the
@@ -65,6 +73,8 @@ func main() {
 	fsyncEvery := flag.Duration("fsync", 50*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic WAL compaction into snapshots (0 = only on shutdown)")
 	matchPar := flag.Int("match-parallelism", 0, "worker goroutines per similarity search (0 = GOMAXPROCS, 1 = sequential)")
+	advertise := flag.String("advertise", "", "base URL this daemon advertises as the source of its WAL shipments (e.g. http://10.0.0.1:8750)")
+	replicateFrom := flag.String("replicate-from", "", "comma-separated source URLs allowed to ship WAL batches here (empty = accept any)")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -96,11 +106,19 @@ func main() {
 			slog.Int("vertices", db.NumVertices()))
 	}
 
+	var replFrom []string
+	for _, u := range strings.Split(*replicateFrom, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replFrom = append(replFrom, strings.TrimRight(u, "/"))
+		}
+	}
 	srv, err := server.NewWithOptions(db, core.DefaultParams(), fsm.DefaultConfig(), server.Options{
 		DataDir:            *dataDir,
 		FsyncInterval:      *fsyncEvery,
 		SnapshotEvery:      *snapshotEvery,
 		MatcherParallelism: *matchPar,
+		AdvertiseURL:       strings.TrimRight(*advertise, "/"),
+		ReplicateFrom:      replFrom,
 	})
 	if err != nil {
 		fatal(log, err)

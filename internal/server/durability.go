@@ -10,6 +10,7 @@ package server
 import (
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,24 @@ type Options struct {
 	// similarity search fans its candidate streams across. 0 keeps the
 	// params' own setting (which itself defaults to GOMAXPROCS).
 	MatcherParallelism int
+
+	// AdvertiseURL is this node's base URL as replicas should see it;
+	// it is stamped into shipped batches as the source and checked
+	// against the receivers' ReplicateFrom allowlists.
+	AdvertiseURL string
+
+	// ReplicateFrom restricts POST /v1/replicate to batches whose
+	// source is in this list. Empty accepts any source.
+	ReplicateFrom []string
+
+	// ReplicateTimeout bounds one replication shipment (the ingest ack
+	// waits on it). 0 selects DefaultReplicateTimeout.
+	ReplicateTimeout time.Duration
+
+	// ReplicateTransport overrides the HTTP transport used for
+	// replication shipments (tests inject fault-injecting transports
+	// here). Nil uses the default transport.
+	ReplicateTransport http.RoundTripper
 }
 
 // DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds

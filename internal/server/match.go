@@ -121,6 +121,10 @@ type ShardStatsResponse struct {
 	Streams  int            `json:"streams"`
 	Vertices int            `json:"vertices"`
 	Sessions []ShardSession `json:"sessions"`
+	// Replicas lists the sessions this shard follows as a replica:
+	// failover candidates, not primaries — a gateway rediscovering
+	// placement must route to a Sessions entry, never a Replicas one.
+	Replicas []ShardSession `json:"replicas,omitempty"`
 }
 
 func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
@@ -133,12 +137,22 @@ func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
 			Samples:   sess.samples,
 		})
 	}
+	replicas := make([]ShardSession, 0, len(s.replicas))
+	for sid, rs := range s.replicas {
+		replicas = append(replicas, ShardSession{
+			SessionID: sid,
+			PatientID: rs.patientID,
+			Samples:   int(rs.samples),
+		})
+	}
 	s.mu.Unlock()
 	sort.Slice(sessions, func(a, b int) bool { return sessions[a].SessionID < sessions[b].SessionID })
+	sort.Slice(replicas, func(a, b int) bool { return replicas[a].SessionID < replicas[b].SessionID })
 	writeJSON(w, http.StatusOK, ShardStatsResponse{
 		Patients: s.db.NumPatients(),
 		Streams:  len(s.db.Streams()),
 		Vertices: s.db.NumVertices(),
 		Sessions: sessions,
+		Replicas: replicas,
 	})
 }

@@ -14,6 +14,14 @@ type serverMetrics struct {
 	predictions    *obs.CounterVec // outcome: ok, no_matches, insufficient_history, error
 	lockWait       *obs.Histogram
 	predictWork    *obs.Histogram
+
+	// Replication (see replication.go).
+	replShipped    *obs.Counter
+	replShipErrors *obs.Counter
+	replApplied    *obs.Counter
+	replSnapshots  *obs.Counter
+	replLag        *obs.Gauge
+	replPromotions *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -35,5 +43,17 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 		predictWork: r.Histogram("stsmatch_server_predict_seconds",
 			"Similarity search plus prediction wall time, outside the session lock.",
 			obs.DefLatencyBuckets),
+		replShipped: r.Counter("stsmatch_repl_shipped_records_total",
+			"Replication records acknowledged by replicas."),
+		replShipErrors: r.Counter("stsmatch_repl_ship_errors_total",
+			"Replication shipments that failed (timeout, refusal, fencing)."),
+		replApplied: r.Counter("stsmatch_repl_applied_records_total",
+			"Replication records applied as a follower."),
+		replSnapshots: r.Counter("stsmatch_repl_snapshots_total",
+			"Snapshot catch-up shipments sent to lagging replicas."),
+		replLag: r.Gauge("stsmatch_repl_lag_records",
+			"Worst unacknowledged replication backlog across sessions and links."),
+		replPromotions: r.Counter("stsmatch_repl_promotions_total",
+			"Replica sessions promoted to primary (failovers served)."),
 	}
 }

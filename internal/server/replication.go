@@ -1,0 +1,645 @@
+// Replication: a primary ships each replicated session's WAL records
+// to follower shards over POST /v1/replicate, synchronously with the
+// ingest ack, so killing the primary loses no acknowledged vertex as
+// long as one replica survives. Followers apply the records through
+// the store (journaling them into their own WAL) but do not run a
+// segmenter; POST /v1/sessions/{sid}/promote turns a caught-up replica
+// into the live primary using the same resume path crash recovery
+// uses, fenced against the deposed primary by a bumped epoch.
+//
+// Per-link sequencing: every replica link numbers its shipped records
+// independently (dense, 1-based, carried in the record's LSN slot), so
+// a follower's wal.Cursor detects drops and reorders without any
+// cross-replica coordination. A gap (HTTP 409) or an overflowing
+// pending queue collapses the link to snapshot catch-up: the next
+// shipment is a single TypeReplicaSnapshot record carrying the
+// session's complete state, which re-anchors the follower's cursor. A
+// deposed primary is answered with HTTP 412 (stale epoch) and stops
+// shipping.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/store"
+	"stsmatch/internal/wal"
+)
+
+// DefaultReplicateTimeout bounds one replication shipment; ingest acks
+// wait on it, so it is deliberately short.
+const DefaultReplicateTimeout = 5 * time.Second
+
+// maxPendingRecords caps a link's unshipped backlog; past it the link
+// collapses to snapshot catch-up instead of buffering without bound.
+const maxPendingRecords = 1024
+
+// replicator ships one session's records to its replica set.
+type replicator struct {
+	mu        sync.Mutex
+	patientID string
+	sessionID string
+	source    string // primary's advertised base URL
+	epoch     uint64
+	deposed   bool // a replica rejected us with a newer epoch
+	links     []*replicaLink
+}
+
+// replicaLink is one primary→replica shipping lane.
+type replicaLink struct {
+	target   string
+	nextSeq  uint64       // next sequence number to assign (1-based)
+	pending  []wal.Record // enqueued, not yet acknowledged by the replica
+	needSnap bool         // next shipment must be a full snapshot
+	lastErr  string
+
+	// shipMu serializes shipments on this link so concurrent ingest
+	// flushes cannot interleave batches. Held across the HTTP call;
+	// never acquired while holding replicator.mu.
+	shipMu sync.Mutex
+}
+
+// newReplicator builds the shipping state for a session. snapshotFirst
+// marks every link for snapshot catch-up before normal shipping — the
+// mode a freshly promoted primary starts in, since its sequence
+// numbering has no relation to the deposed primary's.
+func newReplicator(patientID, sessionID, source string, epoch uint64, targets []string, snapshotFirst bool) *replicator {
+	r := &replicator{patientID: patientID, sessionID: sessionID, source: source, epoch: epoch}
+	for _, t := range targets {
+		r.links = append(r.links, &replicaLink{target: t, nextSeq: 1, needSnap: snapshotFirst})
+	}
+	return r
+}
+
+// enqueue stages records on every link, assigning per-link sequence
+// numbers. Callers hold s.mu (the session lock), which is what orders
+// enqueues; records must be staged in apply order.
+func (r *replicator) enqueue(recs ...wal.Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, link := range r.links {
+		if link.needSnap {
+			// The backlog is superseded by the snapshot the next flush
+			// ships; buffering more would only be thrown away then.
+			continue
+		}
+		for _, rec := range recs {
+			rec.LSN = link.nextSeq
+			link.nextSeq++
+			link.pending = append(link.pending, rec)
+		}
+		if len(link.pending) > maxPendingRecords {
+			link.pending = nil
+			link.needSnap = true
+		}
+	}
+}
+
+// lag returns the largest unacknowledged backlog across links. A link
+// in snapshot catch-up counts as one pending shipment.
+func (r *replicator) lag() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	maxLag := 0
+	for _, link := range r.links {
+		n := len(link.pending)
+		if link.needSnap {
+			n++
+		}
+		if n > maxLag {
+			maxLag = n
+		}
+	}
+	return maxLag
+}
+
+// flush synchronously ships every link's backlog and returns one error
+// string per link that could not be brought current. Callers must NOT
+// hold s.mu: snapshot catch-up re-acquires it to read session state.
+func (s *Server) replFlush(r *replicator) []string {
+	r.mu.Lock()
+	links := append([]*replicaLink(nil), r.links...)
+	deposed := r.deposed
+	r.mu.Unlock()
+	if deposed {
+		return []string{"replication fenced: a replica reported a newer epoch"}
+	}
+	var (
+		wg   sync.WaitGroup
+		emu  sync.Mutex
+		errs []string
+	)
+	for _, link := range links {
+		wg.Add(1)
+		go func(link *replicaLink) {
+			defer wg.Done()
+			if err := s.flushLink(r, link); err != nil {
+				emu.Lock()
+				errs = append(errs, fmt.Sprintf("%s: %v", link.target, err))
+				emu.Unlock()
+			}
+		}(link)
+	}
+	wg.Wait()
+	s.met.replLag.Set(int64(r.lag()))
+	return errs
+}
+
+// flushLink brings one link current: ships the pending backlog, or a
+// full snapshot when the link needs catch-up.
+func (s *Server) flushLink(r *replicator, link *replicaLink) error {
+	link.shipMu.Lock()
+	defer link.shipMu.Unlock()
+
+	for attempt := 0; attempt < 2; attempt++ {
+		var batch wal.Batch
+		r.mu.Lock()
+		needSnap := link.needSnap
+		if !needSnap {
+			if len(link.pending) == 0 {
+				r.mu.Unlock()
+				return nil
+			}
+			batch = wal.Batch{
+				Source:    r.source,
+				SessionID: r.sessionID,
+				PatientID: r.patientID,
+				Epoch:     r.epoch,
+				FirstSeq:  link.pending[0].LSN,
+				Records:   append([]wal.Record(nil), link.pending...),
+			}
+		}
+		r.mu.Unlock()
+		if needSnap {
+			var ok bool
+			batch, ok = s.snapshotBatch(r, link)
+			if !ok {
+				return errors.New("session gone before snapshot catch-up")
+			}
+			s.met.replSnapshots.Inc()
+		}
+
+		status, err := s.shipBatch(link.target, batch)
+		switch {
+		case err == nil && status == http.StatusOK:
+			r.mu.Lock()
+			// Drop everything the replica now has; records enqueued
+			// during the shipment stay pending.
+			acked := batch.FirstSeq + uint64(len(batch.Records))
+			kept := link.pending[:0]
+			for _, rec := range link.pending {
+				if rec.LSN >= acked {
+					kept = append(kept, rec)
+				}
+			}
+			link.pending = kept
+			link.lastErr = ""
+			retry := len(link.pending) > 0 || link.needSnap
+			r.mu.Unlock()
+			s.met.replShipped.Add(len(batch.Records))
+			if !retry {
+				return nil
+			}
+			continue // ship the records that arrived mid-flight
+		case err == nil && status == http.StatusConflict:
+			// Sequence gap on the replica: catch up with a snapshot.
+			r.mu.Lock()
+			link.needSnap = true
+			link.pending = nil
+			r.mu.Unlock()
+			continue
+		case err == nil && status == http.StatusPreconditionFailed:
+			// The replica follows a newer epoch: we are deposed. Stop
+			// shipping; the new primary owns the session now.
+			r.mu.Lock()
+			r.deposed = true
+			link.lastErr = "fenced by newer epoch"
+			r.mu.Unlock()
+			s.met.replShipErrors.Inc()
+			return errors.New("fenced by newer epoch")
+		default:
+			if err == nil {
+				err = fmt.Errorf("replica answered %d", status)
+			}
+			r.mu.Lock()
+			if needSnap {
+				link.needSnap = true // the snapshot never landed
+			}
+			link.lastErr = err.Error()
+			r.mu.Unlock()
+			s.met.replShipErrors.Inc()
+			return err
+		}
+	}
+	return errors.New("replica still behind after snapshot catch-up")
+}
+
+// snapshotBatch builds a single-record snapshot shipment carrying the
+// session's complete state. It holds s.mu (then r.mu) so no enqueue
+// can slip a record between the state read and the backlog reset —
+// every staged-then-discarded record's effect is inside the snapshot.
+func (s *Server) snapshotBatch(r *replicator, link *replicaLink) (wal.Batch, bool) {
+	s.lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.sessionID]
+	if !ok {
+		return wal.Batch{}, false
+	}
+	var info store.PatientInfo
+	if p := s.db.Patient(r.patientID); p != nil {
+		info = p.Info
+	}
+	snap := wal.Record{
+		Type:      wal.TypeReplicaSnapshot,
+		Patient:   info,
+		PatientID: r.patientID,
+		SessionID: r.sessionID,
+		Vertices:  sess.stream.Seq(),
+		Samples:   uint64(sess.samples),
+		AnchorT:   sess.lastT,
+		AnchorPos: append([]float64(nil), sess.lastPos...),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap.LSN = link.nextSeq
+	link.nextSeq++
+	link.pending = nil
+	link.needSnap = false
+	return wal.Batch{
+		Source:    r.source,
+		SessionID: r.sessionID,
+		PatientID: r.patientID,
+		Epoch:     r.epoch,
+		FirstSeq:  snap.LSN,
+		Records:   []wal.Record{snap},
+	}, true
+}
+
+// shipBatch POSTs one encoded batch to a replica's /v1/replicate.
+func (s *Server) shipBatch(target string, b wal.Batch) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/replicate", bytes.NewReader(wal.EncodeBatch(b)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.replClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// replicaState is a follower's view of one replicated session: the
+// stream data lives in the database (and the follower's own WAL); this
+// tracks the cursor and the prediction anchor needed for promotion.
+type replicaState struct {
+	patientID string
+	source    string
+	cursor    wal.Cursor
+	stream    *store.Stream
+	samples   uint64
+	lastT     float64
+	lastPos   []float64
+}
+
+// ReplicateResponse acknowledges an applied batch.
+type ReplicateResponse struct {
+	NextSeq uint64 `json:"nextSeq"`
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
+// handleReplicate is the follower half of log shipping.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	s.capBody(w, r)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, bodyErrCode(err), fmt.Errorf("reading batch: %w", err))
+		return
+	}
+	b, err := wal.DecodeBatch(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(s.replFrom) > 0 {
+		allowed := false
+		for _, src := range s.replFrom {
+			if src == b.Source {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			httpError(w, http.StatusForbidden, fmt.Errorf("source %q not in replicate-from allowlist", b.Source))
+			return
+		}
+	}
+	if b.SessionID == "" || b.PatientID == "" {
+		httpError(w, http.StatusBadRequest, errors.New("batch missing session or patient ID"))
+		return
+	}
+
+	s.lock()
+	defer s.mu.Unlock()
+	if _, live := s.sessions[b.SessionID]; live {
+		// We are the primary for this session (promoted); the sender is
+		// a deposed primary. Fence it.
+		httpError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("session %q is live here; shipping epoch %d is stale", b.SessionID, b.Epoch))
+		return
+	}
+	rs, ok := s.replicas[b.SessionID]
+	if !ok {
+		rs = &replicaState{patientID: b.PatientID, source: b.Source}
+		s.replicas[b.SessionID] = rs
+	}
+	apply, err := rs.cursor.Accept(b)
+	switch {
+	case errors.Is(err, wal.ErrStaleEpoch):
+		httpError(w, http.StatusPreconditionFailed, err)
+		return
+	case errors.Is(err, wal.ErrGap):
+		httpError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rs.source = b.Source
+	for _, rec := range apply {
+		if err := s.applyReplicated(rs, rec); err != nil {
+			// The cursor has advanced past this record; a local apply
+			// failure (e.g. non-advancing vertices) means divergence we
+			// cannot hide. Force the primary to resend a snapshot.
+			rs.cursor = wal.Cursor{Epoch: rs.cursor.Epoch}
+			httpError(w, http.StatusConflict, fmt.Errorf("applying replicated record: %w", err))
+			return
+		}
+	}
+	s.met.replApplied.Add(len(apply))
+	writeJSON(w, http.StatusOK, ReplicateResponse{
+		NextSeq: rs.cursor.Next,
+		Epoch:   rs.cursor.Epoch,
+		Applied: len(apply),
+	})
+}
+
+// applyReplicated applies one shipped record to the follower's store.
+// Mutations flow through the store hook, so a durable follower
+// journals them into its own WAL exactly like local writes.
+func (s *Server) applyReplicated(rs *replicaState, rec wal.Record) error {
+	switch rec.Type {
+	case wal.TypePatientUpsert:
+		// Existing patients keep their info: rewriting it in place would
+		// race matcher reads, and replicated upserts re-ship the same
+		// record on catch-up anyway.
+		if s.db.Patient(rec.Patient.ID) != nil {
+			return nil
+		}
+		_, err := s.db.AddPatient(rec.Patient)
+		return err
+	case wal.TypeStreamOpen:
+		_, err := s.replicaStream(rs, rec.PatientID, rec.SessionID)
+		return err
+	case wal.TypeVertexAppend:
+		st, err := s.replicaStream(rs, rec.PatientID, rec.SessionID)
+		if err != nil {
+			return err
+		}
+		return st.Append(rec.Vertices...)
+	case wal.TypeSessionAnchor:
+		rs.samples = rec.Samples
+		rs.lastT = rec.AnchorT
+		rs.lastPos = append(rs.lastPos[:0], rec.AnchorPos...)
+		return nil
+	case wal.TypeSessionClose:
+		delete(s.replicas, rec.SessionID)
+		return nil
+	case wal.TypeReplicaSnapshot:
+		if rec.Patient.ID == rec.PatientID && rec.PatientID != "" && s.db.Patient(rec.PatientID) == nil {
+			if _, err := s.db.AddPatient(rec.Patient); err != nil {
+				return err
+			}
+		}
+		st, err := s.replicaStream(rs, rec.PatientID, rec.SessionID)
+		if err != nil {
+			return err
+		}
+		// Append only the vertices past our current tail: a snapshot
+		// re-ships the whole stream, and Append rejects regressions.
+		vs := rec.Vertices
+		if seq := st.Seq(); len(seq) > 0 {
+			lastT := seq[len(seq)-1].T
+			for len(vs) > 0 && vs[0].T <= lastT {
+				vs = vs[1:]
+			}
+		}
+		if len(vs) > 0 {
+			if err := st.Append(vs...); err != nil {
+				return err
+			}
+		}
+		rs.samples = rec.Samples
+		rs.lastT = rec.AnchorT
+		rs.lastPos = append(rs.lastPos[:0], rec.AnchorPos...)
+		return nil
+	default:
+		// Unknown/irrelevant record types (e.g. a promote marker) are
+		// ignored rather than rejected, for forward compatibility.
+		return nil
+	}
+}
+
+// replicaStream returns (creating if needed) the follower-side stream
+// for a replicated session. A created stream is immediately journaled
+// as closed, so a follower restart recovers the data as history
+// instead of resurrecting the session as a live primary.
+func (s *Server) replicaStream(rs *replicaState, patientID, sessionID string) (*store.Stream, error) {
+	if rs.stream != nil {
+		return rs.stream, nil
+	}
+	p := s.db.Patient(patientID)
+	if p == nil {
+		var err error
+		p, err = s.db.AddPatient(store.PatientInfo{ID: patientID})
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := p.StreamBySession(sessionID)
+	if st == nil {
+		st = p.AddStream(sessionID)
+		st.EnableIndex()
+		s.walAppend(wal.Record{Type: wal.TypeSessionClose, SessionID: sessionID})
+	}
+	rs.stream = st
+	return st, nil
+}
+
+// PromoteRequest turns a replica into the live primary for a session.
+// Replicate lists the new primary's own replica targets (the surviving
+// members of the placement); they are brought current via snapshot.
+type PromoteRequest struct {
+	Replicate []string `json:"replicate,omitempty"`
+}
+
+// PromoteResponse reports the promoted session.
+type PromoteResponse struct {
+	PatientID string `json:"patientId"`
+	SessionID string `json:"sessionId"`
+	Epoch     uint64 `json:"epoch"`
+	Vertices  int    `json:"vertices"`
+	Samples   int    `json:"totalSamples"`
+}
+
+// handlePromote fails a replicated session over to this node: the
+// replica's stream becomes the live session, its segmenter re-primed
+// from the PLR tail exactly like crash recovery, under a bumped epoch
+// that fences the deposed primary.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	sid := r.PathValue("sid")
+	s.capBody(w, r)
+	var req PromoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, bodyErrCode(err), fmt.Errorf("decoding promote request: %w", err))
+		return
+	}
+
+	s.lock()
+	defer s.mu.Unlock()
+	if sess, live := s.sessions[sid]; live {
+		// Already primary here — promotion is idempotent so a gateway
+		// retry after a dropped response converges.
+		epoch := uint64(0)
+		if sess.repl != nil {
+			epoch = sess.repl.epoch
+		}
+		writeJSON(w, http.StatusOK, PromoteResponse{
+			PatientID: sess.patientID, SessionID: sid, Epoch: epoch,
+			Vertices: sess.stream.Len(), Samples: sess.samples,
+		})
+		return
+	}
+	rs, ok := s.replicas[sid]
+	if !ok || rs.stream == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no replica state for session %q", sid))
+		return
+	}
+	seg, err := fsm.New(s.segCfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	seq := rs.stream.Seq()
+	if err := seg.Prime(seq); err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("priming segmenter: %w", err))
+		return
+	}
+	sess := &session{
+		patientID: rs.patientID,
+		sessionID: sid,
+		seg:       seg,
+		stream:    rs.stream,
+		samples:   int(rs.samples),
+		lastT:     rs.lastT,
+		lastPos:   append([]float64(nil), rs.lastPos...),
+		resumed:   true,
+	}
+	if n := len(seq); n > 0 {
+		sess.resumedAt = seq[n-1].T
+		if sess.lastT < seq[n-1].T {
+			sess.lastT = seq[n-1].T
+			sess.lastPos = append([]float64(nil), seq[n-1].Pos...)
+		}
+	}
+	epoch := rs.cursor.Epoch + 1
+	if s.wal != nil {
+		// Journal (and flush) the promotion before going live: a 200
+		// must mean a restart resumes this session as primary.
+		err := s.wal.log.Append(wal.Record{
+			Type:      wal.TypeReplicaPromote,
+			PatientID: sess.patientID,
+			SessionID: sid,
+			Samples:   uint64(sess.samples),
+			AnchorT:   sess.lastT,
+			AnchorPos: sess.lastPos,
+			Epoch:     epoch,
+		})
+		if err == nil {
+			err = s.wal.log.Sync()
+		}
+		if err != nil {
+			s.wal.lastErr.Store(err.Error())
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("flushing promotion: %w", err))
+			return
+		}
+	}
+	delete(s.replicas, sid)
+	if len(req.Replicate) > 0 {
+		sess.repl = newReplicator(sess.patientID, sid, s.advertise, epoch, req.Replicate, true)
+	}
+	s.sessions[sid] = sess
+	s.met.sessionsOpen.Set(int64(len(s.sessions)))
+	s.met.replPromotions.Inc()
+	s.log.Info("session promoted to primary",
+		slog.String("patientId", sess.patientID),
+		slog.String("sessionId", sid),
+		slog.Uint64("epoch", epoch),
+		slog.Int("vertices", len(seq)),
+		slog.Int("replicas", len(req.Replicate)))
+	writeJSON(w, http.StatusOK, PromoteResponse{
+		PatientID: sess.patientID,
+		SessionID: sid,
+		Epoch:     epoch,
+		Vertices:  len(seq),
+		Samples:   sess.samples,
+	})
+}
+
+// ReplicationHealth is the replication section of healthz.
+type ReplicationHealth struct {
+	PrimarySessions int    `json:"primarySessions"` // sessions this node ships
+	ReplicaSessions int    `json:"replicaSessions"` // sessions this node follows
+	MaxLagRecords   int    `json:"maxLagRecords"`   // worst unshipped backlog
+	LastShipError   string `json:"lastShipError,omitempty"`
+}
+
+// replicationHealth summarizes replication for /v1/healthz. Returns
+// nil when this node neither ships nor follows anything.
+func (s *Server) replicationHealth() *ReplicationHealth {
+	s.lock()
+	defer s.mu.Unlock()
+	h := &ReplicationHealth{ReplicaSessions: len(s.replicas)}
+	for _, sess := range s.sessions {
+		if sess.repl == nil {
+			continue
+		}
+		h.PrimarySessions++
+		if lag := sess.repl.lag(); lag > h.MaxLagRecords {
+			h.MaxLagRecords = lag
+		}
+		sess.repl.mu.Lock()
+		for _, link := range sess.repl.links {
+			if link.lastErr != "" {
+				h.LastShipError = link.lastErr
+			}
+		}
+		sess.repl.mu.Unlock()
+	}
+	if h.PrimarySessions == 0 && h.ReplicaSessions == 0 {
+		return nil
+	}
+	return h
+}

@@ -66,6 +66,14 @@ type Server struct {
 	wal      *durability // nil when Options.DataDir is unset
 	maxBody  int64       // request-body cap; <= 0 disables
 
+	// Replication (see replication.go): sessions this node follows as
+	// a replica (guarded by mu), the client primaries ship with, this
+	// node's advertised URL, and the source allowlist for /v1/replicate.
+	replicas   map[string]*replicaState
+	replClient *http.Client
+	advertise  string
+	replFrom   []string
+
 	// matchers pools core.Matcher instances (one in flight per
 	// prediction; a Matcher carries scratch buffers and is not safe for
 	// concurrent use). The matchers wrap the server's live *store.DB,
@@ -83,6 +91,7 @@ type session struct {
 	samples   int
 	lastT     float64
 	lastPos   []float64
+	repl      *replicator // nil when the session is not replicated
 
 	// resumed marks a session rebuilt by crash recovery: its segmenter
 	// was re-primed from the stored PLR tail, so vertices it re-emits
@@ -116,19 +125,27 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		db = store.NewDB()
 	}
 	s := &Server{
-		db:       db,
-		params:   params,
-		segCfg:   segCfg,
-		sessions: make(map[string]*session),
-		mux:      http.NewServeMux(),
-		log:      obs.Logger("server"),
-		met:      newServerMetrics(obs.Default()),
-		start:    time.Now(),
-		maxBody:  opts.MaxBodyBytes,
+		db:        db,
+		params:    params,
+		segCfg:    segCfg,
+		sessions:  make(map[string]*session),
+		mux:       http.NewServeMux(),
+		log:       obs.Logger("server"),
+		met:       newServerMetrics(obs.Default()),
+		start:     time.Now(),
+		maxBody:   opts.MaxBodyBytes,
+		replicas:  make(map[string]*replicaState),
+		advertise: opts.AdvertiseURL,
+		replFrom:  opts.ReplicateFrom,
 	}
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
+	replTimeout := opts.ReplicateTimeout
+	if replTimeout == 0 {
+		replTimeout = DefaultReplicateTimeout
+	}
+	s.replClient = &http.Client{Timeout: replTimeout, Transport: opts.ReplicateTransport}
 	if opts.DataDir != "" {
 		if err := s.openDurability(db, opts); err != nil {
 			return nil, err
@@ -144,6 +161,8 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	s.route("DELETE /v1/sessions/{sid}", "close_session", s.handleCloseSession)
 	s.route("GET /v1/sessions/{sid}/predict", "predict", s.handlePredict)
 	s.route("GET /v1/sessions/{sid}/plr", "plr", s.handlePLR)
+	s.route("POST /v1/replicate", "replicate", s.handleReplicate)
+	s.route("POST /v1/sessions/{sid}/promote", "promote", s.handlePromote)
 	s.route("POST /v1/match", "match", s.handleMatch)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /v1/shard/stats", "shard_stats", s.handleShardStats)
@@ -209,10 +228,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck
 }
 
-// CreateSessionRequest opens a new ingestion session.
+// CreateSessionRequest opens a new ingestion session. Replicate lists
+// replica base URLs this node must ship the session's records to (the
+// gateway computes them from ring placement); empty means unreplicated.
 type CreateSessionRequest struct {
-	PatientID string `json:"patientId"`
-	SessionID string `json:"sessionId"`
+	PatientID string   `json:"patientId"`
+	SessionID string   `json:"sessionId"`
+	Replicate []string `json:"replicate,omitempty"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -226,47 +248,70 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("patientId and sessionId are required"))
 		return
 	}
+	sess, code, err := s.createSession(req)
+	if err != nil {
+		httpError(w, code, err)
+		return
+	}
+	var replErrs []string
+	if sess.repl != nil {
+		// Ship the open synchronously: a 201 means the replicas know the
+		// session exists (or the response says which ones do not).
+		replErrs = s.replFlush(sess.repl)
+	}
+	s.log.Info("session opened",
+		slog.String("patientId", req.PatientID),
+		slog.String("sessionId", req.SessionID),
+		slog.Int("replicas", len(req.Replicate)),
+		slog.String("requestId", obs.RequestIDFrom(r.Context())))
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"patientId":     req.PatientID,
+		"sessionId":     req.SessionID,
+		"replicaErrors": replErrs,
+	})
+}
+
+// createSession performs the locked portion of session creation and
+// stages the opening records on the session's replica links.
+func (s *Server) createSession(req CreateSessionRequest) (*session, int, error) {
 	s.lock()
 	defer s.mu.Unlock()
 	if _, exists := s.sessions[req.SessionID]; exists {
-		httpError(w, http.StatusConflict, fmt.Errorf("session %q already open", req.SessionID))
-		return
+		return nil, http.StatusConflict, fmt.Errorf("session %q already open", req.SessionID)
 	}
 	p := s.db.Patient(req.PatientID)
 	if p == nil {
 		var err error
 		p, err = s.db.AddPatient(store.PatientInfo{ID: req.PatientID})
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
+			return nil, http.StatusInternalServerError, err
 		}
 	}
 	if p.StreamBySession(req.SessionID) != nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("session %q already stored", req.SessionID))
-		return
+		return nil, http.StatusConflict, fmt.Errorf("session %q already stored", req.SessionID)
 	}
 	seg, err := fsm.New(s.segCfg)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+		return nil, http.StatusInternalServerError, err
 	}
 	st := p.AddStream(req.SessionID)
 	st.EnableIndex()
-	s.sessions[req.SessionID] = &session{
+	sess := &session{
 		patientID: req.PatientID,
 		sessionID: req.SessionID,
 		seg:       seg,
 		stream:    st,
 	}
+	if len(req.Replicate) > 0 {
+		sess.repl = newReplicator(req.PatientID, req.SessionID, s.advertise, 1, req.Replicate, false)
+		sess.repl.enqueue(
+			wal.Record{Type: wal.TypePatientUpsert, Patient: p.Info},
+			wal.Record{Type: wal.TypeStreamOpen, PatientID: req.PatientID, SessionID: req.SessionID},
+		)
+	}
+	s.sessions[req.SessionID] = sess
 	s.met.sessionsOpen.Set(int64(len(s.sessions)))
-	s.log.Info("session opened",
-		slog.String("patientId", req.PatientID),
-		slog.String("sessionId", req.SessionID),
-		slog.String("requestId", obs.RequestIDFrom(r.Context())))
-	writeJSON(w, http.StatusCreated, map[string]string{
-		"patientId": req.PatientID,
-		"sessionId": req.SessionID,
-	})
+	return sess, 0, nil
 }
 
 // SampleIn is one ingested observation.
@@ -275,12 +320,16 @@ type SampleIn struct {
 	Pos []float64 `json:"pos"`
 }
 
-// SamplesResponse reports the ingestion outcome.
+// SamplesResponse reports the ingestion outcome. ReplicaErrors lists
+// replicas that could not be brought current before the ack — for a
+// replicated session, an absent list means every configured replica
+// holds everything this response acknowledges.
 type SamplesResponse struct {
-	Accepted     int    `json:"accepted"`
-	NewVertices  int    `json:"newVertices"`
-	TotalSamples int    `json:"totalSamples"`
-	CurrentState string `json:"currentState"`
+	Accepted      int      `json:"accepted"`
+	NewVertices   int      `json:"newVertices"`
+	TotalSamples  int      `json:"totalSamples"`
+	CurrentState  string   `json:"currentState"`
+	ReplicaErrors []string `json:"replicaErrors,omitempty"`
 }
 
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
@@ -291,19 +340,41 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrCode(err), fmt.Errorf("decoding samples: %w", err))
 		return
 	}
+	resp, repl, code, err := s.ingestLocked(sid, batch)
+	if repl != nil {
+		// Ship before answering — even on error, so replicas hold
+		// exactly what this node stored. The ack then implies every
+		// healthy replica has every acknowledged vertex.
+		resp.ReplicaErrors = s.replFlush(repl)
+	}
+	if err != nil {
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestLocked runs one ingest batch under the session lock and stages
+// the resulting records on the session's replica links. The returned
+// replicator (nil for unreplicated sessions) must be flushed by the
+// caller after the lock is released.
+func (s *Server) ingestLocked(sid string, batch []SampleIn) (SamplesResponse, *replicator, int, error) {
 	s.lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[sid]
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
-		return
+		return SamplesResponse{}, nil, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
 	}
 	resp := SamplesResponse{}
+	var newVs []plr.Vertex
+	var pushErr error
+	var pushCode int
 	for _, in := range batch {
 		vs, err := sess.seg.Push(plr.Sample{T: in.T, Pos: in.Pos})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("sample at t=%v: %w", in.T, err))
-			return
+			pushErr = fmt.Errorf("sample at t=%v: %w", in.T, err)
+			pushCode = http.StatusBadRequest
+			break
 		}
 		if sess.resumed {
 			// A re-primed segmenter re-emits the vertex that anchors
@@ -317,9 +388,11 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 			vs = kept
 		}
 		if err := sess.stream.Append(vs...); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
+			pushErr = err
+			pushCode = http.StatusInternalServerError
+			break
 		}
+		newVs = append(newVs, vs...)
 		sess.samples++
 		sess.lastT = in.T
 		sess.lastPos = append(sess.lastPos[:0], in.Pos...)
@@ -328,21 +401,41 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.samplesIn.Add(resp.Accepted)
 	s.met.verticesOut.Add(resp.NewVertices)
+	anchor := wal.Record{
+		Type:      wal.TypeSessionAnchor,
+		PatientID: sess.patientID,
+		SessionID: sess.sessionID,
+		Samples:   uint64(sess.samples),
+		AnchorT:   sess.lastT,
+		AnchorPos: sess.lastPos,
+	}
 	if s.wal != nil && resp.Accepted > 0 {
 		// Journal the raw-sample anchor so a recovered session predicts
 		// from exactly the newest pre-crash observation.
-		s.walAppend(wal.Record{
-			Type:      wal.TypeSessionAnchor,
-			PatientID: sess.patientID,
-			SessionID: sess.sessionID,
-			Samples:   uint64(sess.samples),
-			AnchorT:   sess.lastT,
-			AnchorPos: sess.lastPos,
-		})
+		s.walAppend(anchor)
+	}
+	if sess.repl != nil && resp.Accepted > 0 {
+		// Stage everything this call stored — including partial progress
+		// before an error — so replicas never trail what we kept.
+		recs := make([]wal.Record, 0, 2)
+		if len(newVs) > 0 {
+			recs = append(recs, wal.Record{
+				Type:      wal.TypeVertexAppend,
+				PatientID: sess.patientID,
+				SessionID: sess.sessionID,
+				Vertices:  append([]plr.Vertex(nil), newVs...),
+			})
+		}
+		anchor.AnchorPos = append([]float64(nil), anchor.AnchorPos...)
+		recs = append(recs, anchor)
+		sess.repl.enqueue(recs...)
+	}
+	if pushErr != nil {
+		return resp, sess.repl, pushCode, pushErr
 	}
 	resp.TotalSamples = sess.samples
 	resp.CurrentState = sess.seg.CurrentState().String()
-	writeJSON(w, http.StatusOK, resp)
+	return resp, sess.repl, 0, nil
 }
 
 // CloseSessionResponse reports the final state of a closed session.
@@ -360,32 +453,47 @@ type CloseSessionResponse struct {
 // sessions map only ever grows.
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("sid")
-	s.lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[sid]
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+	sess, code, err := func() (*session, int, error) {
+		s.lock()
+		defer s.mu.Unlock()
+		sess, ok := s.sessions[sid]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
+		}
+		if s.wal != nil {
+			// Journal and fsync the close record before removing the
+			// session, so a 200 really means "durably closed": if the flush
+			// fails the session stays open and the client can retry.
+			// Holding s.mu across one fsync is acceptable on this rare path.
+			err := s.wal.log.Append(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
+			if err == nil {
+				err = s.wal.log.Sync()
+			}
+			if err != nil {
+				s.wal.lastErr.Store(err.Error())
+				s.log.Error("flushing session close", slog.Any("err", err))
+				return nil, http.StatusInternalServerError, fmt.Errorf("flushing session close: %w", err)
+			}
+		}
+		if sess.repl != nil {
+			sess.repl.enqueue(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
+		}
+		delete(s.sessions, sid)
+		s.met.sessionsOpen.Set(int64(len(s.sessions)))
+		s.met.sessionsClosed.Inc()
+		return sess, 0, nil
+	}()
+	if err != nil {
+		httpError(w, code, err)
 		return
 	}
-	if s.wal != nil {
-		// Journal and fsync the close record before removing the
-		// session, so a 200 really means "durably closed": if the flush
-		// fails the session stays open and the client can retry.
-		// Holding s.mu across one fsync is acceptable on this rare path.
-		err := s.wal.log.Append(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
-		if err == nil {
-			err = s.wal.log.Sync()
-		}
-		if err != nil {
-			s.wal.lastErr.Store(err.Error())
-			s.log.Error("flushing session close", slog.Any("err", err))
-			httpError(w, http.StatusInternalServerError, fmt.Errorf("flushing session close: %w", err))
-			return
+	if sess.repl != nil {
+		// Tell the replicas the session is closed; failures are logged
+		// (a lagging replica just keeps stale follower state around).
+		if errs := s.replFlush(sess.repl); len(errs) > 0 {
+			s.log.Warn("close not replicated everywhere", slog.Any("replicaErrors", errs))
 		}
 	}
-	delete(s.sessions, sid)
-	s.met.sessionsOpen.Set(int64(len(s.sessions)))
-	s.met.sessionsClosed.Inc()
 	s.log.Info("session closed",
 		slog.String("patientId", sess.patientID),
 		slog.String("sessionId", sid),
@@ -535,12 +643,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // HealthzResponse is the liveness payload. WAL is present only when
 // durability is enabled and carries the most recent recovery's stats.
 type HealthzResponse struct {
-	Status        string     `json:"status"`
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Patients      int        `json:"patients"`
-	Vertices      int        `json:"vertices"`
-	OpenSessions  int        `json:"openSessions"`
-	WAL           *WALHealth `json:"wal,omitempty"`
+	Status        string             `json:"status"`
+	UptimeSeconds float64            `json:"uptimeSeconds"`
+	Patients      int                `json:"patients"`
+	Vertices      int                `json:"vertices"`
+	OpenSessions  int                `json:"openSessions"`
+	WAL           *WALHealth         `json:"wal,omitempty"`
+	Replication   *ReplicationHealth `json:"replication,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -551,5 +660,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Vertices:      s.db.NumVertices(),
 		OpenSessions:  s.OpenSessions(),
 		WAL:           s.walHealth(),
+		Replication:   s.replicationHealth(),
 	})
 }

@@ -18,8 +18,14 @@ import (
 // Options tunes the gateway's backend clients. The zero value selects
 // production-shaped defaults.
 type Options struct {
-	// Replicas is the number of virtual nodes per backend on the
-	// consistent-hash ring (0 = DefaultReplicas).
+	// Vnodes is the number of virtual nodes per backend on the
+	// consistent-hash ring (0 = DefaultVnodes).
+	Vnodes int
+
+	// Replicas is the replication factor R: each session lives on a
+	// primary plus R-1 successor replicas on the ring, and the gateway
+	// fails sessions over to a replica when the primary is ejected.
+	// 0 and 1 both mean unreplicated.
 	Replicas int
 
 	// Timeout bounds each individual backend request attempt
@@ -44,11 +50,25 @@ type Options struct {
 	// FailThreshold is the number of consecutive failures (probes or
 	// requests) after which a backend is ejected (0 = 3).
 	FailThreshold int
+
+	// ReadmitThreshold is the number of consecutive successes an
+	// ejected backend must accumulate before it is readmitted (0 = 2).
+	// Values above 1 damp flapping: a backend that answers one probe
+	// between crashes stays ejected.
+	ReadmitThreshold int
+
+	// Transport overrides the HTTP transport for every backend client
+	// (tests inject deterministic fault-injecting transports here).
+	// Nil selects a production-shaped pooled transport.
+	Transport http.RoundTripper
 }
 
 func (o Options) withDefaults() Options {
+	if o.Vnodes <= 0 {
+		o.Vnodes = DefaultVnodes
+	}
 	if o.Replicas <= 0 {
-		o.Replicas = DefaultReplicas
+		o.Replicas = 1
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Second
@@ -71,6 +91,9 @@ func (o Options) withDefaults() Options {
 	if o.FailThreshold <= 0 {
 		o.FailThreshold = 3
 	}
+	if o.ReadmitThreshold <= 0 {
+		o.ReadmitThreshold = 2
+	}
 	return o
 }
 
@@ -83,10 +106,11 @@ const maxResponseBytes = 64 << 20
 // a pooled HTTP client, and the health state maintained by active
 // probes and passive request outcomes.
 type Backend struct {
-	url     string
-	hc      *http.Client
-	healthy atomic.Bool
-	fails   atomic.Int64
+	url       string
+	hc        *http.Client
+	healthy   atomic.Bool
+	fails     atomic.Int64
+	successes atomic.Int64 // consecutive successes while ejected
 }
 
 // URL returns the backend's base URL.
@@ -98,8 +122,8 @@ func (b *Backend) Healthy() bool { return b.healthy.Load() }
 // Pool manages the set of backends: per-backend pooled clients,
 // bounded retries with jittered exponential backoff on idempotent
 // calls, and an active health checker that ejects backends after
-// FailThreshold consecutive failures and readmits them on the first
-// successful probe.
+// FailThreshold consecutive failures and readmits them only after
+// ReadmitThreshold consecutive successes (flap damping).
 type Pool struct {
 	backends []*Backend
 	byURL    map[string]*Backend
@@ -135,13 +159,17 @@ func NewPool(urls []string, opts Options) (*Pool, error) {
 		if _, dup := p.byURL[u]; dup {
 			return nil, fmt.Errorf("shard: duplicate backend URL %s", u)
 		}
-		b := &Backend{
-			url: u,
-			hc: &http.Client{Transport: &http.Transport{
+		transport := opts.Transport
+		if transport == nil {
+			transport = &http.Transport{
 				MaxIdleConns:        64,
 				MaxIdleConnsPerHost: 32,
 				IdleConnTimeout:     90 * time.Second,
-			}},
+			}
+		}
+		b := &Backend{
+			url: u,
+			hc:  &http.Client{Transport: transport},
 		}
 		b.healthy.Store(true)
 		p.met.healthy.With(u).Set(1)
@@ -274,19 +302,25 @@ func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body [
 }
 
 // recordFailure counts one failure; crossing the threshold ejects the
-// backend.
+// backend. Any failure also resets the readmission streak, so a
+// flapping backend cannot re-enter rotation between crashes.
 func (p *Pool) recordFailure(b *Backend) {
+	b.successes.Store(0)
 	if b.fails.Add(1) >= int64(p.opts.FailThreshold) && b.healthy.CompareAndSwap(true, false) {
 		p.met.healthy.With(b.url).Set(0)
 		p.log.Warn("backend ejected", slog.String("backend", b.url))
 	}
 }
 
-// recordSuccess resets the failure streak and readmits an ejected
-// backend.
+// recordSuccess resets the failure streak; an ejected backend is
+// readmitted only after ReadmitThreshold consecutive successes.
 func (p *Pool) recordSuccess(b *Backend) {
 	b.fails.Store(0)
-	if b.healthy.CompareAndSwap(false, true) {
+	if b.healthy.Load() {
+		return
+	}
+	if b.successes.Add(1) >= int64(p.opts.ReadmitThreshold) && b.healthy.CompareAndSwap(false, true) {
+		b.successes.Store(0)
 		p.met.healthy.With(b.url).Set(1)
 		p.log.Info("backend readmitted", slog.String("backend", b.url))
 	}

@@ -11,15 +11,18 @@ import (
 
 // fastOpts keeps retry/backoff timing negligible in tests; the active
 // checker is disabled so tests drive probes deterministically via
-// ProbeAll.
+// ProbeAll. ReadmitThreshold 1 readmits on a single passing probe so
+// the ejection tests stay focused; flap damping has its own test
+// (TestFlapDampingRequiresConsecutiveSuccesses).
 func fastOpts() Options {
 	return Options{
-		Timeout:        2 * time.Second,
-		MaxRetries:     2,
-		BackoffBase:    time.Millisecond,
-		BackoffMax:     5 * time.Millisecond,
-		HealthInterval: -1,
-		FailThreshold:  3,
+		Timeout:          2 * time.Second,
+		MaxRetries:       2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		HealthInterval:   -1,
+		FailThreshold:    3,
+		ReadmitThreshold: 1,
 	}
 }
 

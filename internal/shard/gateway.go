@@ -1,12 +1,14 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -19,13 +21,19 @@ import (
 // ingest, predict, PLR, close) is routed to the shard owning the
 // session's patient on the consistent-hash ring; similarity queries
 // scatter to every backend and gather into an exact merged result.
-// When a backend is down, session traffic for its patients fails fast
-// with 503 while scatter queries degrade gracefully: the gateway
-// returns the surviving shards' merged matches with "degraded": true
-// and per-shard error detail.
+//
+// With replication factor R > 1 each session is placed on the first R
+// distinct backends clockwise from the patient's hash: the primary
+// serves traffic and streams its WAL to the successors. When the
+// health checker ejects a primary, the gateway promotes the first
+// healthy replica (POST /v1/sessions/{sid}/promote) and re-routes the
+// session there; scatter queries stay complete — not degraded — as
+// long as every dead shard's arcs are covered by an answering
+// replica.
 type Gateway struct {
 	ring    *Ring
 	pool    *Pool
+	opts    Options
 	mux     *http.ServeMux
 	handler http.Handler
 	log     *slog.Logger
@@ -33,10 +41,25 @@ type Gateway struct {
 	http    *obs.HTTPMetrics
 	start   time.Time
 
-	// sessions maps open session IDs to the owning backend URL. The
-	// table is populated on create and lazily rebuilt from the shards'
-	// /v1/shard/stats inventories after a gateway restart.
-	sessions sync.Map // string -> string
+	// mu guards places and every placement's fields. places maps open
+	// session IDs to their primary + replica set; it is populated on
+	// create and lazily rebuilt from the shards' /v1/shard/stats
+	// inventories after a gateway restart.
+	mu     sync.Mutex
+	places map[string]*placement
+
+	// promoteMu serializes failovers so concurrent requests against a
+	// dead primary elect exactly one replacement.
+	promoteMu sync.Mutex
+}
+
+// placement records where a session lives: the backend currently
+// serving it and the full owner set (primary first) chosen by the
+// ring at create time.
+type placement struct {
+	patientID string
+	primary   string
+	owners    []string
 }
 
 // NewGateway builds a gateway over the given backend base URLs.
@@ -46,18 +69,20 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
-	ring := NewRing(opts.Replicas)
+	ring := NewRing(opts.Vnodes)
 	for _, b := range backends {
 		ring.Add(b)
 	}
 	g := &Gateway{
-		ring:  ring,
-		pool:  pool,
-		mux:   http.NewServeMux(),
-		log:   obs.Logger("gateway"),
-		met:   pool.met,
-		http:  obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
-		start: time.Now(),
+		ring:   ring,
+		pool:   pool,
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		log:    obs.Logger("gateway"),
+		met:    pool.met,
+		http:   obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
+		start:  time.Now(),
+		places: make(map[string]*placement),
 	}
 	g.route("POST /v1/sessions", "create_session", g.handleCreateSession)
 	g.route("POST /v1/sessions/{sid}/samples", "ingest_samples", g.handleSessionScoped)
@@ -88,6 +113,19 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // Pool exposes the gateway's backend pool (health introspection).
 func (g *Gateway) Pool() *Pool { return g.pool }
 
+// SessionPlacement reports where the gateway believes a session lives:
+// the backend currently serving it and the full owner set (primary
+// first). ok is false when the session is unknown to this gateway.
+func (g *Gateway) SessionPlacement(sid string) (primary string, owners []string, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pl, ok := g.places[sid]
+	if !ok {
+		return "", nil, false
+	}
+	return pl.primary, append([]string(nil), pl.owners...), true
+}
+
 func gwError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -115,8 +153,11 @@ func relay(w http.ResponseWriter, status int, body []byte) {
 	w.Write(body) //nolint:errcheck
 }
 
-// handleCreateSession routes a session create to the shard owning the
-// requested patient and records the placement.
+// handleCreateSession places a session on the ring: the first R
+// distinct owners clockwise from the patient's hash, with the first
+// healthy owner as primary and the rest injected into the create
+// request as replication targets, so the chosen shard streams its WAL
+// to them from the first record.
 func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(w, r)
 	if err != nil {
@@ -132,47 +173,79 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusBadRequest, errors.New("patientId and sessionId are required"))
 		return
 	}
-	owner := g.ring.Owner(req.PatientID)
-	b := g.pool.ByURL(owner)
-	if b == nil {
+	owners := g.ring.Owners(req.PatientID, g.opts.Replicas)
+	if len(owners) == 0 {
 		gwError(w, http.StatusServiceUnavailable, errors.New("no backends configured"))
 		return
 	}
-	if !b.Healthy() {
+	// The ring's first owner is the natural primary, but any healthy
+	// owner can take the role at create time — there is no data to
+	// hand over yet.
+	var primary *Backend
+	for _, u := range owners {
+		if b := g.pool.ByURL(u); b != nil && b.Healthy() {
+			primary = b
+			break
+		}
+	}
+	if primary == nil {
 		gwError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("shard %s owning patient %s is unhealthy", owner, req.PatientID))
+			fmt.Errorf("no healthy owner for patient %s (owners %v)", req.PatientID, owners))
 		return
 	}
-	status, respBody, err := g.pool.do(r.Context(), b, http.MethodPost, "/v1/sessions", body, false)
+	req.Replicate = req.Replicate[:0]
+	for _, u := range owners {
+		if u != primary.URL() {
+			req.Replicate = append(req.Replicate, u)
+		}
+	}
+	fwd, err := json.Marshal(req)
+	if err != nil {
+		gwError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status, respBody, err := g.pool.do(r.Context(), primary, http.MethodPost, "/v1/sessions", fwd, false)
 	if err != nil {
 		gwError(w, http.StatusBadGateway, err)
 		return
 	}
 	if status == http.StatusCreated {
-		g.sessions.Store(req.SessionID, owner)
-		g.met.routed.With(owner).Inc()
+		g.mu.Lock()
+		g.places[req.SessionID] = &placement{
+			patientID: req.PatientID,
+			primary:   primary.URL(),
+			owners:    owners,
+		}
+		g.mu.Unlock()
+		g.met.routed.With(primary.URL()).Inc()
 		g.log.Info("session routed",
 			slog.String("patientId", req.PatientID),
 			slog.String("sessionId", req.SessionID),
-			slog.String("backend", owner))
+			slog.String("backend", primary.URL()),
+			slog.Int("replicas", len(req.Replicate)))
 	}
 	relay(w, status, respBody)
 }
 
 // handleSessionScoped forwards a session-addressed request to the
-// shard holding the session. GETs are idempotent and retried;
-// mutations get a single attempt.
+// shard currently serving the session, failing the session over to a
+// replica first when the primary has been ejected. GETs are
+// idempotent and retried; mutations get a single attempt.
 func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
 	sid := r.PathValue("sid")
-	b, err := g.resolveSession(r, sid)
+	pl, err := g.placementFor(r, sid)
 	if err != nil {
 		gwError(w, http.StatusNotFound, err)
 		return
 	}
-	if !b.Healthy() {
-		gwError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("shard %s holding session %s is unhealthy", b.URL(), sid))
-		return
+	b := g.primaryBackend(pl)
+	if b == nil {
+		b, err = g.failover(r.Context(), sid, pl)
+		if err != nil {
+			gwError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("session %s: primary down and no replica promoted: %w", sid, err))
+			return
+		}
 	}
 	body, err := readBody(w, r)
 	if err != nil {
@@ -190,9 +263,85 @@ func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method == http.MethodDelete && status == http.StatusOK {
-		g.sessions.Delete(sid)
+		g.mu.Lock()
+		delete(g.places, sid)
+		g.mu.Unlock()
 	}
 	relay(w, status, respBody)
+}
+
+// primaryBackend returns the backend currently serving a session, or
+// nil when it is unknown or unhealthy.
+func (g *Gateway) primaryBackend(pl *placement) *Backend {
+	g.mu.Lock()
+	u := pl.primary
+	g.mu.Unlock()
+	if u == "" {
+		return nil
+	}
+	if b := g.pool.ByURL(u); b != nil && b.Healthy() {
+		return b
+	}
+	return nil
+}
+
+// failover promotes the first healthy replica of a session to primary
+// and re-points the placement at it. Serialized per gateway so
+// concurrent requests against a dead primary elect one replacement;
+// later waiters observe the updated placement and return immediately.
+func (g *Gateway) failover(ctx context.Context, sid string, pl *placement) (*Backend, error) {
+	g.promoteMu.Lock()
+	defer g.promoteMu.Unlock()
+	if b := g.primaryBackend(pl); b != nil {
+		return b, nil // raced with another request's failover
+	}
+	g.mu.Lock()
+	old := pl.primary
+	owners := append([]string(nil), pl.owners...)
+	g.mu.Unlock()
+	lastErr := fmt.Errorf("no healthy replica among owners %v", owners)
+	for _, cand := range owners {
+		if cand == old {
+			continue
+		}
+		b := g.pool.ByURL(cand)
+		if b == nil || !b.Healthy() {
+			continue
+		}
+		// The dead primary is dropped from the new replica set: if it
+		// comes back it still holds the old epoch and would fence the
+		// shipments anyway.
+		rest := make([]string, 0, len(owners))
+		for _, u := range owners {
+			if u != cand && u != old {
+				rest = append(rest, u)
+			}
+		}
+		body, err := json.Marshal(server.PromoteRequest{Replicate: rest})
+		if err != nil {
+			return nil, err
+		}
+		status, respBody, err := g.pool.do(ctx, b,
+			http.MethodPost, "/v1/sessions/"+url.PathEscape(sid)+"/promote", body, false)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status != http.StatusOK {
+			lastErr = fmt.Errorf("promote on %s: status %d: %s", cand, status, errDetail(respBody))
+			continue
+		}
+		g.mu.Lock()
+		pl.primary = cand
+		g.mu.Unlock()
+		g.met.failovers.Inc()
+		g.log.Warn("session failed over",
+			slog.String("sessionId", sid),
+			slog.String("from", old),
+			slog.String("to", cand))
+		return b, nil
+	}
+	return nil, lastErr
 }
 
 // bodyErrCode maps a buffered-read error to a status: 413 when the
@@ -205,16 +354,25 @@ func bodyErrCode(err error) int {
 	return http.StatusBadRequest
 }
 
-// resolveSession finds the backend holding an open session: the local
-// table first, then (after e.g. a gateway restart) a scatter over the
-// healthy shards' session inventories.
-func (g *Gateway) resolveSession(r *http.Request, sid string) (*Backend, error) {
-	if v, ok := g.sessions.Load(sid); ok {
-		if b := g.pool.ByURL(v.(string)); b != nil {
-			return b, nil
-		}
+// placementFor finds where a session lives: the local table first,
+// then (after e.g. a gateway restart) a scatter over the healthy
+// shards' session inventories. The scatter distinguishes primaries
+// (Sessions) from followers (Replicas), so a rebuilt placement routes
+// to the live primary and keeps the followers as failover candidates;
+// if only followers survive, the placement has no primary and the
+// caller's failover path promotes one.
+func (g *Gateway) placementFor(r *http.Request, sid string) (*placement, error) {
+	g.mu.Lock()
+	if pl, ok := g.places[sid]; ok {
+		g.mu.Unlock()
+		return pl, nil
 	}
-	type found struct{ url string }
+	g.mu.Unlock()
+	type found struct {
+		primary   string
+		replica   string
+		patientID string
+	}
 	results := make([]*found, len(g.pool.Backends()))
 	var wg sync.WaitGroup
 	for i, b := range g.pool.Backends() {
@@ -234,30 +392,57 @@ func (g *Gateway) resolveSession(r *http.Request, sid string) (*Backend, error) 
 			}
 			for _, s := range stats.Sessions {
 				if s.SessionID == sid {
-					results[i] = &found{url: b.URL()}
+					results[i] = &found{primary: b.URL(), patientID: s.PatientID}
+					return
+				}
+			}
+			for _, s := range stats.Replicas {
+				if s.SessionID == sid {
+					results[i] = &found{replica: b.URL(), patientID: s.PatientID}
 					return
 				}
 			}
 		}(i, b)
 	}
 	wg.Wait()
+	pl := &placement{}
 	for _, f := range results {
-		if f != nil {
-			g.sessions.Store(sid, f.url)
-			return g.pool.ByURL(f.url), nil
+		if f == nil {
+			continue
+		}
+		pl.patientID = f.patientID
+		if f.primary != "" && pl.primary == "" {
+			pl.primary = f.primary
+			pl.owners = append([]string{f.primary}, pl.owners...)
+		} else if f.replica != "" {
+			pl.owners = append(pl.owners, f.replica)
 		}
 	}
-	return nil, fmt.Errorf("no open session %q on any reachable shard", sid)
+	if len(pl.owners) == 0 {
+		return nil, fmt.Errorf("no open session %q on any reachable shard", sid)
+	}
+	g.mu.Lock()
+	if cur, ok := g.places[sid]; ok {
+		pl = cur // another request rebuilt it first
+	} else {
+		g.places[sid] = pl
+	}
+	g.mu.Unlock()
+	return pl, nil
 }
 
 // MatchResult is the gateway's scatter-gather response: the exact
 // merged match list, plus degradation detail when one or more shards
-// could not answer.
+// could not answer and their data is not covered by replicas.
 type MatchResult struct {
 	Matches []server.RemoteMatch `json:"matches"`
-	// Degraded is true when at least one shard failed to answer; the
-	// matches then cover only the surviving shards.
-	Degraded bool `json:"degraded"`
+	// Degraded is true when at least one shard failed to answer AND
+	// that shard's arcs are not all covered by an answering replica:
+	// the matches then cover only the surviving data. With replication
+	// factor R > 1 a single dead shard keeps Degraded false (and the
+	// key absent) because every arc it owned is mirrored on a
+	// successor that did answer.
+	Degraded bool `json:"degraded,omitempty"`
 	// ShardErrors details each failed shard (URL -> error).
 	ShardErrors map[string]string `json:"shardErrors,omitempty"`
 	// ShardsQueried / ShardsOK count the fan-out.
@@ -270,7 +455,9 @@ type MatchResult struct {
 // every shard scores candidates with identical Params and the query's
 // own provenance, so ascending weighted distance is a total order the
 // gateway can merge on; for k-NN queries each shard returns its local
-// top-k and the merged top-k of those is the union's top-k.
+// top-k and the merged top-k of those is the union's top-k. Replicated
+// streams are scored on both their primary and their followers, so
+// the merge deduplicates identical matches before ranking.
 func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	body, err := readBody(w, r)
@@ -312,6 +499,7 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 
 	res := MatchResult{ShardsQueried: len(backends), ShardErrors: map[string]string{}}
+	answered := make(map[string]bool, len(backends))
 	var lists [][]server.RemoteMatch
 	for i, b := range backends {
 		if legs[i].err != nil {
@@ -319,6 +507,7 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		res.ShardsOK++
+		answered[b.URL()] = true
 		lists = append(lists, legs[i].resp.Matches)
 	}
 	if res.ShardsOK == 0 {
@@ -329,11 +518,20 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	res.Matches = mergeMatches(lists, req.K)
-	res.Degraded = len(res.ShardErrors) > 0
-	if !res.Degraded {
+	res.Matches = MergeMatches(lists, req.K)
+	// A failed shard only degrades the result if some arc it owns has
+	// no answering replica; the coverage test is against the shards
+	// that actually answered this query, not nominal health.
+	for failed := range res.ShardErrors {
+		if !g.ring.Covered(failed, g.opts.Replicas, func(u string) bool { return answered[u] }) {
+			res.Degraded = true
+			break
+		}
+	}
+	if len(res.ShardErrors) == 0 {
 		res.ShardErrors = nil
-	} else {
+	}
+	if res.Degraded {
 		g.met.degraded.Inc()
 	}
 	g.met.scatter.Observe(time.Since(start).Seconds())
@@ -356,14 +554,24 @@ func errDetail(body []byte) string {
 	return string(body)
 }
 
-// mergeMatches merges shard-local result lists into the global order:
+// MergeMatches merges shard-local result lists into the global order:
 // ascending distance, with a deterministic (patient, session, start)
 // tie-break so equal-distance matches do not flap between requests.
-// k > 0 truncates to the global top-k.
-func mergeMatches(lists [][]server.RemoteMatch, k int) []server.RemoteMatch {
+// Identical matches are deduplicated first — a replicated stream is
+// scored independently by its primary and each follower, and those
+// duplicates would otherwise crowd out genuine results under top-k
+// truncation. k > 0 truncates to the global top-k.
+func MergeMatches(lists [][]server.RemoteMatch, k int) []server.RemoteMatch {
 	out := []server.RemoteMatch{}
+	seen := make(map[server.RemoteMatch]struct{})
 	for _, l := range lists {
-		out = append(out, l...)
+		for _, m := range l {
+			if _, dup := seen[m]; dup {
+				continue
+			}
+			seen[m] = struct{}{}
+			out = append(out, m)
+		}
 	}
 	sort.Slice(out, func(a, b int) bool {
 		x, y := out[a], out[b]
@@ -384,7 +592,9 @@ func mergeMatches(lists [][]server.RemoteMatch, k int) []server.RemoteMatch {
 	return out
 }
 
-// GatewayStatsResponse aggregates the shards' database stats.
+// GatewayStatsResponse aggregates the shards' database stats. Totals
+// are physical: with replication factor R, replicated streams count
+// once per holder.
 type GatewayStatsResponse struct {
 	Patients     int               `json:"patients"`
 	Streams      int               `json:"streams"`

@@ -1,4 +1,4 @@
-package shard
+package shard_test
 
 import (
 	"bytes"
@@ -12,62 +12,22 @@ import (
 	"stsmatch/internal/fsm"
 	"stsmatch/internal/plr"
 	"stsmatch/internal/server"
+	"stsmatch/internal/shard"
 	"stsmatch/internal/signal"
+	"stsmatch/internal/testutil"
 )
 
-// fixture is a 3-shard deployment plus a single-node oracle loaded
+// fixture is a sharded deployment plus a single-node oracle loaded
 // with the union of the same data.
 type fixture struct {
-	backends []*httptest.Server
-	gw       *Gateway
-	gwTS     *httptest.Server
+	cluster  *testutil.Cluster
 	oracle   *httptest.Server
 	sessions map[string]string // sessionID -> patientID
 	querySID string
 	queryPID string
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
-	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { resp.Body.Close() })
-	return resp
-}
-
-func getJSON[T any](t *testing.T, url string) T {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
-	}
-	var v T
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
-	}
-	return v
-}
-
-func decodeBody[T any](t *testing.T, resp *http.Response) T {
-	t.Helper()
-	var v T
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
-	}
-	return v
-}
-
-func newBackendTS(t *testing.T) *httptest.Server {
+func newOracleTS(t *testing.T) *httptest.Server {
 	t.Helper()
 	srv, err := server.New(nil, core.DefaultParams(), fsm.DefaultConfig())
 	if err != nil {
@@ -82,7 +42,8 @@ func newBackendTS(t *testing.T) *httptest.Server {
 // synthetic respiration trace into it through the given base URL.
 func ingestSession(t *testing.T, baseURL, pid, sid string, seed int64) {
 	t.Helper()
-	resp := postJSON(t, baseURL+"/v1/sessions", server.CreateSessionRequest{PatientID: pid, SessionID: sid})
+	resp := testutil.PostJSON(t, baseURL+"/v1/sessions",
+		server.CreateSessionRequest{PatientID: pid, SessionID: sid})
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create session %s/%s via %s: status %d", pid, sid, baseURL, resp.StatusCode)
 	}
@@ -97,41 +58,29 @@ func ingestSession(t *testing.T, baseURL, pid, sid string, seed int64) {
 		for _, s := range samples[i:end] {
 			batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
 		}
-		resp := postJSON(t, baseURL+"/v1/sessions/"+sid+"/samples", batch)
+		resp := testutil.PostJSON(t, baseURL+"/v1/sessions/"+sid+"/samples", batch)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("ingest %s: status %d", sid, resp.StatusCode)
 		}
 	}
 }
 
-// newFixture spins up 3 shards behind a gateway, ingests 6 patients
-// through the gateway (routed by the ring), and mirrors the identical
-// data into a single-node oracle.
-func newFixture(t *testing.T) *fixture {
+// newFixture spins up 3 shards behind a gateway at the given
+// replication factor, ingests 6 patients through the gateway (routed
+// by the ring), and mirrors the identical data into a single-node
+// oracle.
+func newFixture(t *testing.T, replicas int) *fixture {
 	t.Helper()
-	f := &fixture{sessions: map[string]string{}}
-	for i := 0; i < 3; i++ {
-		f.backends = append(f.backends, newBackendTS(t))
+	f := &fixture{
+		cluster:  testutil.StartCluster(t, 3, replicas),
+		oracle:   newOracleTS(t),
+		sessions: map[string]string{},
 	}
-	urls := make([]string, len(f.backends))
-	for i, b := range f.backends {
-		urls[i] = b.URL
-	}
-	gw, err := NewGateway(urls, Options{HealthInterval: -1, BackoffBase: 1e6, BackoffMax: 5e6})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(gw.Close)
-	f.gw = gw
-	f.gwTS = httptest.NewServer(gw)
-	t.Cleanup(f.gwTS.Close)
-	f.oracle = newBackendTS(t)
-
 	for i := 0; i < 6; i++ {
 		pid := fmt.Sprintf("P%02d", i)
 		sid := "S-" + pid
 		f.sessions[sid] = pid
-		ingestSession(t, f.gwTS.URL, pid, sid, int64(100+i))
+		ingestSession(t, f.cluster.URL, pid, sid, int64(100+i))
 		ingestSession(t, f.oracle.URL, pid, sid, int64(100+i))
 	}
 	f.queryPID = "P00"
@@ -143,7 +92,7 @@ func newFixture(t *testing.T) *fixture {
 // the oracle (identical on the owning shard, since the data is).
 func (f *fixture) querySeq(t *testing.T) plr.Sequence {
 	t.Helper()
-	pr := getJSON[server.PLRResponse](t, f.oracle.URL+"/v1/sessions/"+f.querySID+"/plr")
+	pr := testutil.GetJSON[server.PLRResponse](t, f.oracle.URL+"/v1/sessions/"+f.querySID+"/plr")
 	if len(pr.Vertices) < 12 {
 		t.Fatalf("query stream too short: %d vertices", len(pr.Vertices))
 	}
@@ -151,13 +100,13 @@ func (f *fixture) querySeq(t *testing.T) plr.Sequence {
 }
 
 func TestGatewayShardedMatchesOracle(t *testing.T) {
-	f := newFixture(t)
+	f := newFixture(t, 1)
 
 	// The ring must actually have spread the 6 patients over multiple
 	// shards, or this test proves nothing.
 	spread := 0
-	for _, b := range f.backends {
-		st := getJSON[server.StatsResponse](t, b.URL+"/v1/stats")
+	for _, n := range f.cluster.Nodes {
+		st := testutil.GetJSON[server.StatsResponse](t, n.URL+"/v1/stats")
 		if st.Patients > 0 {
 			spread++
 		}
@@ -170,17 +119,17 @@ func TestGatewayShardedMatchesOracle(t *testing.T) {
 	for _, k := range []int{0, 10} { // threshold mode and top-k mode
 		req := server.MatchRequest{Seq: seq, PatientID: f.queryPID, SessionID: f.querySID, K: k}
 
-		oresp := postJSON(t, f.oracle.URL+"/v1/match", req)
+		oresp := testutil.PostJSON(t, f.oracle.URL+"/v1/match", req)
 		if oresp.StatusCode != http.StatusOK {
 			t.Fatalf("k=%d: oracle match status %d", k, oresp.StatusCode)
 		}
-		oracle := decodeBody[server.MatchResponse](t, oresp)
+		oracle := testutil.Decode[server.MatchResponse](t, oresp)
 
-		gresp := postJSON(t, f.gwTS.URL+"/v1/match", req)
+		gresp := testutil.PostJSON(t, f.cluster.URL+"/v1/match", req)
 		if gresp.StatusCode != http.StatusOK {
 			t.Fatalf("k=%d: gateway match status %d", k, gresp.StatusCode)
 		}
-		merged := decodeBody[MatchResult](t, gresp)
+		merged := testutil.Decode[shard.MatchResult](t, gresp)
 
 		if merged.Degraded {
 			t.Errorf("k=%d: healthy deployment reported degraded", k)
@@ -215,35 +164,35 @@ func trunc(b []byte) string {
 }
 
 func TestGatewayDegradedOnBackendFailure(t *testing.T) {
-	f := newFixture(t)
+	f := newFixture(t, 1)
 	seq := f.querySeq(t)
 	req := server.MatchRequest{Seq: seq, PatientID: f.queryPID, SessionID: f.querySID, K: 10}
 
 	// Expected surviving result: merge the two surviving shards'
 	// direct answers with the gateway's own merge.
-	killed := f.backends[1]
+	killedURL := f.cluster.Nodes[1].URL
 	var lists [][]server.RemoteMatch
-	for i, b := range f.backends {
+	for i, n := range f.cluster.Nodes {
 		if i == 1 {
 			continue
 		}
-		resp := postJSON(t, b.URL+"/v1/match", req)
+		resp := testutil.PostJSON(t, n.URL+"/v1/match", req)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("direct shard match status %d", resp.StatusCode)
 		}
-		lists = append(lists, decodeBody[server.MatchResponse](t, resp).Matches)
+		lists = append(lists, testutil.Decode[server.MatchResponse](t, resp).Matches)
 	}
-	want := mergeMatches(lists, req.K)
+	want := shard.MergeMatches(lists, req.K)
 
-	killed.Close() // kill one backend mid-test
+	f.cluster.Kill(killedURL) // kill one backend mid-test
 
-	resp := postJSON(t, f.gwTS.URL+"/v1/match", req)
+	resp := testutil.PostJSON(t, f.cluster.URL+"/v1/match", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("degraded match status %d, want 200 with partial results", resp.StatusCode)
 	}
-	res := decodeBody[MatchResult](t, resp)
+	res := testutil.Decode[shard.MatchResult](t, resp)
 	if !res.Degraded {
-		t.Error("degraded flag not set with a dead backend")
+		t.Error("degraded flag not set with a dead backend at replication factor 1")
 	}
 	if res.ShardsOK != 2 || res.ShardsQueried != 3 {
 		t.Errorf("fan-out %d/%d, want 2/3", res.ShardsOK, res.ShardsQueried)
@@ -251,8 +200,8 @@ func TestGatewayDegradedOnBackendFailure(t *testing.T) {
 	if len(res.ShardErrors) != 1 {
 		t.Errorf("shardErrors = %v, want exactly the killed backend", res.ShardErrors)
 	}
-	if _, ok := res.ShardErrors[killed.URL]; !ok {
-		t.Errorf("shardErrors %v missing killed backend %s", res.ShardErrors, killed.URL)
+	if _, ok := res.ShardErrors[killedURL]; !ok {
+		t.Errorf("shardErrors %v missing killed backend %s", res.ShardErrors, killedURL)
 	}
 	wb, _ := json.Marshal(want)
 	gb, _ := json.Marshal(res.Matches)
@@ -261,23 +210,21 @@ func TestGatewayDegradedOnBackendFailure(t *testing.T) {
 	}
 
 	// Active probing ejects the dead backend; healthz reports it.
-	for i := 0; i < 3; i++ {
-		f.gw.Pool().ProbeAll()
-	}
-	hz := getJSON[GatewayHealthResponse](t, f.gwTS.URL+"/v1/healthz")
+	f.cluster.Probe(3)
+	hz := testutil.GetJSON[shard.GatewayHealthResponse](t, f.cluster.URL+"/v1/healthz")
 	if hz.Status != "degraded" || hz.HealthyCount != 2 {
 		t.Errorf("healthz = %+v, want degraded with 2 healthy backends", hz)
 	}
 
 	// An ejected backend is skipped (not re-dialed) but still reported.
-	resp = postJSON(t, f.gwTS.URL+"/v1/match", req)
-	res = decodeBody[MatchResult](t, resp)
-	if !res.Degraded || res.ShardErrors[killed.URL] == "" {
+	resp = testutil.PostJSON(t, f.cluster.URL+"/v1/match", req)
+	res = testutil.Decode[shard.MatchResult](t, resp)
+	if !res.Degraded || res.ShardErrors[killedURL] == "" {
 		t.Error("ejected backend not reported in degraded scatter")
 	}
 
 	// Aggregated stats stay available and flag degradation.
-	st := getJSON[GatewayStatsResponse](t, f.gwTS.URL+"/v1/stats")
+	st := testutil.GetJSON[shard.GatewayStatsResponse](t, f.cluster.URL+"/v1/stats")
 	if !st.Degraded || st.ShardsOK != 2 {
 		t.Errorf("stats = %+v, want degraded aggregate over 2 shards", st)
 	}
@@ -287,16 +234,16 @@ func TestGatewayDegradedOnBackendFailure(t *testing.T) {
 }
 
 func TestGatewaySessionRoutingAndDiscovery(t *testing.T) {
-	f := newFixture(t)
+	f := newFixture(t, 1)
 
 	// Prediction through the gateway must equal prediction from the
 	// owning shard directly: same process, same data, same parameters.
-	owner, ok := f.gw.sessions.Load(f.querySID)
+	owner, _, ok := f.cluster.Gateway.SessionPlacement(f.querySID)
 	if !ok {
 		t.Fatal("gateway lost the session placement")
 	}
-	direct := getJSON[server.PredictionResponse](t, owner.(string)+"/v1/sessions/"+f.querySID+"/predict?delta=200ms")
-	viaGW := getJSON[server.PredictionResponse](t, f.gwTS.URL+"/v1/sessions/"+f.querySID+"/predict?delta=200ms")
+	direct := testutil.GetJSON[server.PredictionResponse](t, owner+"/v1/sessions/"+f.querySID+"/predict?delta=200ms")
+	viaGW := testutil.GetJSON[server.PredictionResponse](t, f.cluster.URL+"/v1/sessions/"+f.querySID+"/predict?delta=200ms")
 	db, _ := json.Marshal(direct)
 	gb, _ := json.Marshal(viaGW)
 	if !bytes.Equal(db, gb) {
@@ -305,23 +252,23 @@ func TestGatewaySessionRoutingAndDiscovery(t *testing.T) {
 
 	// A fresh gateway (restart) has an empty session table and must
 	// rediscover placement from the shards' inventories.
-	urls := make([]string, len(f.backends))
-	for i, b := range f.backends {
-		urls[i] = b.URL
+	urls := make([]string, len(f.cluster.Nodes))
+	for i, n := range f.cluster.Nodes {
+		urls[i] = n.URL
 	}
-	gw2, err := NewGateway(urls, Options{HealthInterval: -1})
+	gw2, err := shard.NewGateway(urls, shard.Options{HealthInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gw2.Close()
 	ts2 := httptest.NewServer(gw2)
 	defer ts2.Close()
-	rediscovered := getJSON[server.PLRResponse](t, ts2.URL+"/v1/sessions/"+f.querySID+"/plr")
+	rediscovered := testutil.GetJSON[server.PLRResponse](t, ts2.URL+"/v1/sessions/"+f.querySID+"/plr")
 	if len(rediscovered.Vertices) == 0 {
 		t.Error("rediscovered session returned empty PLR")
 	}
-	if v, ok := gw2.sessions.Load(f.querySID); !ok || v.(string) != owner.(string) {
-		t.Errorf("discovery cached %v, want %v", v, owner)
+	if got, _, ok := gw2.SessionPlacement(f.querySID); !ok || got != owner {
+		t.Errorf("discovery cached %q, want %q", got, owner)
 	}
 
 	// Unknown sessions 404 without a placement.
@@ -335,16 +282,11 @@ func TestGatewaySessionRoutingAndDiscovery(t *testing.T) {
 	}
 
 	// Closing through the gateway drops the placement.
-	reqDel, _ := http.NewRequest(http.MethodDelete, f.gwTS.URL+"/v1/sessions/"+f.querySID, nil)
-	dresp, err := http.DefaultClient.Do(reqDel)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer dresp.Body.Close()
+	dresp := testutil.Delete(t, f.cluster.URL+"/v1/sessions/"+f.querySID)
 	if dresp.StatusCode != http.StatusOK {
 		t.Errorf("close via gateway status %d", dresp.StatusCode)
 	}
-	if _, still := f.gw.sessions.Load(f.querySID); still {
+	if _, _, still := f.cluster.Gateway.SessionPlacement(f.querySID); still {
 		t.Error("placement not dropped after close")
 	}
 }

@@ -6,13 +6,14 @@ import "stsmatch/internal/obs"
 // registry. Registration is idempotent, so every Pool/Gateway in a
 // process (tests start many) shares the same underlying families.
 type shardMetrics struct {
-	requests *obs.CounterVec   // backend, outcome: ok | error
-	retries  *obs.CounterVec   // backend
-	latency  *obs.HistogramVec // backend
-	healthy  *obs.GaugeVec     // backend: 1 healthy, 0 ejected
-	scatter  *obs.Histogram
-	degraded *obs.Counter
-	routed   *obs.CounterVec // backend: sessions routed by the ring
+	requests  *obs.CounterVec   // backend, outcome: ok | error
+	retries   *obs.CounterVec   // backend
+	latency   *obs.HistogramVec // backend
+	healthy   *obs.GaugeVec     // backend: 1 healthy, 0 ejected
+	scatter   *obs.Histogram
+	degraded  *obs.Counter
+	routed    *obs.CounterVec // backend: sessions routed by the ring
+	failovers *obs.Counter    // sessions promoted onto a replica
 }
 
 func newShardMetrics(r *obs.Registry) *shardMetrics {
@@ -33,5 +34,7 @@ func newShardMetrics(r *obs.Registry) *shardMetrics {
 			"Scatter-gather queries answered with partial (degraded) results."),
 		routed: r.CounterVec("stsmatch_gateway_sessions_routed_total",
 			"Sessions routed to a backend by the consistent-hash ring.", "backend"),
+		failovers: r.Counter("stsmatch_gateway_failovers_total",
+			"Sessions failed over to a replica after the primary was ejected."),
 	}
 }

@@ -24,10 +24,10 @@ import (
 	"sync"
 )
 
-// DefaultReplicas is the default number of virtual nodes per backend.
+// DefaultVnodes is the default number of virtual nodes per backend.
 // 128 vnodes keep the keyspace imbalance across a handful of backends
 // within a few percent while the ring stays tiny.
-const DefaultReplicas = 128
+const DefaultVnodes = 128
 
 // Ring is a consistent-hash ring with virtual nodes. Keys (patient
 // IDs) map to the first vnode clockwise from the key's hash, so adding
@@ -42,10 +42,10 @@ type Ring struct {
 }
 
 // NewRing creates an empty ring with the given number of virtual
-// nodes per backend (<= 0 selects DefaultReplicas).
+// nodes per backend (<= 0 selects DefaultVnodes).
 func NewRing(replicas int) *Ring {
 	if replicas <= 0 {
-		replicas = DefaultReplicas
+		replicas = DefaultVnodes
 	}
 	return &Ring{
 		replicas: replicas,
@@ -137,6 +137,78 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.owner[r.hashes[i]]
+}
+
+// Owners returns the first n distinct backends clockwise from the
+// key's hash: index 0 is the primary (identical to Owner), the rest
+// are successor replicas. Fewer than n backends in the ring yields
+// them all. The walk skips vnodes of already-collected backends, so
+// replica sets are always distinct nodes.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		node := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if _, dup := seen[node]; dup {
+			continue
+		}
+		seen[node] = struct{}{}
+		out = append(out, node)
+	}
+	return out
+}
+
+// Covered reports whether every arc whose primary is node also has,
+// among its replicas-1 distinct clockwise successors, at least one
+// backend for which ok returns true. A gateway uses this to decide
+// whether losing node degrades scatter-gather results: with
+// replication factor R, each of node's primary arcs is mirrored on its
+// successors, so as long as one successor per arc is still answering,
+// the merged result is complete. replicas <= 1 means unreplicated and
+// therefore never covered.
+func (r *Ring) Covered(node string, replicas int, ok func(string) bool) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if replicas <= 1 {
+		return false
+	}
+	if _, in := r.nodes[node]; !in {
+		return true // owns no arcs
+	}
+	for i, h := range r.hashes {
+		if r.owner[h] != node {
+			continue
+		}
+		// Keys on this arc have node as their first distinct owner;
+		// walk the same successor sequence Owners would.
+		covered := false
+		seen := map[string]struct{}{node: {}}
+		for j := 1; j < len(r.hashes) && len(seen) < replicas; j++ {
+			n := r.owner[r.hashes[(i+j)%len(r.hashes)]]
+			if _, dup := seen[n]; dup {
+				continue
+			}
+			seen[n] = struct{}{}
+			if ok(n) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
 }
 
 // Nodes returns the backends currently in the ring, sorted.

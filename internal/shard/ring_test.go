@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -29,7 +30,7 @@ func TestRingDeterministicAndConsistent(t *testing.T) {
 }
 
 func TestRingBalance(t *testing.T) {
-	r := NewRing(DefaultReplicas)
+	r := NewRing(DefaultVnodes)
 	nodes := []string{"http://s1", "http://s2", "http://s3"}
 	for _, n := range nodes {
 		r.Add(n)
@@ -53,7 +54,7 @@ func TestRingBalanceSequentialKeys(t *testing.T) {
 	// Patient IDs are short and sequential ("P001", "P002", ...). Raw
 	// FNV-1a hashes such keys to adjacent ring positions, piling them
 	// all onto one arc; the avalanche finalizer must spread them.
-	r := NewRing(DefaultReplicas)
+	r := NewRing(DefaultVnodes)
 	nodes := []string{"http://127.0.0.1:33341", "http://127.0.0.1:33343", "http://127.0.0.1:33345"}
 	for _, n := range nodes {
 		r.Add(n)
@@ -72,7 +73,7 @@ func TestRingBalanceSequentialKeys(t *testing.T) {
 }
 
 func TestRingMinimalReshuffle(t *testing.T) {
-	r := NewRing(DefaultReplicas)
+	r := NewRing(DefaultVnodes)
 	nodes := []string{"http://s1", "http://s2", "http://s3", "http://s4"}
 	for _, n := range nodes {
 		r.Add(n)
@@ -99,6 +100,157 @@ func TestRingMinimalReshuffle(t *testing.T) {
 	}
 	if lost == 0 {
 		t.Error("removed node owned no keys — balance test should have caught this")
+	}
+}
+
+// ownerKey flattens a replica set for comparison.
+func ownerKey(owners []string) string {
+	return strings.Join(owners, "|")
+}
+
+// TestRingReplicatedPlacement is the table-driven placement suite for
+// replication factors 1-3: replica sets must be distinct backends,
+// adding/removing a backend must move only the arcs that gain/lose
+// that backend, eject-and-return must restore the exact layout, and
+// per-backend load (counting every replica a backend holds) must stay
+// within 1.25x of the mean over 10k synthetic patient IDs.
+func TestRingReplicatedPlacement(t *testing.T) {
+	nodes := []string{"http://s1", "http://s2", "http://s3", "http://s4", "http://s5"}
+	const keys = 10000
+	keyOf := func(i int) string { return fmt.Sprintf("P%05d", i) }
+
+	for _, rf := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("R%d", rf), func(t *testing.T) {
+			r := NewRing(DefaultVnodes)
+			for _, n := range nodes {
+				r.Add(n)
+			}
+
+			// Distinctness, consistency with Owner, and balance.
+			counts := map[string]int{}
+			before := make([]string, keys)
+			for i := 0; i < keys; i++ {
+				owners := r.Owners(keyOf(i), rf)
+				if len(owners) != rf {
+					t.Fatalf("key %s: %d owners, want %d", keyOf(i), len(owners), rf)
+				}
+				if owners[0] != r.Owner(keyOf(i)) {
+					t.Fatalf("key %s: Owners[0] %s != Owner %s", keyOf(i), owners[0], r.Owner(keyOf(i)))
+				}
+				seen := map[string]bool{}
+				for _, o := range owners {
+					if seen[o] {
+						t.Fatalf("key %s: duplicate backend %s in replica set %v", keyOf(i), o, owners)
+					}
+					seen[o] = true
+					counts[o]++
+				}
+				before[i] = ownerKey(owners)
+			}
+			mean := float64(keys*rf) / float64(len(nodes))
+			for _, n := range nodes {
+				if ratio := float64(counts[n]) / mean; ratio >= 1.25 {
+					t.Errorf("backend %s holds %.0f%% of the mean load (counts %v)", n, 100*ratio, counts)
+				}
+			}
+
+			// Adding a backend may only change replica sets that now
+			// include it.
+			const added = "http://s6"
+			r.Add(added)
+			for i := 0; i < keys; i++ {
+				after := r.Owners(keyOf(i), rf)
+				if ownerKey(after) == before[i] {
+					continue
+				}
+				has := false
+				for _, o := range after {
+					if o == added {
+						has = true
+					}
+				}
+				if !has {
+					t.Fatalf("key %s: replica set moved %s -> %v without involving the added backend",
+						keyOf(i), before[i], after)
+				}
+			}
+
+			// Ejecting the backend and bringing it back restores the
+			// exact pre-eject layout (the layout is deterministic, not
+			// history-dependent).
+			r.Remove(added)
+			for i := 0; i < keys; i++ {
+				if got := ownerKey(r.Owners(keyOf(i), rf)); got != before[i] {
+					t.Fatalf("key %s: layout after eject-and-return %s, want original %s", keyOf(i), got, before[i])
+				}
+			}
+
+			// Removing a backend may only change replica sets that held
+			// it.
+			const removed = "http://s3"
+			r.Remove(removed)
+			for i := 0; i < keys; i++ {
+				after := ownerKey(r.Owners(keyOf(i), rf))
+				if after == before[i] {
+					continue
+				}
+				if !strings.Contains(before[i], removed) {
+					t.Fatalf("key %s: replica set moved %s -> %s without having held the removed backend",
+						keyOf(i), before[i], after)
+				}
+			}
+		})
+	}
+}
+
+func TestRingOwnersBounds(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Owners("P1", 2); got != nil {
+		t.Errorf("empty ring Owners = %v, want nil", got)
+	}
+	r.Add("http://s1")
+	r.Add("http://s2")
+	if got := r.Owners("P1", 0); got != nil {
+		t.Errorf("n=0 Owners = %v, want nil", got)
+	}
+	// Asking for more replicas than backends yields them all, once.
+	got := r.Owners("P1", 5)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Errorf("Owners(n>len) = %v, want both backends once", got)
+	}
+}
+
+func TestRingCovered(t *testing.T) {
+	r := NewRing(DefaultVnodes)
+	nodes := []string{"http://s1", "http://s2", "http://s3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	all := func(string) bool { return true }
+	none := func(string) bool { return false }
+
+	if r.Covered("http://s1", 1, all) {
+		t.Error("replication factor 1 can never cover a dead backend")
+	}
+	if !r.Covered("http://s1", 2, all) {
+		t.Error("R=2 with every successor healthy must cover")
+	}
+	if r.Covered("http://s1", 2, none) {
+		t.Error("no healthy successors cannot cover")
+	}
+	// A backend not in the ring owns nothing, so it is vacuously
+	// covered.
+	if !r.Covered("http://nope", 2, none) {
+		t.Error("non-member backend must be vacuously covered")
+	}
+	// With only the dead backend's successor set reduced to one other
+	// node, coverage follows that node's health exactly.
+	only2 := func(u string) bool { return u == "http://s2" }
+	cov := r.Covered("http://s1", 3, only2)
+	// At R=3 every arc of s1 has both s2 and s3 as successors, so s2
+	// alone suffices.
+	if !cov {
+		t.Error("R=3 with one healthy successor must cover")
 	}
 }
 

@@ -1,0 +1,143 @@
+package testutil
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/server"
+	"stsmatch/internal/shard"
+)
+
+// Node is one in-process streamd backend in a test cluster.
+type Node struct {
+	URL    string
+	Server *server.Server
+	ts     *httptest.Server
+	killed bool
+}
+
+// Killed reports whether the node's listener has been shut down.
+func (n *Node) Killed() bool { return n.killed }
+
+// Cluster is an in-process sharded deployment: N streamd backends on
+// loopback listeners behind a replication-aware gateway. Health
+// probing is disabled so tests drive ejection deterministically via
+// Probe; the gateway ejects after a single failed probe and readmits
+// after two consecutive successes.
+type Cluster struct {
+	Gateway *shard.Gateway
+	URL     string // gateway base URL
+	Nodes   []*Node
+
+	t  testing.TB
+	ts *httptest.Server
+}
+
+// ClusterConfig customizes StartCluster beyond the (n, replicas)
+// shape. Zero-value fields keep the deterministic test defaults.
+type ClusterConfig struct {
+	// Gateway overrides gateway options field-by-field: any non-zero
+	// field replaces the test default.
+	Gateway shard.Options
+	// ConfigureServer, when set, mutates each backend's server options
+	// before construction (e.g. to set a DataDir or inject a
+	// ReplicateTransport).
+	ConfigureServer func(i int, o *server.Options)
+}
+
+// StartCluster boots n streamd backends behind a gateway with the
+// given replication factor and registers cleanup on t. Backends
+// advertise their own loopback URL, so WAL shipments between them
+// carry real source identities.
+func StartCluster(t testing.TB, n, replicas int, conf ...func(*ClusterConfig)) *Cluster {
+	t.Helper()
+	var cfg ClusterConfig
+	for _, fn := range conf {
+		fn(&cfg)
+	}
+	c := &Cluster{t: t}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		node := &Node{}
+		// The handler closes over the node so the listener (and its
+		// URL) can exist before the server it fronts: backends need
+		// their own URL at construction time to advertise it.
+		node.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			node.Server.ServeHTTP(w, r)
+		}))
+		node.URL = node.ts.URL
+		opts := server.Options{AdvertiseURL: node.URL}
+		if cfg.ConfigureServer != nil {
+			cfg.ConfigureServer(i, &opts)
+		}
+		srv, err := server.NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), opts)
+		if err != nil {
+			node.ts.Close()
+			t.Fatalf("testutil: backend %d: %v", i, err)
+		}
+		node.Server = srv
+		c.Nodes = append(c.Nodes, node)
+		urls = append(urls, node.URL)
+		t.Cleanup(node.ts.Close)
+	}
+
+	gopts := cfg.Gateway
+	gopts.Replicas = replicas
+	if gopts.HealthInterval == 0 {
+		gopts.HealthInterval = -1 // tests probe deterministically
+	}
+	if gopts.FailThreshold == 0 {
+		gopts.FailThreshold = 1
+	}
+	if gopts.BackoffBase == 0 {
+		gopts.BackoffBase = 1e6 // 1ms
+	}
+	if gopts.BackoffMax == 0 {
+		gopts.BackoffMax = 5e6
+	}
+	gw, err := shard.NewGateway(urls, gopts)
+	if err != nil {
+		t.Fatalf("testutil: gateway: %v", err)
+	}
+	t.Cleanup(gw.Close)
+	c.Gateway = gw
+	c.ts = httptest.NewServer(gw)
+	t.Cleanup(c.ts.Close)
+	c.URL = c.ts.URL
+	return c
+}
+
+// Node returns the backend with the given base URL.
+func (c *Cluster) Node(url string) *Node {
+	for _, n := range c.Nodes {
+		if n.URL == url {
+			return n
+		}
+	}
+	c.t.Fatalf("testutil: no cluster node with URL %s", url)
+	return nil
+}
+
+// Kill shuts a backend's listener down hard, severing in-flight
+// connections, so the process looks dead to the gateway and to its
+// replication peers. The in-memory server object is left untouched —
+// like a machine dropping off the network.
+func (c *Cluster) Kill(url string) {
+	n := c.Node(url)
+	n.killed = true
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+}
+
+// Probe runs the gateway's health prober `times` times, synchronously.
+// With the cluster's FailThreshold of 1, a single probe ejects every
+// dead backend; readmission needs ReadmitThreshold consecutive
+// successful probes.
+func (c *Cluster) Probe(times int) {
+	for i := 0; i < times; i++ {
+		c.Gateway.Pool().ProbeAll()
+	}
+}

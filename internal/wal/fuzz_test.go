@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"stsmatch/internal/store"
@@ -23,6 +24,9 @@ func FuzzWALDecode(f *testing.F) {
 		{Type: TypeVertexAppend, LSN: 3, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 4)},
 		{Type: TypeSessionAnchor, LSN: 4, PatientID: "P1", SessionID: "S1", Samples: 120, AnchorT: 4.2, AnchorPos: []float64{7}},
 		{Type: TypeSessionClose, LSN: 5, SessionID: "S1"},
+		{Type: TypeReplicaSnapshot, LSN: 6, Patient: store.PatientInfo{ID: "P1", Class: "calm", Age: 50},
+			PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 3), Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}},
+		{Type: TypeReplicaPromote, LSN: 7, PatientID: "P1", SessionID: "S1", Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}, Epoch: 2},
 	} {
 		stream = appendFrame(stream, encodePayload(rec))
 	}
@@ -65,6 +69,84 @@ func FuzzWALDecode(f *testing.F) {
 			}
 		} else if !errors.Is(err, ErrTorn) {
 			t.Fatalf("decodePayload: unexpected error class: %v", err)
+		}
+	})
+}
+
+// FuzzReplicationBatch hammers the replication batch decoder and the
+// follower cursor: malformed batches must fail cleanly as ErrTorn,
+// valid ones must round-trip through the canonical encoding (the
+// encoder is a fixed point — batch header varints are not
+// CRC-protected, so a crafted non-minimal varint may decode but must
+// canonicalize on re-encode), and no sequence of Accept calls may
+// ever apply records out of order or leave a hole — the core
+// gap-detection safety property.
+func FuzzReplicationBatch(f *testing.F) {
+	snap := Record{Type: TypeReplicaSnapshot, Patient: store.PatientInfo{ID: "P1"},
+		PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 2), Samples: 30, AnchorT: 1.0}
+	vtx := Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(2, 2)}
+	base := Batch{Source: "http://a", SessionID: "S1", PatientID: "P1", Epoch: 1, FirstSeq: 1,
+		Records: []Record{vtx, vtx}}
+	f.Add(EncodeBatch(base), uint64(0), uint64(0))
+	f.Add(EncodeBatch(Batch{SessionID: "S1", Epoch: 2, FirstSeq: 5, Records: []Record{snap, vtx}}), uint64(3), uint64(1))
+	f.Add(EncodeBatch(Batch{SessionID: "S1", Epoch: 1, FirstSeq: 9, Records: []Record{vtx}}), uint64(3), uint64(1))
+	f.Add([]byte("STRB"), uint64(0), uint64(0))
+	f.Add([]byte{}, uint64(7), uint64(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, next, epoch uint64) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			if !errors.Is(err, ErrTorn) {
+				t.Fatalf("DecodeBatch: unexpected error class: %v", err)
+			}
+			return
+		}
+		enc := EncodeBatch(b)
+		b2, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of valid batch failed: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("batch changed across canonical round-trip:\n got %+v\nwant %+v", b2, b)
+		}
+		if again := EncodeBatch(b2); !bytes.Equal(again, enc) {
+			t.Fatalf("encoder is not a fixed point:\n got %x\nwant %x", again, enc)
+		}
+
+		c := Cursor{Next: next % 64, Epoch: epoch % 8}
+		before := c
+		apply, err := c.Accept(b)
+		if err != nil {
+			if !errors.Is(err, ErrGap) && !errors.Is(err, ErrStaleEpoch) {
+				t.Fatalf("Accept: unexpected error class: %v", err)
+			}
+			if c != before {
+				t.Fatalf("cursor mutated on rejected batch: %+v -> %+v", before, c)
+			}
+			return
+		}
+		// Applied records must be strictly increasing, contiguous after
+		// each anchor point, and never behind the pre-batch cursor
+		// except where a snapshot explicitly re-anchored it.
+		want := before.Next
+		if want == 0 {
+			want = 1
+		}
+		for i, rec := range apply {
+			if rec.Type == TypeReplicaSnapshot {
+				want = rec.LSN + 1
+				continue
+			}
+			if rec.LSN != want {
+				t.Fatalf("applied record %d has seq %d, want %d (out of order)", i, rec.LSN, want)
+			}
+			want++
+		}
+		if c.Next != want {
+			t.Fatalf("cursor advanced to %d, want %d", c.Next, want)
+		}
+		if c.Epoch != b.Epoch {
+			t.Fatalf("cursor epoch %d after accepting epoch %d", c.Epoch, b.Epoch)
 		}
 	})
 }

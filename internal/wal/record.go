@@ -25,6 +25,26 @@ const (
 	TypeVertexAppend  Type = 3 // PLR vertices appended to a stream
 	TypeSessionClose  Type = 4 // ingestion session closed
 	TypeSessionAnchor Type = 5 // latest raw observation of an open session
+
+	// Replication record types (PR 5). They ride both in replication
+	// batches (internal/wal Batch) and in follower WALs, so recovery
+	// and the fuzzers handle them like any other record.
+
+	// TypeReplicaSnapshot carries one session's full replicated state:
+	// patient info, the complete PLR sequence, and the raw-sample
+	// anchor. A primary sends it to a follower whose cursor has a gap
+	// (catch-up) and as the first record of a post-promotion stream; a
+	// follower journals it so its own recovery rebuilds the stream
+	// without reopening the session locally.
+	TypeReplicaSnapshot Type = 6
+
+	// TypeReplicaPromote marks a failover: the node journaling it was
+	// promoted from replica to primary for the session. Recovery treats
+	// it like a session-open with the embedded anchor, so a promoted
+	// node that crashes later still resumes the session as primary.
+	// Epoch fences zombie primaries: batches with a lower epoch are
+	// rejected by followers.
+	TypeReplicaPromote Type = 7
 )
 
 // String returns the record type name.
@@ -40,6 +60,10 @@ func (t Type) String() string {
 		return "session-close"
 	case TypeSessionAnchor:
 		return "session-anchor"
+	case TypeReplicaSnapshot:
+		return "replica-snapshot"
+	case TypeReplicaPromote:
+		return "replica-promote"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -51,14 +75,19 @@ type Record struct {
 	Type Type
 	LSN  uint64
 
-	Patient   store.PatientInfo // TypePatientUpsert
-	PatientID string            // TypeStreamOpen, TypeVertexAppend, TypeSessionAnchor
+	Patient   store.PatientInfo // TypePatientUpsert, TypeReplicaSnapshot
+	PatientID string            // TypeStreamOpen, TypeVertexAppend, TypeSessionAnchor, TypeReplicaSnapshot, TypeReplicaPromote
 	SessionID string            // all but TypePatientUpsert
-	Vertices  plr.Sequence      // TypeVertexAppend
+	Vertices  plr.Sequence      // TypeVertexAppend, TypeReplicaSnapshot
 
-	Samples   uint64    // TypeSessionAnchor: raw samples ingested so far
-	AnchorT   float64   // TypeSessionAnchor: time of the newest raw sample
-	AnchorPos []float64 // TypeSessionAnchor: position of the newest raw sample
+	Samples   uint64    // TypeSessionAnchor, TypeReplicaSnapshot, TypeReplicaPromote
+	AnchorT   float64   // TypeSessionAnchor, TypeReplicaSnapshot, TypeReplicaPromote
+	AnchorPos []float64 // TypeSessionAnchor, TypeReplicaSnapshot, TypeReplicaPromote
+
+	// Epoch is the replication fencing term (TypeReplicaPromote): each
+	// promotion increments it, and followers reject batches from lower
+	// epochs so a deposed primary cannot overwrite a promoted one.
+	Epoch uint64 // TypeReplicaPromote
 }
 
 // ErrTorn marks a record that is incomplete or fails its checksum —
@@ -103,27 +132,54 @@ func encodePayload(rec Record) []byte {
 	case TypeVertexAppend:
 		b = appendString(b, rec.PatientID)
 		b = appendString(b, rec.SessionID)
-		dims := rec.Vertices.Dims()
-		b = binary.AppendUvarint(b, uint64(dims))
-		b = binary.AppendUvarint(b, uint64(len(rec.Vertices)))
-		for _, v := range rec.Vertices {
-			b = appendF64(b, v.T)
-			b = append(b, byte(v.State))
-			for d := 0; d < dims; d++ {
-				b = appendF64(b, v.Pos[d])
-			}
-		}
+		b = appendVertices(b, rec.Vertices)
 	case TypeSessionClose:
 		b = appendString(b, rec.SessionID)
 	case TypeSessionAnchor:
 		b = appendString(b, rec.PatientID)
 		b = appendString(b, rec.SessionID)
-		b = binary.AppendUvarint(b, rec.Samples)
-		b = appendF64(b, rec.AnchorT)
-		b = binary.AppendUvarint(b, uint64(len(rec.AnchorPos)))
-		for _, x := range rec.AnchorPos {
-			b = appendF64(b, x)
+		b = appendAnchor(b, rec)
+	case TypeReplicaSnapshot:
+		b = appendString(b, rec.Patient.ID)
+		b = appendString(b, rec.Patient.Class)
+		b = appendString(b, rec.Patient.TumorSite)
+		b = binary.AppendUvarint(b, uint64(rec.Patient.Age))
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+		b = appendVertices(b, rec.Vertices)
+		b = appendAnchor(b, rec)
+	case TypeReplicaPromote:
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+		b = appendAnchor(b, rec)
+		b = binary.AppendUvarint(b, rec.Epoch)
+	}
+	return b
+}
+
+// appendVertices serializes a PLR sequence (dims, count, vertices):
+// the shared trailer of vertex-append and replica-snapshot records.
+func appendVertices(b []byte, vs plr.Sequence) []byte {
+	dims := vs.Dims()
+	b = binary.AppendUvarint(b, uint64(dims))
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendF64(b, v.T)
+		b = append(b, byte(v.State))
+		for d := 0; d < dims; d++ {
+			b = appendF64(b, v.Pos[d])
 		}
+	}
+	return b
+}
+
+// appendAnchor serializes the raw-sample anchor triple.
+func appendAnchor(b []byte, rec Record) []byte {
+	b = binary.AppendUvarint(b, rec.Samples)
+	b = appendF64(b, rec.AnchorT)
+	b = binary.AppendUvarint(b, uint64(len(rec.AnchorPos)))
+	for _, x := range rec.AnchorPos {
+		b = appendF64(b, x)
 	}
 	return b
 }
@@ -147,42 +203,27 @@ func decodePayload(b []byte) (Record, error) {
 	case TypeVertexAppend:
 		rec.PatientID = d.str()
 		rec.SessionID = d.str()
-		dims := d.uvarint()
-		n := d.uvarint()
-		if d.err == nil && (dims > maxDims || n > maxVertices) {
-			return rec, fmt.Errorf("%w: implausible vertex batch (%d x %d dims)", ErrTorn, n, dims)
-		}
-		if d.err == nil {
-			rec.Vertices = make(plr.Sequence, 0, min(int(n), 4096))
-			for i := uint64(0); i < n && d.err == nil; i++ {
-				v := plr.Vertex{T: d.f64(), State: plr.State(d.u8())}
-				if d.err == nil && !v.State.Valid() {
-					return rec, fmt.Errorf("%w: invalid state byte", ErrTorn)
-				}
-				v.Pos = make([]float64, dims)
-				for j := range v.Pos {
-					v.Pos[j] = d.f64()
-				}
-				rec.Vertices = append(rec.Vertices, v)
-			}
-		}
+		rec.Vertices = d.vertices()
 	case TypeSessionClose:
 		rec.SessionID = d.str()
 	case TypeSessionAnchor:
 		rec.PatientID = d.str()
 		rec.SessionID = d.str()
-		rec.Samples = d.uvarint()
-		rec.AnchorT = d.f64()
-		dims := d.uvarint()
-		if d.err == nil && dims > maxDims {
-			return rec, fmt.Errorf("%w: implausible anchor dims %d", ErrTorn, dims)
-		}
-		if d.err == nil {
-			rec.AnchorPos = make([]float64, dims)
-			for i := range rec.AnchorPos {
-				rec.AnchorPos[i] = d.f64()
-			}
-		}
+		d.anchor(&rec)
+	case TypeReplicaSnapshot:
+		rec.Patient.ID = d.str()
+		rec.Patient.Class = d.str()
+		rec.Patient.TumorSite = d.str()
+		rec.Patient.Age = int(d.uvarint())
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+		rec.Vertices = d.vertices()
+		d.anchor(&rec)
+	case TypeReplicaPromote:
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+		d.anchor(&rec)
+		rec.Epoch = d.uvarint()
 	default:
 		return rec, fmt.Errorf("%w: unknown record type %d", ErrTorn, rec.Type)
 	}
@@ -273,6 +314,57 @@ func (d *decoder) f64() float64 {
 	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
 	d.off += 8
 	return v
+}
+
+// vertices parses a serialized PLR sequence (appendVertices inverse).
+func (d *decoder) vertices() plr.Sequence {
+	dims := d.uvarint()
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if dims > maxDims || n > maxVertices {
+		d.err = fmt.Errorf("%w: implausible vertex batch (%d x %d dims)", ErrTorn, n, dims)
+		return nil
+	}
+	if n == 0 && dims != 0 {
+		// The encoder derives dims from the sequence, so an empty batch
+		// always carries dims 0; anything else cannot round-trip.
+		d.err = fmt.Errorf("%w: empty vertex batch with dims %d", ErrTorn, dims)
+		return nil
+	}
+	vs := make(plr.Sequence, 0, min(int(n), 4096))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		v := plr.Vertex{T: d.f64(), State: plr.State(d.u8())}
+		if d.err == nil && !v.State.Valid() {
+			d.err = fmt.Errorf("%w: invalid state byte", ErrTorn)
+			return nil
+		}
+		v.Pos = make([]float64, dims)
+		for j := range v.Pos {
+			v.Pos[j] = d.f64()
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// anchor parses the raw-sample anchor triple (appendAnchor inverse).
+func (d *decoder) anchor(rec *Record) {
+	rec.Samples = d.uvarint()
+	rec.AnchorT = d.f64()
+	dims := d.uvarint()
+	if d.err != nil {
+		return
+	}
+	if dims > maxDims {
+		d.err = fmt.Errorf("%w: implausible anchor dims %d", ErrTorn, dims)
+		return
+	}
+	rec.AnchorPos = make([]float64, dims)
+	for i := range rec.AnchorPos {
+		rec.AnchorPos[i] = d.f64()
+	}
 }
 
 func (d *decoder) str() string {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"stsmatch/internal/plr"
 	"stsmatch/internal/store"
 )
 
@@ -317,18 +318,7 @@ func (rs *replayState) apply(rec Record) error {
 		if st == nil {
 			st = p.AddStream(rec.SessionID)
 		}
-		vs := rec.Vertices
-		if seq := st.Seq(); len(seq) > 0 {
-			lastT := seq[len(seq)-1].T
-			keep := vs[:0]
-			for _, v := range vs {
-				if v.T > lastT {
-					keep = append(keep, v)
-				}
-			}
-			vs = keep
-		}
-		if len(vs) > 0 {
+		if vs := tailAfter(st, rec.Vertices); len(vs) > 0 {
 			return st.Append(vs...)
 		}
 	case TypeSessionClose:
@@ -341,10 +331,56 @@ func (rs *replayState) apply(rec Record) error {
 			rs.sessions[i].LastT = rec.AnchorT
 			rs.sessions[i].LastPos = rec.AnchorPos
 		}
+	case TypeReplicaSnapshot:
+		// Replica catch-up state journaled by a follower: rebuild the
+		// stream (and patient) but do NOT open the session locally — the
+		// primary owns it; this node only holds the copy.
+		p, err := rs.patient(rec.PatientID)
+		if err != nil {
+			return err
+		}
+		if rec.Patient.ID == rec.PatientID && rec.PatientID != "" {
+			p.Info = rec.Patient
+		}
+		st := p.StreamBySession(rec.SessionID)
+		if st == nil {
+			st = p.AddStream(rec.SessionID)
+		}
+		if vs := tailAfter(st, rec.Vertices); len(vs) > 0 {
+			return st.Append(vs...)
+		}
+	case TypeReplicaPromote:
+		// This node took over the session at a failover: reopen it with
+		// the promoted anchor so a later crash still recovers it as
+		// primary.
+		rs.open(SessionState{PatientID: rec.PatientID, SessionID: rec.SessionID})
+		if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
+			rs.sessions[i].Samples = rec.Samples
+			rs.sessions[i].LastT = rec.AnchorT
+			rs.sessions[i].LastPos = rec.AnchorPos
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
 	return nil
+}
+
+// tailAfter drops the prefix of vs already present in the stream
+// (vertices at or before the stream's last time), so replays that
+// overlap existing state stay idempotent. The kept tail aliases vs.
+func tailAfter(st *store.Stream, vs []plr.Vertex) []plr.Vertex {
+	seq := st.Seq()
+	if len(seq) == 0 {
+		return vs
+	}
+	lastT := seq[len(seq)-1].T
+	keep := vs[:0]
+	for _, v := range vs {
+		if v.T > lastT {
+			keep = append(keep, v)
+		}
+	}
+	return keep
 }
 
 // removeTempFiles clears half-written snapshot temp files left by a

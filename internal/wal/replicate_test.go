@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"stsmatch/internal/store"
+)
+
+func mkBatch(session string, epoch, firstSeq uint64, recs ...Record) Batch {
+	return Batch{
+		Source:    "http://primary",
+		SessionID: session,
+		PatientID: "P1",
+		Epoch:     epoch,
+		FirstSeq:  firstSeq,
+		Records:   recs,
+	}
+}
+
+func vertexRec(n int) Record {
+	return Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(float64(n), 2)}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := mkBatch("S1", 3, 17,
+		Record{Type: TypePatientUpsert, Patient: store.PatientInfo{ID: "P1", Class: "calm", Age: 61}},
+		Record{Type: TypeStreamOpen, PatientID: "P1", SessionID: "S1"},
+		vertexRec(0),
+		Record{Type: TypeSessionAnchor, PatientID: "P1", SessionID: "S1", Samples: 9, AnchorT: 1.5, AnchorPos: []float64{2}},
+		Record{Type: TypeReplicaSnapshot, Patient: store.PatientInfo{ID: "P1"}, PatientID: "P1", SessionID: "S1",
+			Vertices: mkVerts(0, 3), Samples: 12, AnchorT: 2.5, AnchorPos: []float64{4}},
+		Record{Type: TypeReplicaPromote, PatientID: "P1", SessionID: "S1", Samples: 12, AnchorT: 2.5, AnchorPos: []float64{4}, Epoch: 3},
+	)
+	got, err := DecodeBatch(EncodeBatch(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != b.Source || got.SessionID != b.SessionID || got.PatientID != b.PatientID ||
+		got.Epoch != b.Epoch || got.FirstSeq != b.FirstSeq || len(got.Records) != len(b.Records) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i, rec := range got.Records {
+		if rec.LSN != b.FirstSeq+uint64(i) {
+			t.Errorf("record %d seq %d, want %d", i, rec.LSN, b.FirstSeq+uint64(i))
+		}
+		if rec.Type != b.Records[i].Type {
+			t.Errorf("record %d type %v, want %v", i, rec.Type, b.Records[i].Type)
+		}
+	}
+	if got.Records[5].Epoch != 3 {
+		t.Errorf("promote epoch %d, want 3", got.Records[5].Epoch)
+	}
+}
+
+func TestBatchDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeBatch(mkBatch("S1", 1, 1, vertexRec(0), vertexRec(1)))
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":     func(b []byte) []byte { return b[:len(b)-3] },
+		"bad magic":     func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"flipped byte":  func(b []byte) []byte { b[len(b)-1] ^= 0x10; return b },
+		"trailing junk": func(b []byte) []byte { return append(b, 0xAB) },
+	} {
+		buf := append([]byte(nil), enc...)
+		if _, err := DecodeBatch(mutate(buf)); !errors.Is(err, ErrTorn) {
+			t.Errorf("%s: err = %v, want ErrTorn", name, err)
+		}
+	}
+}
+
+func TestBatchDecodeRejectsNonDenseSequence(t *testing.T) {
+	// Replace the encoder-assigned second frame (seq 2) with one
+	// carrying seq 3, leaving a hole the decoder must catch.
+	good := mkBatch("S1", 1, 1, vertexRec(0), vertexRec(1))
+	enc := EncodeBatch(good)
+	rogue := good.Records[1]
+	rogue.LSN = 2
+	prefixLen := len(enc) - (frameHeaderLen + len(encodePayload(rogue)))
+	rogue.LSN = 3
+	spliced := append(enc[:prefixLen:prefixLen], appendFrame(nil, encodePayload(rogue))...)
+	if _, err := DecodeBatch(spliced); !errors.Is(err, ErrTorn) {
+		t.Fatalf("non-dense batch accepted: %v", err)
+	}
+}
+
+func TestCursorAcceptContiguous(t *testing.T) {
+	var c Cursor
+	apply, err := c.Accept(mkBatch("S1", 1, 1, vertexRec(0), vertexRec(1)))
+	if err != nil || len(apply) != 2 {
+		t.Fatalf("apply = %d records, err %v", len(apply), err)
+	}
+	if c.Next != 3 {
+		t.Fatalf("cursor at %d, want 3", c.Next)
+	}
+	apply, err = c.Accept(mkBatch("S1", 1, 3, vertexRec(2)))
+	if err != nil || len(apply) != 1 || c.Next != 4 {
+		t.Fatalf("second batch: apply %d, next %d, err %v", len(apply), c.Next, err)
+	}
+}
+
+func TestCursorSkipsDuplicates(t *testing.T) {
+	c := Cursor{Next: 3, Epoch: 1}
+	// Batch 1..4 overlaps: 1,2 already applied, 3,4 are new.
+	apply, err := c.Accept(mkBatch("S1", 1, 1, vertexRec(0), vertexRec(1), vertexRec(2), vertexRec(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apply) != 2 || apply[0].LSN != 3 || apply[1].LSN != 4 {
+		t.Fatalf("apply = %+v, want seqs 3,4", apply)
+	}
+	if c.Next != 5 {
+		t.Fatalf("cursor at %d, want 5", c.Next)
+	}
+}
+
+func TestCursorRejectsGap(t *testing.T) {
+	c := Cursor{Next: 3, Epoch: 1}
+	if _, err := c.Accept(mkBatch("S1", 1, 5, vertexRec(4))); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap accepted: %v", err)
+	}
+	if c.Next != 3 || c.Epoch != 1 {
+		t.Fatalf("cursor mutated on rejected batch: %+v", c)
+	}
+}
+
+func TestCursorSnapshotResets(t *testing.T) {
+	c := Cursor{Next: 3, Epoch: 1}
+	snap := Record{Type: TypeReplicaSnapshot, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 5)}
+	// Catch-up after a gap: snapshot at seq 9 re-anchors, follow-on
+	// records apply.
+	apply, err := c.Accept(mkBatch("S1", 1, 9, snap, vertexRec(5)))
+	if err != nil || len(apply) != 2 {
+		t.Fatalf("apply %d, err %v", len(apply), err)
+	}
+	if c.Next != 11 {
+		t.Fatalf("cursor at %d, want 11", c.Next)
+	}
+}
+
+func TestCursorEpochFencing(t *testing.T) {
+	c := Cursor{Next: 7, Epoch: 2}
+
+	// A deposed primary (epoch 1) is rejected outright, even with
+	// plausible sequence numbers.
+	if _, err := c.Accept(mkBatch("S1", 1, 7, vertexRec(0))); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale epoch accepted: %v", err)
+	}
+
+	// A new primary (epoch 3) must lead with a snapshot; bare records
+	// cannot anchor its fresh numbering.
+	if _, err := c.Accept(mkBatch("S1", 3, 1, vertexRec(0))); !errors.Is(err, ErrGap) {
+		t.Fatalf("epoch jump without snapshot accepted: %v", err)
+	}
+	if c.Epoch != 2 {
+		t.Fatalf("epoch committed on rejected batch: %d", c.Epoch)
+	}
+
+	// With a snapshot it goes through and the epoch advances.
+	snap := Record{Type: TypeReplicaSnapshot, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 4)}
+	apply, err := c.Accept(mkBatch("S1", 3, 1, snap, vertexRec(1)))
+	if err != nil || len(apply) != 2 {
+		t.Fatalf("promoted primary rejected: apply %d, err %v", len(apply), err)
+	}
+	if c.Epoch != 3 || c.Next != 3 {
+		t.Fatalf("cursor = %+v, want epoch 3 next 3", c)
+	}
+
+	// An empty batch from yet another epoch is a gap, not a silent
+	// epoch commit.
+	if _, err := c.Accept(mkBatch("S1", 4, 1)); !errors.Is(err, ErrGap) {
+		t.Fatalf("empty epoch-advancing batch accepted: %v", err)
+	}
+	if c.Epoch != 3 {
+		t.Fatalf("epoch advanced by empty batch: %d", c.Epoch)
+	}
+}
+
+func TestNewRecordTypesRoundTripThroughLog(t *testing.T) {
+	dir := t.TempDir()
+	l, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fresh {
+		t.Fatal("fresh dir reported stale")
+	}
+	snap := Record{
+		Type: TypeReplicaSnapshot, Patient: store.PatientInfo{ID: "P9", Class: "irregular"},
+		PatientID: "P9", SessionID: "S9", Vertices: mkVerts(0, 6),
+		Samples: 44, AnchorT: 5.5, AnchorPos: []float64{1.25},
+	}
+	promote := Record{
+		Type: TypeReplicaPromote, PatientID: "P9", SessionID: "S9",
+		Samples: 44, AnchorT: 5.5, AnchorPos: []float64{1.25}, Epoch: 2,
+	}
+	if err := l.Append(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(promote); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res2, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot rebuilt the stream; promote reopened the session with
+	// the anchor.
+	p := res2.DB.Patient("P9")
+	if p == nil {
+		t.Fatal("replica snapshot did not recover the patient")
+	}
+	st := p.StreamBySession("S9")
+	if st == nil || st.Len() != 6 {
+		t.Fatalf("replica stream not recovered (len %v)", st)
+	}
+	if len(res2.Sessions) != 1 {
+		t.Fatalf("recovered %d open sessions, want 1 (promoted)", len(res2.Sessions))
+	}
+	ss := res2.Sessions[0]
+	if ss.SessionID != "S9" || ss.Samples != 44 || ss.LastT != 5.5 {
+		t.Fatalf("promoted session state = %+v", ss)
+	}
+}
