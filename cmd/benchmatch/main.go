@@ -21,14 +21,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"stsmatch/internal/core"
@@ -60,6 +64,17 @@ type funnel struct {
 	Matched           int `json:"matched"`
 }
 
+// stagePct is one funnel stage's latency distribution in microseconds,
+// sampled from the tracing spans over a separate instrumented loop (so
+// the untraced nsPerOp stays comparable across report versions). Stage
+// durations are summed across workers, so in the parallel scenario a
+// stage can exceed the query's wall clock.
+type stagePct struct {
+	P50us float64 `json:"p50us"`
+	P90us float64 `json:"p90us"`
+	P99us float64 `json:"p99us"`
+}
+
 // scenarioResult is one benchmarked configuration.
 type scenarioResult struct {
 	NsPerOp     float64 `json:"nsPerOp"`
@@ -67,6 +82,10 @@ type scenarioResult struct {
 	Parallelism int     `json:"parallelism,omitempty"`
 	Shards      int     `json:"shards,omitempty"`
 	Funnel      funnel  `json:"funnel"`
+
+	// StageLatency maps span names (matcher.search, funnel.*) to
+	// latency percentiles gathered from a traced measurement pass.
+	StageLatency map[string]stagePct `json:"stageLatency,omitempty"`
 }
 
 // benchReport is the BENCH_matcher.json schema.
@@ -269,6 +288,53 @@ func perIter(before, after funnel, iters int) funnel {
 	}
 }
 
+// tracedIters bounds the separate traced pass: enough samples for a
+// stable p99 without doubling the benchmark's run time.
+const tracedIters = 100
+
+// stageSampler accumulates span durations by name and reduces them to
+// percentiles.
+type stageSampler map[string][]float64
+
+func (ss stageSampler) addSpans(spans []obs.SpanData) {
+	for _, sd := range spans {
+		if sd.Name == "matcher.search" || strings.HasPrefix(sd.Name, "funnel.") {
+			ss[sd.Name] = append(ss[sd.Name], float64(sd.DurationNS)/1e3)
+		}
+	}
+}
+
+func (ss stageSampler) percentiles() map[string]stagePct {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make(map[string]stagePct, len(ss))
+	for name, v := range ss {
+		sort.Float64s(v)
+		out[name] = stagePct{
+			P50us: percentile(v, 0.50),
+			P90us: percentile(v, 0.90),
+			P99us: percentile(v, 0.99),
+		}
+	}
+	return out
+}
+
+// percentile reads the nearest-rank percentile from a sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 // benchSingleNode measures the in-process matcher at the given
 // parallelism (0 = GOMAXPROCS, 1 = sequential) and returns the match
 // list for the determinism cross-check (both scenarios share db, so
@@ -300,6 +366,23 @@ func benchSingleNode(db *store.DB, data []patientData, qseq plr.Sequence, k, ite
 		Parallelism: parallelism,
 		Funnel:      perIter(before, counters(), iters),
 	}
+
+	// Separate traced pass: per-stage span durations feed the latency
+	// percentiles without perturbing the untraced nsPerOp above.
+	col := obs.NewCollector(tracedIters, time.Hour)
+	samples := make(stageSampler)
+	for i := 0; i < tracedIters; i++ {
+		root := obs.StartTrace("bench.query", "bench", obs.SpanContext{}, col)
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		if _, err := m.TopKCtx(ctx, q, k, nil); err != nil {
+			return scenarioResult{}, nil, err
+		}
+		root.Finish()
+	}
+	for _, td := range col.Recent() {
+		samples.addSpans(td.Spans)
+	}
+	res.StageLatency = samples.percentiles()
 	return res, matches, nil
 }
 
@@ -368,8 +451,8 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		return scenarioResult{}, err
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	call := func() (shard.MatchResult, error) {
-		resp, err := client.Post(gURL+"/v1/match", "application/json", bytes.NewReader(body))
+	callURL := func(u string) (shard.MatchResult, error) {
+		resp, err := client.Post(u, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return shard.MatchResult{}, err
 		}
@@ -380,6 +463,7 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		}
 		return res, json.NewDecoder(resp.Body).Decode(&res)
 	}
+	call := func() (shard.MatchResult, error) { return callURL(gURL + "/v1/match") }
 	// Warmup (also establishes keep-alive connections).
 	res, err := call()
 	if err != nil {
@@ -396,12 +480,28 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		}
 	}
 	elapsed := time.Since(start)
-	return scenarioResult{
+	out := scenarioResult{
 		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
 		Matches: len(res.Matches),
 		Shards:  shards,
 		Funnel:  perIter(before, counters(), iters),
-	}, nil
+	}
+
+	// Traced pass through the gateway: ?debug=profile returns the
+	// merged span tree, so each shard's funnel stages contribute one
+	// sample apiece per query.
+	samples := make(stageSampler)
+	for i := 0; i < tracedIters; i++ {
+		pres, err := callURL(gURL + "/v1/match?debug=profile")
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		if pres.Profile != nil && pres.Profile.Root != nil {
+			samples.addSpans(pres.Profile.Root.Flatten())
+		}
+	}
+	out.StageLatency = samples.percentiles()
+	return out, nil
 }
 
 func fatal(err error) {

@@ -55,6 +55,8 @@ func main() {
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "active health-probe period (negative = disabled)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures before a backend is ejected")
 	readmitThreshold := flag.Int("readmit-threshold", 2, "consecutive probe successes before an ejected backend is readmitted")
+	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
+	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "latency threshold at which a trace is pinned in the slow ring")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
@@ -85,6 +87,9 @@ func main() {
 		HealthInterval:   *healthEvery,
 		FailThreshold:    *failThreshold,
 		ReadmitThreshold: *readmitThreshold,
+
+		TraceCapacity:      *traceCap,
+		TraceSlowThreshold: *traceSlow,
 	})
 	if err != nil {
 		fatalStartup(err)

@@ -75,6 +75,8 @@ func main() {
 	matchPar := flag.Int("match-parallelism", 0, "worker goroutines per similarity search (0 = GOMAXPROCS, 1 = sequential)")
 	advertise := flag.String("advertise", "", "base URL this daemon advertises as the source of its WAL shipments (e.g. http://10.0.0.1:8750)")
 	replicateFrom := flag.String("replicate-from", "", "comma-separated source URLs allowed to ship WAL batches here (empty = accept any)")
+	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
+	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "latency threshold at which a trace is pinned in the slow ring")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -119,6 +121,8 @@ func main() {
 		MatcherParallelism: *matchPar,
 		AdvertiseURL:       strings.TrimRight(*advertise, "/"),
 		ReplicateFrom:      replFrom,
+		TraceCapacity:      *traceCap,
+		TraceSlowThreshold: *traceSlow,
 	})
 	if err != nil {
 		fatal(log, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
 	"stsmatch/internal/store"
 )
@@ -105,6 +107,23 @@ type workerState struct {
 	starts  []int   // ablation-mode candidate starts, reused across streams
 	matches []Match // threshold-mode partial results
 	funnel  funnelCounts
+	stage   stageNS
+}
+
+// stageNS accumulates per-funnel-stage wall time (nanoseconds),
+// worker-locally. Only populated when the search is traced
+// (searchCtx.timed) — untraced searches pay no clock reads in the
+// candidate loop.
+type stageNS struct {
+	stateOrder int64 // FindWindows index probes
+	lb         int64 // O(1) lower-bound evaluations
+	dist       int64 // bounded exact distance computations
+}
+
+func (s *stageNS) add(o stageNS) {
+	s.stateOrder += o.stateOrder
+	s.lb += o.lb
+	s.dist += o.dist
 }
 
 // funnelCounts accumulates the pruning-funnel metrics worker-locally,
@@ -159,7 +178,16 @@ func relationOf(q Query, st *store.Stream) SourceRelation {
 // patients (the cluster-restricted search of Section 5.3); keys are
 // patient IDs.
 func (m *Matcher) FindSimilar(q Query, restrict map[string]bool) ([]Match, error) {
-	return m.search(q, restrict, 0, m.Params.DistThreshold)
+	return m.search(context.Background(), q, restrict, 0, m.Params.DistThreshold)
+}
+
+// FindSimilarCtx is FindSimilar with a context: when the context
+// carries a trace span (obs.StartSpan), the search emits a
+// "matcher.search" child span plus per-funnel-stage spans carrying
+// stage wall time and candidate counts. Untraced contexts behave
+// exactly like FindSimilar.
+func (m *Matcher) FindSimilarCtx(ctx context.Context, q Query, restrict map[string]bool) ([]Match, error) {
+	return m.search(ctx, q, restrict, 0, m.Params.DistThreshold)
 }
 
 // TopK retrieves the k nearest stored subsequences with the query's
@@ -173,7 +201,15 @@ func (m *Matcher) TopK(q Query, k int, restrict map[string]bool) ([]Match, error
 	if k <= 0 {
 		return nil, fmt.Errorf("core: TopK needs k > 0, got %d", k)
 	}
-	return m.search(q, restrict, k, inf)
+	return m.search(context.Background(), q, restrict, k, inf)
+}
+
+// TopKCtx is TopK with trace-context support (see FindSimilarCtx).
+func (m *Matcher) TopKCtx(ctx context.Context, q Query, k int, restrict map[string]bool) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: TopK needs k > 0, got %d", k)
+	}
+	return m.search(ctx, q, restrict, k, inf)
 }
 
 // FindSimilarTopK retrieves the k nearest matches within the distance
@@ -186,7 +222,16 @@ func (m *Matcher) FindSimilarTopK(q Query, k int, restrict map[string]bool) ([]M
 	if k <= 0 {
 		return nil, fmt.Errorf("core: FindSimilarTopK needs k > 0, got %d", k)
 	}
-	return m.search(q, restrict, k, m.Params.DistThreshold)
+	return m.search(context.Background(), q, restrict, k, m.Params.DistThreshold)
+}
+
+// FindSimilarTopKCtx is FindSimilarTopK with trace-context support
+// (see FindSimilarCtx).
+func (m *Matcher) FindSimilarTopKCtx(ctx context.Context, q Query, k int, restrict map[string]bool) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: FindSimilarTopK needs k > 0, got %d", k)
+	}
+	return m.search(ctx, q, restrict, k, m.Params.DistThreshold)
 }
 
 // searchCtx carries one search's read-only shared state across
@@ -203,6 +248,10 @@ type searchCtx struct {
 	durQ      float64   // query duration
 	threshold float64
 	col       *collector
+	// timed is set when the search runs under a trace span: workers
+	// then accumulate per-stage wall time. Untraced searches skip the
+	// per-candidate clock reads entirely.
+	timed bool
 }
 
 // search is the unified retrieval core behind FindSimilar (k == 0),
@@ -215,7 +264,7 @@ type searchCtx struct {
 //
 // and partial results merge into the matchLess total order, so the
 // output is byte-identical at every parallelism setting.
-func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold float64) ([]Match, error) {
+func (m *Matcher) search(ctx context.Context, q Query, restrict map[string]bool, k int, threshold float64) ([]Match, error) {
 	if len(q.Seq) < 2 {
 		return nil, ErrTooShort
 	}
@@ -224,6 +273,13 @@ func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold flo
 	n := len(q.Seq)
 	mQueryLen.Observe(float64(n))
 	m.vw = m.Params.VertexWeights(m.vw, n)
+
+	// When the caller's context carries a trace, the whole search runs
+	// as one child span and the funnel stages report their aggregate
+	// wall time (summed across workers, so stage durations can exceed
+	// the span's wall-clock duration at parallelism > 1).
+	ctx, span := obs.StartSpan(ctx, "matcher.search")
+	defer span.Finish()
 
 	sc := &searchCtx{
 		params:    &m.Params,
@@ -235,6 +291,7 @@ func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold flo
 		durQ:      q.Seq.Duration(),
 		threshold: threshold,
 		col:       newCollector(k, threshold),
+		timed:     span != nil,
 	}
 	sc.wsum, sc.vwMin = sumMin(m.vw)
 
@@ -264,6 +321,7 @@ func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold flo
 		for _, w := range active {
 			f.add(w.funnel)
 			w.funnel = funnelCounts{}
+			w.stage = stageNS{}
 			w.matches = w.matches[:0]
 		}
 		mCandidates.Add(f.candidates)
@@ -300,9 +358,43 @@ func (m *Matcher) search(q Query, restrict map[string]bool, k int, threshold flo
 			out = append(out, w.matches...)
 		}
 	}
+	mergeStart := time.Now()
 	sort.Slice(out, func(a, b int) bool { return matchLess(out[a], out[b]) })
+	mergeDur := time.Since(mergeStart)
 	mMatched.Add(len(out))
 	mSearchSeconds.Observe(time.Since(start).Seconds())
+
+	if span != nil {
+		// Read the worker-local funnel counts and stage clocks before
+		// the deferred flush resets them; the counts here are exactly
+		// what that flush adds to the global funnel metrics.
+		var f funnelCounts
+		var sg stageNS
+		for _, w := range active {
+			f.add(w.funnel)
+			sg.add(w.stage)
+		}
+		obs.AddSpan(ctx, "funnel.state_order", start, time.Duration(sg.stateOrder), map[string]any{
+			"candidates": f.candidates, "indexPruned": f.indexPruned})
+		obs.AddSpan(ctx, "funnel.self_exclusion", start, 0, map[string]any{
+			"selfExcluded": f.selfExcluded})
+		obs.AddSpan(ctx, "funnel.lb_prune", start, time.Duration(sg.lb), map[string]any{
+			"lbPruned": f.lbPruned})
+		obs.AddSpan(ctx, "funnel.exact_distance", start, time.Duration(sg.dist), map[string]any{
+			"distRejected": f.distRejected})
+		obs.AddSpan(ctx, "funnel.topk_merge", mergeStart, mergeDur, map[string]any{
+			"matched": len(out)})
+		span.Annotate("streams", len(streams))
+		span.Annotate("parallelism", par)
+		span.Annotate("k", k)
+		span.Annotate("queryLen", n)
+		span.Annotate("matches", len(out))
+		span.Annotate("funnel.candidates", f.candidates)
+		span.Annotate("funnel.indexPruned", f.indexPruned)
+		span.Annotate("funnel.selfExcluded", f.selfExcluded)
+		span.Annotate("funnel.lbPruned", f.lbPruned)
+		span.Annotate("funnel.distRejected", f.distRejected)
+	}
 	return out, nil
 }
 
@@ -368,7 +460,14 @@ func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error
 	n := sc.n
 	var starts []int
 	if p.RequireStateOrder {
+		var t0 time.Time
+		if sc.timed {
+			t0 = time.Now()
+		}
 		starts = st.FindWindows(sc.sig)
+		if sc.timed {
+			w.stage.stateOrder += int64(time.Since(t0))
+		}
 		if possible := len(seq) - n + 1; possible > len(starts) {
 			w.funnel.indexPruned += possible - len(starts)
 		}
@@ -415,9 +514,17 @@ func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error
 		if useLB {
 			// O(1) lower-bound rejection from the stream's prefix
 			// sums: no per-segment arithmetic touched.
+			var t0 time.Time
+			if sc.timed {
+				t0 = time.Now()
+			}
 			ampC := amps[j+n-1] - amps[j]
 			durC := seq[j+n-1].T - seq[j].T
-			if p.distanceLowerBound(sc.ampQ, sc.durQ, ampC, durC, sc.vwMin, sc.wsum, rel) > bound {
+			pruned := p.distanceLowerBound(sc.ampQ, sc.durQ, ampC, durC, sc.vwMin, sc.wsum, rel) > bound
+			if sc.timed {
+				w.stage.lb += int64(time.Since(t0))
+			}
+			if pruned {
 				w.funnel.lbPruned++
 				continue
 			}
@@ -430,7 +537,14 @@ func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error
 		if dbound >= inf {
 			dbound = 0
 		}
+		var t0 time.Time
+		if sc.timed {
+			t0 = time.Now()
+		}
 		d, within, err := p.distanceBounded(sc.q.Seq, cand, rel, sc.vw, dbound)
+		if sc.timed {
+			w.stage.dist += int64(time.Since(t0))
+		}
 		if err != nil {
 			return err
 		}

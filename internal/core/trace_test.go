@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"stsmatch/internal/obs"
+)
+
+// funnelMetrics snapshots the global matcher funnel counters.
+func funnelMetrics() map[string]float64 {
+	out := map[string]float64{}
+	for _, p := range obs.Default().Gather() {
+		if strings.HasPrefix(p.Name, "stsmatch_matcher_") {
+			out[p.Name] = p.Value
+		}
+	}
+	return out
+}
+
+// TestSearchEmitsFunnelSpans is the per-query explain contract: a
+// traced search produces one child span per funnel stage whose
+// candidate counts equal exactly what the same query added to the
+// global funnel metrics.
+func TestSearchEmitsFunnelSpans(t *testing.T) {
+	db := buildTestDB(t)
+	m, err := NewMatcher(db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+
+	col := obs.NewCollector(4, time.Hour)
+	root := obs.StartTrace("test.query", "test", obs.SpanContext{}, col)
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	before := funnelMetrics()
+	matches, err := m.FindSimilarCtx(ctx, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := funnelMetrics()
+	root.Finish()
+
+	delta := func(name string) int {
+		full := "stsmatch_matcher_" + name
+		return int(after[full] - before[full])
+	}
+
+	recent := col.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("collector holds %d traces, want 1", len(recent))
+	}
+	spans := map[string]obs.SpanData{}
+	for _, sd := range recent[0].Spans {
+		spans[sd.Name] = sd
+	}
+	search, ok := spans["matcher.search"]
+	if !ok {
+		t.Fatalf("no matcher.search span; got %v", names(recent[0].Spans))
+	}
+	for _, stage := range []string{
+		"funnel.state_order", "funnel.self_exclusion", "funnel.lb_prune",
+		"funnel.exact_distance", "funnel.topk_merge",
+	} {
+		sd, ok := spans[stage]
+		if !ok {
+			t.Errorf("missing stage span %s; got %v", stage, names(recent[0].Spans))
+			continue
+		}
+		if sd.ParentID != search.SpanID {
+			t.Errorf("%s parent = %s, want matcher.search %s", stage, sd.ParentID, search.SpanID)
+		}
+	}
+
+	// Each stage's counts are the query's own contribution to the
+	// global funnel counters.
+	checks := []struct{ span, attr, metric string }{
+		{"funnel.state_order", "candidates", "candidates_scanned_total"},
+		{"funnel.state_order", "indexPruned", "index_pruned_total"},
+		{"funnel.self_exclusion", "selfExcluded", "self_excluded_total"},
+		{"funnel.lb_prune", "lbPruned", "lb_pruned_total"},
+		{"funnel.exact_distance", "distRejected", "distance_rejected_total"},
+		{"funnel.topk_merge", "matched", "matches_total"},
+	}
+	for _, c := range checks {
+		got, ok := spans[c.span].Attrs[c.attr].(int)
+		if !ok {
+			t.Errorf("%s has no int attr %q: %v", c.span, c.attr, spans[c.span].Attrs)
+			continue
+		}
+		if want := delta(c.metric); got != want {
+			t.Errorf("%s.%s = %d, metric delta %s = %d", c.span, c.attr, got, c.metric, want)
+		}
+	}
+	if got := spans["funnel.topk_merge"].Attrs["matched"].(int); got != len(matches) {
+		t.Errorf("topk_merge matched = %d, returned %d matches", got, len(matches))
+	}
+	if got, _ := search.Attrs["matches"].(int); got != len(matches) {
+		t.Errorf("search span matches = %d, want %d", got, len(matches))
+	}
+	// The funnel sums: scanned candidates are fully accounted for by
+	// the downstream stages plus the survivors.
+	scanned := spans["funnel.state_order"].Attrs["candidates"].(int)
+	excluded := spans["funnel.self_exclusion"].Attrs["selfExcluded"].(int)
+	lb := spans["funnel.lb_prune"].Attrs["lbPruned"].(int)
+	rej := spans["funnel.exact_distance"].Attrs["distRejected"].(int)
+	if scanned != excluded+lb+rej+len(matches) {
+		t.Errorf("funnel does not sum: %d scanned != %d excluded + %d lb + %d rejected + %d matched",
+			scanned, excluded, lb, rej, len(matches))
+	}
+}
+
+// TestSearchUntracedEmitsNothing pins the zero-cost contract: without
+// a span in the context the search allocates no trace machinery and
+// still returns identical results.
+func TestSearchUntracedEmitsNothing(t *testing.T) {
+	db := buildTestDB(t)
+	m, err := NewMatcher(db, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := db.Patient("P1").StreamBySession("S1")
+	seq := own.Seq()
+	q := NewQuery(seq[len(seq)-10:], "P1", "S1")
+
+	plain, err := m.FindSimilar(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := m.FindSimilarCtx(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(viaCtx) {
+		t.Fatalf("untraced ctx path returned %d matches, plain %d", len(viaCtx), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != viaCtx[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, plain[i], viaCtx[i])
+		}
+	}
+}
+
+func names(spans []obs.SpanData) []string {
+	out := make([]string, len(spans))
+	for i, sd := range spans {
+		out[i] = sd.Name
+	}
+	return out
+}

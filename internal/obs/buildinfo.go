@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo reports the binary's version and Go toolchain version for
+// fleet-wide auditing. The version comes from the main module's
+// version when built from a module proxy, falling back to the VCS
+// revision stamped by `go build` (short form), then "devel".
+var BuildInfo = sync.OnceValues(func() (version, goVersion string) {
+	version = "devel"
+	goVersion = runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if version == "devel" && rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version = rev
+		if dirty {
+			version += "-dirty"
+		}
+	}
+	return version, goVersion
+})
+
+// RegisterBuildInfo publishes the stsmatch_build_info gauge: constant
+// 1 with the version and Go toolchain as labels, the standard shape
+// for joining fleet metrics against deployed versions.
+func RegisterBuildInfo(r *Registry) {
+	version, goVersion := BuildInfo()
+	r.GaugeVec("stsmatch_build_info",
+		"Build metadata: constant 1 labelled by version and Go toolchain.",
+		"version", "goversion").With(version, goVersion).Set(1)
+}

@@ -63,9 +63,23 @@ func statusClass(code int) string {
 // label, latency is observed on completion, and the in-flight gauge
 // tracks concurrent handlers.
 func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	return m.wrap(route, next, true)
+}
+
+// WrapScrape instruments a route in the request counter and latency
+// histogram but not the in-flight gauge. It exists for the /metrics
+// route itself: a scrape always observes its own handler running, so
+// including it would make the gauge read >= 1 on every sample.
+func (m *HTTPMetrics) WrapScrape(route string, next http.Handler) http.Handler {
+	return m.wrap(route, next, false)
+}
+
+func (m *HTTPMetrics) wrap(route string, next http.Handler, inFlight bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		m.InFlight.Inc()
-		defer m.InFlight.Dec()
+		if inFlight {
+			m.InFlight.Inc()
+			defer m.InFlight.Dec()
+		}
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
@@ -93,13 +107,37 @@ func newRequestID() string {
 	return fmt.Sprintf("%s-%06d", ridPrefix, ridCounter.Add(1))
 }
 
+// maxRequestIDLen caps accepted client-supplied request IDs; longer
+// ones are replaced, not truncated, so an ID in the logs is always
+// exactly what was propagated.
+const maxRequestIDLen = 128
+
+// wellFormedRequestID accepts printable ASCII without spaces, control
+// characters, or quotes — enough to be safe in logs and headers while
+// still admitting client conventions like "client-123" or UUIDs.
+func wellFormedRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
 // RequestID propagates (or assigns) an X-Request-Id header, storing
 // the ID in the request context and echoing it on the response so a
-// client can correlate its call with the server's logs.
+// client can correlate its call with the server's logs. Incoming IDs
+// are reused only when well-formed (printable, no spaces, ≤128 bytes)
+// — the gateway forwards its ID to backends on scatter-gather and
+// replication calls, so one request keeps one ID across services.
 func RequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
-		if id == "" {
+		if !wellFormedRequestID(id) {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-Id", id)
@@ -116,9 +154,16 @@ func RequestIDFrom(ctx context.Context) string {
 
 // AccessLog logs one line per request. Successful requests log at
 // debug (so steady-state traffic stays quiet at the default level);
-// server errors log at warn.
+// server errors log at warn. Scrape and probe endpoints (/metrics,
+// /v1/healthz) are not logged at all — a 15-second scrape interval
+// would otherwise dominate the output — but still count in the HTTP
+// request metrics, which wrap routes below this middleware.
 func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/v1/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
@@ -128,6 +173,9 @@ func AccessLog(log *slog.Logger, next http.Handler) http.Handler {
 			slog.Int("status", rec.code),
 			slog.Duration("dur", time.Since(start)),
 			slog.String("requestId", RequestIDFrom(r.Context())),
+		}
+		if sp := SpanFromContext(r.Context()); sp != nil {
+			attrs = append(attrs, slog.String("traceId", sp.TraceID()))
 		}
 		if rec.code >= 500 {
 			log.Warn("request", attrs...)

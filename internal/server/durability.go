@@ -8,6 +8,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -71,6 +72,15 @@ type Options struct {
 	// replication shipments (tests inject fault-injecting transports
 	// here). Nil uses the default transport.
 	ReplicateTransport http.RoundTripper
+
+	// TraceCapacity bounds the in-memory trace collector's rings (both
+	// recent and slow). 0 selects obs.DefaultTraceCapacity.
+	TraceCapacity int
+
+	// TraceSlowThreshold is the latency at or above which a trace is
+	// pinned in the slow ring (and slow WAL group commits are captured).
+	// 0 selects obs.DefaultSlowThreshold.
+	TraceSlowThreshold time.Duration
 }
 
 // DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds
@@ -98,6 +108,7 @@ func (s *Server) openDurability(initial *store.DB, opts Options) error {
 		Dir:             opts.DataDir,
 		FsyncInterval:   opts.FsyncInterval,
 		SegmentMaxBytes: opts.SegmentMaxBytes,
+		Collector:       s.col,
 	}, initial)
 	if err != nil {
 		return fmt.Errorf("server: opening WAL: %w", err)
@@ -207,10 +218,17 @@ func (s *Server) onMutation(m store.Mutation) {
 // walAppend journals one record, recording (and logging once) any
 // sticky failure.
 func (s *Server) walAppend(rec wal.Record) {
+	s.walAppendCtx(context.Background(), rec)
+}
+
+// walAppendCtx is walAppend on a request context: a traced request's
+// journal write shows up as a "wal.append" child span, so a per-append
+// fsync stall is attributable to the request it delayed.
+func (s *Server) walAppendCtx(ctx context.Context, rec wal.Record) {
 	if s.wal == nil {
 		return
 	}
-	if err := s.wal.log.Append(rec); err != nil {
+	if err := s.wal.log.AppendCtx(ctx, rec); err != nil {
 		if s.wal.lastErr.Load() == nil {
 			s.log.Error("WAL append failed; serving without durability",
 				slog.Any("err", err))

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"stsmatch/internal/core"
+	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
 )
 
@@ -46,9 +47,12 @@ type RemoteMatch struct {
 }
 
 // MatchResponse is the shard-local result set, sorted by ascending
-// distance.
+// distance. Profile is present only for ?debug=profile requests: the
+// shard's span tree for this query (handler root, matcher.search, and
+// the per-stage funnel spans with candidate counts).
 type MatchResponse struct {
 	Matches []RemoteMatch `json:"matches"`
+	Profile *obs.Profile  `json:"profile,omitempty"`
 }
 
 // handleMatch runs a similarity search for a serialized query. Like
@@ -82,9 +86,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var matches []core.Match
 	var err error
 	if req.K > 0 {
-		matches, err = matcher.TopK(q, req.K, nil)
+		matches, err = matcher.TopKCtx(r.Context(), q, req.K, nil)
 	} else {
-		matches, err = matcher.FindSimilar(q, nil)
+		matches, err = matcher.FindSimilarCtx(r.Context(), q, nil)
 	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -102,7 +106,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			Weight:    mt.Weight,
 		}
 	}
-	writeJSON(w, http.StatusOK, MatchResponse{Matches: out})
+	resp := MatchResponse{Matches: out}
+	if r.URL.Query().Get("debug") == "profile" {
+		// Inline "explain": serialize this query's span tree. The
+		// handler root span is still open, so it reports elapsed-so-far
+		// and is marked inProgress.
+		if id, spans := obs.SnapshotTrace(r.Context()); id != "" {
+			resp.Profile = &obs.Profile{TraceID: id, Root: obs.BuildTree(spans)}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ShardSession describes one open ingestion session in shard-local

@@ -21,6 +21,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"stsmatch/internal/fsm"
+	"stsmatch/internal/obs"
 	"stsmatch/internal/store"
 	"stsmatch/internal/wal"
 )
@@ -125,7 +127,10 @@ func (r *replicator) lag() int {
 // flush synchronously ships every link's backlog and returns one error
 // string per link that could not be brought current. Callers must NOT
 // hold s.mu: snapshot catch-up re-acquires it to read session state.
-func (s *Server) replFlush(r *replicator) []string {
+// The context carries the request's trace and request ID across the
+// shipments, so a synchronous replication stall shows up as repl.ship
+// spans inside the ingest trace.
+func (s *Server) replFlush(ctx context.Context, r *replicator) []string {
 	r.mu.Lock()
 	links := append([]*replicaLink(nil), r.links...)
 	deposed := r.deposed
@@ -142,7 +147,7 @@ func (s *Server) replFlush(r *replicator) []string {
 		wg.Add(1)
 		go func(link *replicaLink) {
 			defer wg.Done()
-			if err := s.flushLink(r, link); err != nil {
+			if err := s.flushLink(ctx, r, link); err != nil {
 				emu.Lock()
 				errs = append(errs, fmt.Sprintf("%s: %v", link.target, err))
 				emu.Unlock()
@@ -156,7 +161,7 @@ func (s *Server) replFlush(r *replicator) []string {
 
 // flushLink brings one link current: ships the pending backlog, or a
 // full snapshot when the link needs catch-up.
-func (s *Server) flushLink(r *replicator, link *replicaLink) error {
+func (s *Server) flushLink(ctx context.Context, r *replicator, link *replicaLink) error {
 	link.shipMu.Lock()
 	defer link.shipMu.Unlock()
 
@@ -188,7 +193,7 @@ func (s *Server) flushLink(r *replicator, link *replicaLink) error {
 			s.met.replSnapshots.Inc()
 		}
 
-		status, err := s.shipBatch(link.target, batch)
+		status, err := s.shipBatch(ctx, link.target, batch)
 		switch {
 		case err == nil && status == http.StatusOK:
 			r.mu.Lock()
@@ -284,19 +289,36 @@ func (s *Server) snapshotBatch(r *replicator, link *replicaLink) (wal.Batch, boo
 	}, true
 }
 
-// shipBatch POSTs one encoded batch to a replica's /v1/replicate.
-func (s *Server) shipBatch(target string, b wal.Batch) (int, error) {
-	req, err := http.NewRequest(http.MethodPost, target+"/v1/replicate", bytes.NewReader(wal.EncodeBatch(b)))
+// shipBatch POSTs one encoded batch to a replica's /v1/replicate. A
+// traced caller gets a "repl.ship" span per shipment (target, record
+// count, snapshot-or-incremental, status), and the trace context plus
+// request ID propagate to the follower, so one ingest's trace spans
+// primary and replicas alike.
+func (s *Server) shipBatch(ctx context.Context, target string, b wal.Batch) (int, error) {
+	sctx, sp := obs.StartSpan(ctx, "repl.ship")
+	defer sp.Finish()
+	sp.Annotate("target", target)
+	sp.Annotate("sessionId", b.SessionID)
+	sp.Annotate("records", len(b.Records))
+	if len(b.Records) == 1 && b.Records[0].Type == wal.TypeReplicaSnapshot {
+		sp.Annotate("snapshot", true)
+	}
+	req, err := http.NewRequestWithContext(sctx, http.MethodPost,
+		target+"/v1/replicate", bytes.NewReader(wal.EncodeBatch(b)))
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	obs.InjectHeaders(sctx, req.Header)
 	resp, err := s.replClient.Do(req)
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
+	sp.Annotate("status", resp.StatusCode)
 	return resp.StatusCode, nil
 }
 
@@ -568,7 +590,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		// Journal (and flush) the promotion before going live: a 200
 		// must mean a restart resumes this session as primary.
-		err := s.wal.log.Append(wal.Record{
+		err := s.wal.log.AppendCtx(r.Context(), wal.Record{
 			Type:      wal.TypeReplicaPromote,
 			PatientID: sess.patientID,
 			SessionID: sid,
@@ -578,7 +600,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 			Epoch:     epoch,
 		})
 		if err == nil {
-			err = s.wal.log.Sync()
+			err = s.wal.log.SyncCtx(r.Context())
 		}
 		if err != nil {
 			s.wal.lastErr.Store(err.Error())

@@ -35,6 +35,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,6 +66,11 @@ type Server struct {
 	start    time.Time
 	wal      *durability // nil when Options.DataDir is unset
 	maxBody  int64       // request-body cap; <= 0 disables
+
+	// col is this server's trace collector: per-instance (not global)
+	// so in-process multi-node tests and embedded deployments keep
+	// genuinely separate trace stores.
+	col *obs.Collector
 
 	// Replication (see replication.go): sessions this node follows as
 	// a replica (guarded by mu), the client primaries ship with, this
@@ -137,7 +143,9 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		replicas:  make(map[string]*replicaState),
 		advertise: opts.AdvertiseURL,
 		replFrom:  opts.ReplicateFrom,
+		col:       obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
 	}
+	obs.RegisterBuildInfo(obs.Default())
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
@@ -167,10 +175,16 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /v1/shard/stats", "shard_stats", s.handleShardStats)
 	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", obs.Default().Handler())
-	s.handler = obs.RequestID(obs.AccessLog(s.log, s.mux))
+	s.mux.Handle("GET /v1/traces", s.met.http.Wrap("traces", s.col.Handler()))
+	// /metrics is excluded from the access log and from tracing, but
+	// still counts in the request metrics like any other route.
+	s.mux.Handle("GET /metrics", s.met.http.WrapScrape("metrics", obs.Default().Handler()))
+	s.handler = obs.RequestID(obs.TraceHTTP("server", s.col, obs.AccessLog(s.log, s.mux)))
 	return s, nil
 }
+
+// Traces exposes the server's trace collector (daemon wiring, tests).
+func (s *Server) Traces() *obs.Collector { return s.col }
 
 // route registers a handler wrapped with per-route instrumentation.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
@@ -257,7 +271,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if sess.repl != nil {
 		// Ship the open synchronously: a 201 means the replicas know the
 		// session exists (or the response says which ones do not).
-		replErrs = s.replFlush(sess.repl)
+		replErrs = s.replFlush(r.Context(), sess.repl)
 	}
 	s.log.Info("session opened",
 		slog.String("patientId", req.PatientID),
@@ -340,12 +354,12 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrCode(err), fmt.Errorf("decoding samples: %w", err))
 		return
 	}
-	resp, repl, code, err := s.ingestLocked(sid, batch)
+	resp, repl, code, err := s.ingestLocked(r.Context(), sid, batch)
 	if repl != nil {
 		// Ship before answering — even on error, so replicas hold
 		// exactly what this node stored. The ack then implies every
 		// healthy replica has every acknowledged vertex.
-		resp.ReplicaErrors = s.replFlush(repl)
+		resp.ReplicaErrors = s.replFlush(r.Context(), repl)
 	}
 	if err != nil {
 		httpError(w, code, err)
@@ -358,7 +372,7 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 // the resulting records on the session's replica links. The returned
 // replicator (nil for unreplicated sessions) must be flushed by the
 // caller after the lock is released.
-func (s *Server) ingestLocked(sid string, batch []SampleIn) (SamplesResponse, *replicator, int, error) {
+func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn) (SamplesResponse, *replicator, int, error) {
 	s.lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[sid]
@@ -412,7 +426,7 @@ func (s *Server) ingestLocked(sid string, batch []SampleIn) (SamplesResponse, *r
 	if s.wal != nil && resp.Accepted > 0 {
 		// Journal the raw-sample anchor so a recovered session predicts
 		// from exactly the newest pre-crash observation.
-		s.walAppend(anchor)
+		s.walAppendCtx(ctx, anchor)
 	}
 	if sess.repl != nil && resp.Accepted > 0 {
 		// Stage everything this call stored — including partial progress
@@ -465,9 +479,9 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 			// session, so a 200 really means "durably closed": if the flush
 			// fails the session stays open and the client can retry.
 			// Holding s.mu across one fsync is acceptable on this rare path.
-			err := s.wal.log.Append(wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
+			err := s.wal.log.AppendCtx(r.Context(), wal.Record{Type: wal.TypeSessionClose, SessionID: sid})
 			if err == nil {
-				err = s.wal.log.Sync()
+				err = s.wal.log.SyncCtx(r.Context())
 			}
 			if err != nil {
 				s.wal.lastErr.Store(err.Error())
@@ -490,7 +504,7 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	if sess.repl != nil {
 		// Tell the replicas the session is closed; failures are logged
 		// (a lagging replica just keeps stale follower state around).
-		if errs := s.replFlush(sess.repl); len(errs) > 0 {
+		if errs := s.replFlush(r.Context(), sess.repl); len(errs) > 0 {
 			s.log.Warn("close not replicated everywhere", slog.Any("replicaErrors", errs))
 		}
 	}
@@ -555,7 +569,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	matcher := s.matchers.Get().(*core.Matcher)
 	defer s.matchers.Put(matcher)
 	work := time.Now()
-	matches, err := matcher.FindSimilar(q, nil)
+	matches, err := matcher.FindSimilarCtx(r.Context(), q, nil)
 	if err != nil {
 		s.met.predictions.With("error").Inc()
 		httpError(w, http.StatusInternalServerError, err)
@@ -644,6 +658,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // durability is enabled and carries the most recent recovery's stats.
 type HealthzResponse struct {
 	Status        string             `json:"status"`
+	Version       string             `json:"version"`
+	GoVersion     string             `json:"goVersion"`
 	UptimeSeconds float64            `json:"uptimeSeconds"`
 	Patients      int                `json:"patients"`
 	Vertices      int                `json:"vertices"`
@@ -653,8 +669,11 @@ type HealthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version, goVersion := obs.BuildInfo()
 	writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:        "ok",
+		Version:       version,
+		GoVersion:     goVersion,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Patients:      s.db.NumPatients(),
 		Vertices:      s.db.NumVertices(),

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"stsmatch/internal/obs"
+)
+
+// TestMatchDebugProfile exercises the inline explain: ?debug=profile
+// returns the query's span tree with the matcher funnel stages nested
+// under the handler root, and the trace is retrievable from /v1/traces
+// afterwards under the same ID.
+func TestMatchDebugProfile(t *testing.T) {
+	ts, seq := matchTestServer(t)
+	qseq := seq[len(seq)-10:]
+
+	// Without the flag the response carries no profile.
+	resp := postJSON(t, ts.URL+"/v1/match", MatchRequest{Seq: qseq, PatientID: "P01", SessionID: "S01", K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d", resp.StatusCode)
+	}
+	if mr := decode[MatchResponse](t, resp); mr.Profile != nil {
+		t.Fatal("profile returned without debug=profile")
+	}
+
+	// Threshold mode (k = 0): every scanned candidate is accounted for
+	// by exactly one downstream stage, so the funnel sums exactly (in
+	// top-k mode heap displacement breaks that identity).
+	resp = postJSON(t, ts.URL+"/v1/match?debug=profile", MatchRequest{Seq: qseq, PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match status %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	mr := decode[MatchResponse](t, resp)
+	if mr.Profile == nil || mr.Profile.Root == nil {
+		t.Fatal("no profile in debug=profile response")
+	}
+	if mr.Profile.TraceID != traceID {
+		t.Fatalf("profile trace %s != X-Trace-Id %s", mr.Profile.TraceID, traceID)
+	}
+	root := mr.Profile.Root
+	if root.Name != "POST /v1/match" {
+		t.Fatalf("root span %q, want POST /v1/match", root.Name)
+	}
+	if !root.InProgress {
+		t.Fatal("handler root should be snapshotted in-progress")
+	}
+
+	byName := map[string]*obs.SpanNode{}
+	var walk func(n *obs.SpanNode)
+	walk = func(n *obs.SpanNode) {
+		byName[n.Name] = n
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	search, ok := byName["matcher.search"]
+	if !ok {
+		t.Fatalf("no matcher.search span in profile: %v", keys(byName))
+	}
+	if search.ParentID != root.SpanID {
+		t.Fatalf("matcher.search parent %s, want handler root %s", search.ParentID, root.SpanID)
+	}
+	stages := []string{
+		"funnel.state_order", "funnel.self_exclusion", "funnel.lb_prune",
+		"funnel.exact_distance", "funnel.topk_merge",
+	}
+	for _, stage := range stages {
+		n, ok := byName[stage]
+		if !ok {
+			t.Errorf("missing funnel stage %s", stage)
+			continue
+		}
+		if n.ParentID != search.SpanID {
+			t.Errorf("%s nested under %s, want matcher.search", stage, n.ParentID)
+		}
+	}
+	// JSON numbers decode as float64; the funnel must sum exactly.
+	attr := func(span, key string) int {
+		n := byName[span]
+		if n == nil {
+			return -1
+		}
+		v, _ := n.Attrs[key].(float64)
+		return int(v)
+	}
+	scanned := attr("funnel.state_order", "candidates")
+	sum := attr("funnel.self_exclusion", "selfExcluded") +
+		attr("funnel.lb_prune", "lbPruned") +
+		attr("funnel.exact_distance", "distRejected") +
+		attr("funnel.topk_merge", "matched")
+	if scanned < 0 || scanned != sum {
+		t.Errorf("funnel does not sum: scanned=%d, downstream stages account for %d", scanned, sum)
+	}
+	if got := attr("funnel.topk_merge", "matched"); got != len(mr.Matches) {
+		t.Errorf("profile matched=%d, response has %d matches", got, len(mr.Matches))
+	}
+
+	// The finished trace is retrievable by ID from /v1/traces.
+	tr, err := http.Get(ts.URL + "/v1/traces?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	payload := decode[struct {
+		Recent []obs.TraceData `json:"recent"`
+	}](t, tr)
+	if len(payload.Recent) != 1 || payload.Recent[0].TraceID != traceID {
+		t.Fatalf("/v1/traces?trace=%s returned %d traces", traceID, len(payload.Recent))
+	}
+}
+
+// TestHealthzReportsBuildInfo pins the fleet-audit fields.
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	hr := decode[HealthzResponse](t, resp)
+	wantV, wantGo := obs.BuildInfo()
+	if hr.Version != wantV || hr.GoVersion != wantGo {
+		t.Fatalf("healthz build info (%q, %q), want (%q, %q)", hr.Version, hr.GoVersion, wantV, wantGo)
+	}
+}
+
+func keys(m map[string]*obs.SpanNode) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

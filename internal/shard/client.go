@@ -61,6 +61,14 @@ type Options struct {
 	// (tests inject deterministic fault-injecting transports here).
 	// Nil selects a production-shaped pooled transport.
 	Transport http.RoundTripper
+
+	// TraceCapacity bounds the gateway's in-memory trace collector
+	// rings (0 = obs.DefaultTraceCapacity).
+	TraceCapacity int
+
+	// TraceSlowThreshold is the latency at or above which a gateway
+	// trace is pinned in the slow ring (0 = obs.DefaultSlowThreshold).
+	TraceSlowThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -247,8 +255,20 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 				return 0, nil, ctx.Err()
 			}
 		}
-		status, respBody, err := p.once(ctx, b, method, path, body)
+		// Each attempt gets its own span (annotated retry=true past the
+		// first), so a traced scatter leg shows whether its latency was
+		// one slow call or a retry ladder.
+		actx, sp := obs.StartSpan(ctx, "backend.request")
+		sp.Annotate("backend", b.url)
+		sp.Annotate("path", path)
+		if attempt > 0 {
+			sp.Annotate("retry", true)
+			sp.Annotate("attempt", attempt+1)
+		}
+		status, respBody, err := p.once(actx, b, method, path, body)
 		if err != nil {
+			sp.Annotate("error", err.Error())
+			sp.Finish()
 			lastErr = fmt.Errorf("backend %s: %w", b.url, err)
 			p.met.requests.With(b.url, "error").Inc()
 			p.recordFailure(b)
@@ -257,6 +277,8 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 			}
 			continue
 		}
+		sp.Annotate("status", status)
+		sp.Finish()
 		// Any well-formed response means the backend is alive, even a
 		// 4xx/5xx: ejection is about reachability, not application
 		// errors.
@@ -287,6 +309,9 @@ func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body [
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the trace context and request ID to the backend, so one
+	// logical request joins up across gateway and shard logs/traces.
+	obs.InjectHeaders(rctx, req.Header)
 	start := time.Now()
 	resp, err := b.hc.Do(req)
 	p.met.latency.With(b.url).Observe(time.Since(start).Seconds())

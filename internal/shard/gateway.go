@@ -39,6 +39,7 @@ type Gateway struct {
 	log     *slog.Logger
 	met     *shardMetrics
 	http    *obs.HTTPMetrics
+	col     *obs.Collector
 	start   time.Time
 
 	// mu guards places and every placement's fields. places maps open
@@ -81,9 +82,11 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 		log:    obs.Logger("gateway"),
 		met:    pool.met,
 		http:   obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
+		col:    obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
 		start:  time.Now(),
 		places: make(map[string]*placement),
 	}
+	obs.RegisterBuildInfo(obs.Default())
 	g.route("POST /v1/sessions", "create_session", g.handleCreateSession)
 	g.route("POST /v1/sessions/{sid}/samples", "ingest_samples", g.handleSessionScoped)
 	g.route("DELETE /v1/sessions/{sid}", "close_session", g.handleSessionScoped)
@@ -92,10 +95,16 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 	g.route("POST /v1/match", "match", g.handleMatch)
 	g.route("GET /v1/stats", "stats", g.handleStats)
 	g.route("GET /v1/healthz", "healthz", g.handleHealthz)
-	g.mux.Handle("GET /metrics", obs.Default().Handler())
-	g.handler = obs.RequestID(obs.AccessLog(g.log, g.mux))
+	g.mux.Handle("GET /v1/traces", g.http.Wrap("traces", g.col.Handler()))
+	// /metrics stays out of the access log and traces, but still counts
+	// in the request metrics like any other route.
+	g.mux.Handle("GET /metrics", g.http.WrapScrape("metrics", obs.Default().Handler()))
+	g.handler = obs.RequestID(obs.TraceHTTP("gateway", g.col, obs.AccessLog(g.log, g.mux)))
 	return g, nil
 }
+
+// Traces exposes the gateway's trace collector (daemon wiring, tests).
+func (g *Gateway) Traces() *obs.Collector { return g.col }
 
 func (g *Gateway) route(pattern, name string, h http.HandlerFunc) {
 	g.mux.Handle(pattern, g.http.Wrap(name, h))
@@ -436,6 +445,11 @@ func (g *Gateway) placementFor(r *http.Request, sid string) (*placement, error) 
 // could not answer and their data is not covered by replicas.
 type MatchResult struct {
 	Matches []server.RemoteMatch `json:"matches"`
+	// Profile is present only for ?debug=profile requests: the merged
+	// cross-service span tree — gateway root, one scatter leg per
+	// shard, and each shard's handler + matcher funnel spans grafted
+	// under its leg.
+	Profile *obs.Profile `json:"profile,omitempty"`
 	// Degraded is true when at least one shard failed to answer AND
 	// that shard's arcs are not all covered by an answering replica:
 	// the matches then cover only the surviving data. With replication
@@ -470,6 +484,13 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusBadRequest, fmt.Errorf("decoding match request: %w", err))
 		return
 	}
+	// ?debug=profile asks each shard for its span tree inline and
+	// merges them under this request's scatter legs.
+	profile := r.URL.Query().Get("debug") == "profile"
+	path := "/v1/match"
+	if profile {
+		path += "?debug=profile"
+	}
 	backends := g.pool.Backends()
 	type leg struct {
 		resp server.MatchResponse
@@ -485,13 +506,22 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, b *Backend) {
 			defer wg.Done()
-			status, respBody, err := g.pool.do(r.Context(), b, http.MethodPost, "/v1/match", body, true)
+			// One span per scatter leg; the leg's context flows into the
+			// pool, whose per-attempt spans (and the backend's own trace,
+			// via the propagated traceparent) nest underneath.
+			lctx, sp := obs.StartSpan(r.Context(), "scatter.leg")
+			defer sp.Finish()
+			sp.Annotate("backend", b.URL())
+			status, respBody, err := g.pool.do(lctx, b, http.MethodPost, path, body, true)
 			switch {
 			case err != nil:
+				sp.Annotate("error", err.Error())
 				legs[i].err = err
 			case status != http.StatusOK:
+				sp.Annotate("status", status)
 				legs[i].err = fmt.Errorf("status %d: %s", status, errDetail(respBody))
 			default:
+				sp.Annotate("status", status)
 				legs[i].err = json.Unmarshal(respBody, &legs[i].resp)
 			}
 		}(i, b)
@@ -509,6 +539,12 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		res.ShardsOK++
 		answered[b.URL()] = true
 		lists = append(lists, legs[i].resp.Matches)
+		if p := legs[i].resp.Profile; p != nil {
+			// The shard's handler root is parented on this gateway's
+			// attempt span (it continued our traceparent), so grafting
+			// the flattened spans into the trace reassembles one tree.
+			obs.AddExternalSpans(r.Context(), p.Root.Flatten())
+		}
 	}
 	if res.ShardsOK == 0 {
 		g.met.scatter.Observe(time.Since(start).Seconds())
@@ -533,6 +569,11 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Degraded {
 		g.met.degraded.Inc()
+	}
+	if profile {
+		if id, spans := obs.SnapshotTrace(r.Context()); id != "" {
+			res.Profile = &obs.Profile{TraceID: id, Root: obs.BuildTree(spans)}
+		}
 	}
 	g.met.scatter.Observe(time.Since(start).Seconds())
 	gwJSON(w, http.StatusOK, res)
@@ -663,13 +704,21 @@ type BackendHealth struct {
 // backend health as seen by the active checker.
 type GatewayHealthResponse struct {
 	Status        string          `json:"status"` // ok | degraded
+	Version       string          `json:"version"`
+	GoVersion     string          `json:"goVersion"`
 	UptimeSeconds float64         `json:"uptimeSeconds"`
 	Backends      []BackendHealth `json:"backends"`
 	HealthyCount  int             `json:"healthyCount"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	res := GatewayHealthResponse{Status: "ok", UptimeSeconds: time.Since(g.start).Seconds()}
+	version, goVersion := obs.BuildInfo()
+	res := GatewayHealthResponse{
+		Status:        "ok",
+		Version:       version,
+		GoVersion:     goVersion,
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	}
 	for _, b := range g.pool.Backends() {
 		h := b.Healthy()
 		if h {

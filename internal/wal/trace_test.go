@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stsmatch/internal/obs"
+)
+
+// TestAppendCtxEmitsSpans verifies the traced append/sync paths attach
+// wal.append / wal.sync child spans to the caller's trace, and that
+// untraced contexts take the plain path untouched.
+func TestAppendCtxEmitsSpans(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	col := obs.NewCollector(4, time.Hour)
+	root := obs.StartTrace("ingest", "test", obs.SpanContext{}, col)
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	verts := mkVerts(0, 2)
+	rec := Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: verts}
+	if err := l.AppendCtx(ctx, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Untraced contexts must not panic or record anywhere.
+	if err := l.AppendCtx(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	root.Finish()
+
+	recent := col.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("collector holds %d traces, want 1", len(recent))
+	}
+	got := map[string]obs.SpanData{}
+	for _, sd := range recent[0].Spans {
+		got[sd.Name] = sd
+	}
+	app, ok := got["wal.append"]
+	if !ok {
+		t.Fatalf("no wal.append span: %+v", recent[0].Spans)
+	}
+	if tp, _ := app.Attrs["type"].(string); tp != TypeVertexAppend.String() {
+		t.Errorf("wal.append type attr %q", tp)
+	}
+	if synced, _ := app.Attrs["synced"].(bool); !synced {
+		t.Error("FsyncInterval=0 append not marked synced")
+	}
+	if _, ok := got["wal.sync"]; !ok {
+		t.Fatalf("no wal.sync span: %+v", recent[0].Spans)
+	}
+}
+
+// TestSlowGroupCommitCaptured verifies that flushes meeting the slow
+// threshold are pinned as standalone traces in the collector's slow
+// ring (and only there: background flush cadence must not crowd the
+// recent request ring).
+func TestSlowGroupCommitCaptured(t *testing.T) {
+	col := obs.NewCollector(4, 1) // 1ns threshold: every flush is "slow"
+	l, _, err := Open(Options{Dir: t.TempDir(), Collector: col}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Recent(); len(got) != 0 {
+		t.Fatalf("group commits leaked into the recent ring: %d", len(got))
+	}
+	slow := col.Slow()
+	if len(slow) == 0 {
+		t.Fatal("no slow group-commit trace captured")
+	}
+	td := slow[0]
+	if td.Root != "wal.group_commit" || td.Service != "wal" || len(td.Spans) != 1 {
+		t.Fatalf("slow trace %+v, want single-span wal.group_commit", td)
+	}
+	if _, ok := td.Spans[0].Attrs["fsyncMs"]; !ok {
+		t.Errorf("group-commit span lacks fsyncMs attr: %+v", td.Spans[0].Attrs)
+	}
+}

@@ -22,6 +22,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -33,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"stsmatch/internal/obs"
 )
 
 const (
@@ -63,6 +66,13 @@ type Options struct {
 	// newest ones). Zero uses the default of 2: one to recover from
 	// plus one fallback if the newest is itself torn.
 	KeepSnapshots int
+
+	// Collector, when set, receives trace data for slow group commits:
+	// a flush (buffer write + fsync) at or above the collector's slow
+	// threshold is recorded as a standalone single-span trace, so
+	// ingest-ack stalls caused by the background flusher are visible in
+	// /v1/traces even though the flusher has no request context.
+	Collector *obs.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -147,11 +157,46 @@ func (l *Log) Append(rec Record) error {
 	return nil
 }
 
+// AppendCtx is Append with trace-context support: when ctx carries a
+// span (obs.StartSpan), the append is recorded as a "wal.append" child
+// span, annotated with whether it flushed synchronously (FsyncInterval
+// zero) — the attribution for ingest acks stalled on per-append fsync.
+func (l *Log) AppendCtx(ctx context.Context, rec Record) error {
+	_, sp := obs.StartSpan(ctx, "wal.append")
+	if sp == nil {
+		return l.Append(rec)
+	}
+	defer sp.Finish()
+	sp.Annotate("type", rec.Type.String())
+	sp.Annotate("synced", l.opts.FsyncInterval == 0)
+	err := l.Append(rec)
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	return err
+}
+
 // Sync forces buffered records to durable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushLocked()
+}
+
+// SyncCtx is Sync with trace-context support: a traced caller (e.g. a
+// session close or promotion that must be durable before its ack)
+// records the flush as a "wal.sync" child span.
+func (l *Log) SyncCtx(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "wal.sync")
+	if sp == nil {
+		return l.Sync()
+	}
+	defer sp.Finish()
+	err := l.Sync()
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	return err
 }
 
 // flushLocked writes the buffer to the file and fsyncs it.
@@ -176,6 +221,13 @@ func (l *Log) flushLocked() error {
 	met.fsyncs.Inc()
 	met.fsyncSeconds.Observe(now.Sub(syncStart).Seconds())
 	met.groupCommitSeconds.Observe(now.Sub(start).Seconds())
+	// A slow group commit is the classic silent ingest-ack stall; the
+	// collector keeps it (slow ring only — a healthy flush cadence must
+	// not crowd out request traces).
+	obs.RecordStandalone(l.opts.Collector, "wal", "wal.group_commit", start, now.Sub(start), map[string]any{
+		"fsyncMs":      float64(now.Sub(syncStart)) / float64(time.Millisecond),
+		"segmentBytes": l.size,
+	})
 	l.dirty = false
 	return nil
 }
