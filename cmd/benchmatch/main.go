@@ -9,14 +9,23 @@
 //
 //	benchmatch                       # defaults: 12 patients, k=10, 300 iters
 //	benchmatch -patients 24 -iters 500 -out BENCH_matcher.json
+//	benchmatch -corpus-scale 100     # scanned vs index-probed at 1x/10x/100x
 //
 // The cohort is seeded deterministically, so candidate counts and
 // match sets are identical run to run; only wall-clock numbers vary
 // with the hardware. The sequential and parallel scenarios are
 // additionally asserted to return element-wise identical match lists
-// (the determinism contract of core.Params.Parallelism), and the
-// recorded parallelSpeedup is only meaningful on multi-core hardware —
-// the report carries cpus/gomaxprocs so readers can tell.
+// (the determinism contract of core.Params.Parallelism). On a
+// single-CPU runner the parallel scenario is skipped outright — a
+// "speedup" there would only measure goroutine overhead — and the
+// report carries cpus/gomaxprocs so readers can tell.
+//
+// With -corpus-scale S the runner additionally grows the corpus to
+// 1x, sqrt(S)x and Sx the base cohort and measures the same top-k
+// query through a full scan and through the window-signature index
+// (internal/sigindex), asserting identical results at every point;
+// the per-point funnel shows whether candidates examined grows with
+// the corpus (scan: linear) or stays flat (probed: sub-linear).
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"stsmatch/internal/plr"
 	"stsmatch/internal/server"
 	"stsmatch/internal/shard"
+	"stsmatch/internal/sigindex"
 	"stsmatch/internal/signal"
 	"stsmatch/internal/store"
 )
@@ -88,6 +98,27 @@ type scenarioResult struct {
 	StageLatency map[string]stagePct `json:"stageLatency,omitempty"`
 }
 
+// indexScalePoint compares full-scan and index-probed candidate
+// retrieval over the same corpus at one scale multiplier. The
+// sub-linearity claim reads off Probed.Funnel.CandidatesScanned
+// across points: scanned candidates grow linearly with the corpus,
+// probed candidates should not.
+type indexScalePoint struct {
+	Scale        int     `json:"scale"`
+	Streams      int     `json:"streams"`
+	Vertices     int     `json:"vertices"`
+	BuildSeconds float64 `json:"indexBuildSeconds"`
+	IndexWindows int64   `json:"indexWindows"`
+
+	Scanned scenarioResult `json:"scanned"`
+	Probed  scenarioResult `json:"probed"`
+
+	// Probe traffic per query, from the sigindex metric deltas across
+	// every query the probed pass issued (warmup + timed + traced).
+	ProbesPerQuery    float64 `json:"probesPerQuery"`
+	WideningsPerQuery float64 `json:"wideningsPerQuery"`
+}
+
 // benchReport is the BENCH_matcher.json schema.
 type benchReport struct {
 	Patients   int     `json:"patients"`
@@ -99,14 +130,21 @@ type benchReport struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 
 	SingleNodeSequential scenarioResult `json:"singleNodeSequential"`
-	SingleNodeParallel   scenarioResult `json:"singleNodeParallel"`
-	Sharded              scenarioResult `json:"sharded"`
+	// SingleNodeParallel is omitted on single-CPU runners, where a
+	// "speedup" number would only measure goroutine overhead noise.
+	SingleNodeParallel *scenarioResult `json:"singleNodeParallel,omitempty"`
+	Sharded            scenarioResult  `json:"sharded"`
 
-	// ParallelSpeedup is sequential ns/op over parallel ns/op. On a
-	// single-CPU runner it hovers around 1 (the parallel path should
-	// at least not regress); the >= 2x expectation applies to >= 4
-	// core hardware.
-	ParallelSpeedup float64 `json:"parallelSpeedup"`
+	// ParallelSpeedup is sequential ns/op over parallel ns/op,
+	// reported only when the parallel scenario ran (>= 2 CPUs). The
+	// >= 2x expectation applies to >= 4 core hardware.
+	ParallelSpeedup float64 `json:"parallelSpeedup,omitempty"`
+
+	// CorpusScale and IndexComparison are present when -corpus-scale
+	// was given: scanned-vs-probed funnel comparisons at corpus scales
+	// 1, sqrt(S) and S.
+	CorpusScale     int               `json:"corpusScale,omitempty"`
+	IndexComparison []indexScalePoint `json:"indexComparison,omitempty"`
 }
 
 func main() {
@@ -115,6 +153,8 @@ func main() {
 	duration := flag.Float64("duration", 180, "seconds of breathing data per patient")
 	k := flag.Int("k", 10, "top-k for the benchmark queries")
 	iters := flag.Int("iters", 300, "measured iterations per scenario")
+	corpusScale := flag.Int("corpus-scale", 0,
+		"when S > 0, additionally compare scanned vs index-probed retrieval at corpus scales 1, sqrt(S) and S")
 	flag.Parse()
 
 	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
@@ -143,20 +183,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var seqMatches, parMatches []core.Match
+	var seqMatches []core.Match
 	report.SingleNodeSequential, seqMatches, err = benchSingleNode(db, data, qseq, *k, *iters, 1)
 	if err != nil {
 		fatal(err)
 	}
-	report.SingleNodeParallel, parMatches, err = benchSingleNode(db, data, qseq, *k, *iters, 0)
-	if err != nil {
-		fatal(err)
-	}
-	if err := assertIdentical(seqMatches, parMatches); err != nil {
-		fatal(fmt.Errorf("parallel search diverges from sequential: %w", err))
-	}
-	if report.SingleNodeParallel.NsPerOp > 0 {
-		report.ParallelSpeedup = report.SingleNodeSequential.NsPerOp / report.SingleNodeParallel.NsPerOp
+	if report.CPUs > 1 {
+		par, parMatches, err := benchSingleNode(db, data, qseq, *k, *iters, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if err := assertIdentical(seqMatches, parMatches); err != nil {
+			fatal(fmt.Errorf("parallel search diverges from sequential: %w", err))
+		}
+		report.SingleNodeParallel = &par
+		if par.NsPerOp > 0 {
+			report.ParallelSpeedup = report.SingleNodeSequential.NsPerOp / par.NsPerOp
+		}
 	}
 
 	report.Sharded, err = benchSharded(data, qseq, *k, *iters)
@@ -167,6 +210,23 @@ func main() {
 	if report.SingleNodeSequential.Matches != report.Sharded.Matches {
 		fatal(fmt.Errorf("sharded top-k (%d matches) disagrees with single node (%d): merge is broken",
 			report.Sharded.Matches, report.SingleNodeSequential.Matches))
+	}
+
+	if *corpusScale > 0 {
+		report.CorpusScale = *corpusScale
+		// Scaled corpora are big; fewer iterations still average a
+		// deterministic query to a stable per-query funnel.
+		scaleIters := *iters / 10
+		if scaleIters < 20 {
+			scaleIters = 20
+		}
+		for _, s := range scalePoints(*corpusScale) {
+			pt, err := benchIndexScale(*patients, *duration, s, *k, scaleIters, len(qseq))
+			if err != nil {
+				fatal(err)
+			}
+			report.IndexComparison = append(report.IndexComparison, pt)
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -186,9 +246,34 @@ func main() {
 			name, r.NsPerOp, r.Funnel.CandidatesScanned, r.Funnel.LBPruned, r.Funnel.DistanceRejected, r.Matches)
 	}
 	line("sequential", report.SingleNodeSequential)
-	line("parallel", report.SingleNodeParallel)
+	if report.SingleNodeParallel != nil {
+		line("parallel", *report.SingleNodeParallel)
+	}
 	line("3-shard gw", report.Sharded)
-	fmt.Printf("parallel speedup %.2fx on %d CPUs; wrote %s\n", report.ParallelSpeedup, report.CPUs, *out)
+	for _, pt := range report.IndexComparison {
+		fmt.Printf("scale %4dx: scanned %8d candidates/query, probed %6d (%.1f probes, %.1f widenings/query), %9.0f -> %9.0f ns/op\n",
+			pt.Scale, pt.Scanned.Funnel.CandidatesScanned, pt.Probed.Funnel.CandidatesScanned,
+			pt.ProbesPerQuery, pt.WideningsPerQuery, pt.Scanned.NsPerOp, pt.Probed.NsPerOp)
+	}
+	if report.SingleNodeParallel != nil {
+		fmt.Printf("parallel speedup %.2fx on %d CPUs; wrote %s\n", report.ParallelSpeedup, report.CPUs, *out)
+	} else {
+		fmt.Printf("single CPU: parallel scenario skipped; wrote %s\n", *out)
+	}
+}
+
+// scalePoints picks the corpus multipliers to measure: 1, sqrt(S)
+// and S, deduplicated — three points are enough to see whether
+// candidates examined grows with the corpus or stays flat.
+func scalePoints(s int) []int {
+	pts := []int{1}
+	if mid := int(math.Round(math.Sqrt(float64(s)))); mid > 1 && mid < s {
+		pts = append(pts, mid)
+	}
+	if s > 1 {
+		pts = append(pts, s)
+	}
+	return pts
 }
 
 // assertIdentical checks the determinism contract: both runs returned
@@ -298,7 +383,7 @@ type stageSampler map[string][]float64
 
 func (ss stageSampler) addSpans(spans []obs.SpanData) {
 	for _, sd := range spans {
-		if sd.Name == "matcher.search" || strings.HasPrefix(sd.Name, "funnel.") {
+		if sd.Name == "matcher.search" || strings.HasPrefix(sd.Name, "funnel.") || strings.HasPrefix(sd.Name, "index.") {
 			ss[sd.Name] = append(ss[sd.Name], float64(sd.DurationNS)/1e3)
 		}
 	}
@@ -347,6 +432,17 @@ func benchSingleNode(db *store.DB, data []patientData, qseq plr.Sequence, k, ite
 		return scenarioResult{}, nil, err
 	}
 	q := core.NewQuery(qseq, data[0].pid, data[0].sid)
+	res, matches, err := benchMatcher(m, q, k, iters)
+	if err != nil {
+		return scenarioResult{}, nil, err
+	}
+	res.Parallelism = parallelism
+	return res, matches, nil
+}
+
+// benchMatcher runs the warmup + timed + traced measurement protocol
+// against an already-configured matcher.
+func benchMatcher(m *core.Matcher, q core.Query, k, iters int) (scenarioResult, []core.Match, error) {
 	// Warmup.
 	matches, err := m.TopK(q, k, nil)
 	if err != nil {
@@ -361,10 +457,9 @@ func benchSingleNode(db *store.DB, data []patientData, qseq plr.Sequence, k, ite
 	}
 	elapsed := time.Since(start)
 	res := scenarioResult{
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
-		Matches:     len(matches),
-		Parallelism: parallelism,
-		Funnel:      perIter(before, counters(), iters),
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+		Matches: len(matches),
+		Funnel:  perIter(before, counters(), iters),
 	}
 
 	// Separate traced pass: per-stage span durations feed the latency
@@ -384,6 +479,93 @@ func benchSingleNode(db *store.DB, data []patientData, qseq plr.Sequence, k, ite
 	}
 	res.StageLatency = samples.percentiles()
 	return res, matches, nil
+}
+
+// sigMetric reads one sigindex counter from the default registry.
+func sigMetric(name string) float64 {
+	for _, p := range obs.Default().Gather() {
+		if p.Name == name {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// benchIndexScale builds a corpus scale× the base cohort and measures
+// the same top-k query through a full-scan matcher and through an
+// index-probed matcher, asserting the two return identical matches.
+// Both run sequentially so the candidates-examined comparison is not
+// confounded by scheduling.
+func benchIndexScale(basePatients int, duration float64, scale, k, iters, qlen int) (indexScalePoint, error) {
+	data, err := buildCohort(basePatients*scale, duration)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	db, err := loadDB(data)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	vertices := 0
+	for _, pd := range data {
+		vertices += len(pd.vertices)
+	}
+
+	// One window width is all the benchmark query needs; a single-width
+	// index keeps the 100x corpus build cheap and its memory bounded.
+	cfg := sigindex.Config{MinSegments: qlen - 1, MaxSegments: qlen - 1, AmpBucket: 4, DurBucket: 4}
+	idx, err := sigindex.New(cfg)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	buildStart := time.Now()
+	idx.BuildFrom(db)
+	pt := indexScalePoint{
+		Scale:        scale,
+		Streams:      len(data),
+		Vertices:     vertices,
+		BuildSeconds: time.Since(buildStart).Seconds(),
+		IndexWindows: idx.Stats().Windows,
+	}
+
+	params := core.DefaultParams()
+	params.Parallelism = 1
+	scanM, err := core.NewMatcher(db, params)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	params.UseIndex = true
+	probeM, err := core.NewMatcher(db, params)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	probeM.Index = idx
+
+	qseq := data[0].vertices
+	qseq = qseq[len(qseq)-qlen:]
+	q := core.NewQuery(qseq, data[0].pid, data[0].sid)
+
+	scanned, scanMatches, err := benchMatcher(scanM, q, k, iters)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	probesBefore := sigMetric("stsmatch_sigindex_probes_total")
+	widenBefore := sigMetric("stsmatch_sigindex_widenings_total")
+	probed, probeMatches, err := benchMatcher(probeM, q, k, iters)
+	if err != nil {
+		return indexScalePoint{}, err
+	}
+	if err := assertIdentical(scanMatches, probeMatches); err != nil {
+		return indexScalePoint{}, fmt.Errorf("scale %d: probed search diverges from scan: %w", scale, err)
+	}
+	// The query is deterministic, so dividing the metric deltas by
+	// every query benchMatcher issued (warmup + timed + traced) gives
+	// the exact per-query probe traffic.
+	queries := float64(1 + iters + tracedIters)
+	pt.Scanned = scanned
+	pt.Probed = probed
+	pt.ProbesPerQuery = (sigMetric("stsmatch_sigindex_probes_total") - probesBefore) / queries
+	pt.WideningsPerQuery = (sigMetric("stsmatch_sigindex_widenings_total") - widenBefore) / queries
+	return pt, nil
 }
 
 func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenarioResult, error) {

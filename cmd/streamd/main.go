@@ -73,6 +73,7 @@ func main() {
 	fsyncEvery := flag.Duration("fsync", 50*time.Millisecond, "WAL group-commit fsync interval (0 = fsync every append)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "periodic WAL compaction into snapshots (0 = only on shutdown)")
 	matchPar := flag.Int("match-parallelism", 0, "worker goroutines per similarity search (0 = GOMAXPROCS, 1 = sequential)")
+	matchIndex := flag.Bool("match-index", false, "enable the window-signature index for sub-linear candidate retrieval (a data dir that had it on re-enables it automatically)")
 	advertise := flag.String("advertise", "", "base URL this daemon advertises as the source of its WAL shipments (e.g. http://10.0.0.1:8750)")
 	replicateFrom := flag.String("replicate-from", "", "comma-separated source URLs allowed to ship WAL batches here (empty = accept any)")
 	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
@@ -119,6 +120,7 @@ func main() {
 		FsyncInterval:      *fsyncEvery,
 		SnapshotEvery:      *snapshotEvery,
 		MatcherParallelism: *matchPar,
+		MatchIndex:         *matchIndex,
 		AdvertiseURL:       strings.TrimRight(*advertise, "/"),
 		ReplicateFrom:      replFrom,
 		TraceCapacity:      *traceCap,

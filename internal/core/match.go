@@ -11,6 +11,7 @@ import (
 
 	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
+	"stsmatch/internal/sigindex"
 	"stsmatch/internal/store"
 )
 
@@ -93,6 +94,14 @@ func matchLess(a, b Match) bool {
 type Matcher struct {
 	DB     *store.DB
 	Params Params
+
+	// Index, when non-nil and Params.UseIndex is set, answers
+	// candidate generation through window-signature probes instead of
+	// per-stream scans (see indexsearch.go). The index must be built
+	// over DB and kept current via the store mutation hook; streams it
+	// does not fully cover fall back to scanning, so the results stay
+	// byte-identical either way.
+	Index *sigindex.Index
 
 	// scratch reused across searches (a Matcher is not safe for
 	// concurrent use; create one per goroutine). Each search worker
@@ -252,6 +261,9 @@ type searchCtx struct {
 	// then accumulate per-stage wall time. Untraced searches skip the
 	// per-candidate clock reads entirely.
 	timed bool
+	// probe accumulates index-probe telemetry when the search routes
+	// through the signature index (see indexsearch.go).
+	probe probeStats
 }
 
 // search is the unified retrieval core behind FindSimilar (k == 0),
@@ -331,13 +343,19 @@ func (m *Matcher) search(ctx context.Context, q Query, restrict map[string]bool,
 		mDistanceRejected.Add(f.distRejected)
 	}()
 
-	if par == 1 {
+	if m.indexSearchable(n) {
+		if err := m.searchIndexed(sc, active, streams, k); err != nil {
+			return nil, err
+		}
+	} else if par == 1 {
 		for ord, st := range streams {
 			if err := sc.scanStream(active[0], st, ord); err != nil {
 				return nil, err
 			}
 		}
-	} else if err := runWorkers(sc, active, streams); err != nil {
+	} else if err := runParallel(active, len(streams), func(w *workerState, i int) error {
+		return sc.scanStream(w, streams[i], i)
+	}); err != nil {
 		return nil, err
 	}
 
@@ -384,6 +402,18 @@ func (m *Matcher) search(ctx context.Context, q Query, restrict map[string]bool,
 			"distRejected": f.distRejected})
 		obs.AddSpan(ctx, "funnel.topk_merge", mergeStart, mergeDur, map[string]any{
 			"matched": len(out)})
+		if sc.probe.used {
+			obs.AddSpan(ctx, "index.probe", start, sc.probe.dur, map[string]any{
+				"probes":          sc.probe.probes,
+				"widenings":       sc.probe.widenings,
+				"rounds":          sc.probe.rounds,
+				"candidates":      sc.probe.candidates,
+				"cells":           sc.probe.cells,
+				"fallbackStreams": sc.probe.fallbackStreams,
+				"windows":         m.Index.Stats().Windows,
+			})
+			span.Annotate("indexed", true)
+		}
 		span.Annotate("streams", len(streams))
 		span.Annotate("parallelism", par)
 		span.Annotate("k", k)
@@ -398,12 +428,12 @@ func (m *Matcher) search(ctx context.Context, q Query, restrict map[string]bool,
 	return out, nil
 }
 
-// runWorkers fans the stream list across par worker goroutines pulling
-// work items off a shared atomic cursor (dynamic load balancing — long
-// streams do not serialize behind a static partition). The first error
-// stops the fan-out; a worker panic is re-raised on the caller's
+// runParallel fans n work items across the worker goroutines pulling
+// item indices off a shared atomic cursor (dynamic load balancing —
+// heavy items do not serialize behind a static partition). The first
+// error stops the fan-out; a worker panic is re-raised on the caller's
 // goroutine instead of crashing the process.
-func runWorkers(sc *searchCtx, workers []*workerState, streams []*store.Stream) error {
+func runParallel(workers []*workerState, n int, do func(w *workerState, i int) error) error {
 	var (
 		next     atomic.Int64
 		stop     atomic.Bool
@@ -428,10 +458,10 @@ func runWorkers(sc *searchCtx, workers []*workerState, streams []*store.Stream) 
 			}()
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
-				if i >= len(streams) {
+				if i >= n {
 					return
 				}
-				if err := sc.scanStream(w, streams[i], i); err != nil {
+				if err := do(w, i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -450,12 +480,11 @@ func runWorkers(sc *searchCtx, workers []*workerState, streams []*store.Stream) 
 	return firstErr
 }
 
-// scanStream runs the candidate funnel over one stream, accumulating
-// accepted matches into the collector and funnel counts into the
-// worker's scratch.
+// scanStream runs the candidate funnel over one stream, generating the
+// candidate start list by FindWindows (or, in ablation mode, every
+// window of the query's length).
 func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error {
 	p := sc.params
-	rel := relationOf(sc.q, st)
 	seq, amps := st.Snapshot()
 	n := sc.n
 	var starts []int
@@ -489,6 +518,40 @@ func (sc *searchCtx) scanStream(w *workerState, st *store.Stream, ord int) error
 			starts[j] = j
 		}
 	}
+	return sc.runFunnel(w, st, ord, seq, amps, starts)
+}
+
+// scanProbed runs the candidate funnel over index-probed start
+// positions: the signature index already applied both the state-order
+// filter and an envelope version of the lower bound, so the start list
+// is typically a small fraction of what FindWindows would return. The
+// windows the probe ruled out are charged to indexPruned, exactly as
+// the scan path charges non-matching state orders.
+func (sc *searchCtx) scanProbed(w *workerState, st *store.Stream, ord int, probed []int32) error {
+	seq, amps := st.Snapshot()
+	if cap(w.starts) < len(probed) {
+		w.starts = make([]int, 0, len(probed))
+	}
+	starts := w.starts[:len(probed)]
+	for i, j := range probed {
+		starts[i] = int(j)
+	}
+	if possible := len(seq) - sc.n + 1; possible > len(starts) {
+		w.funnel.indexPruned += possible - len(starts)
+	}
+	return sc.runFunnel(w, st, ord, seq, amps, starts)
+}
+
+// runFunnel pushes a candidate start list through the funnel stages —
+// self-exclusion, O(1) lower bound, bounded exact distance, threshold
+// or adaptive top-k acceptance — accumulating accepted matches into
+// the collector and stage counts into the worker's scratch. It is the
+// shared back half of the scan and probe paths, which is what keeps
+// their results byte-identical.
+func (sc *searchCtx) runFunnel(w *workerState, st *store.Stream, ord int, seq plr.Sequence, amps []float64, starts []int) error {
+	p := sc.params
+	rel := relationOf(sc.q, st)
+	n := sc.n
 	w.funnel.candidates += len(starts)
 	ws := p.StreamWeight(rel)
 	useLB := len(amps) == len(seq)
@@ -596,6 +659,22 @@ func (c *collector) bound() float64 {
 		return c.threshold
 	}
 	return math.Float64frombits(c.boundBits.Load())
+}
+
+// kth reports whether the top-k heap is full and, if so, the current
+// k-th best distance (the largest retained). The index search uses it
+// to decide whether the probe envelope already covers every candidate
+// that could still displace a result.
+func (c *collector) kth() (full bool, dist float64) {
+	if c.k <= 0 {
+		return false, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) < c.k {
+		return false, 0
+	}
+	return true, c.heap[0].Distance
 }
 
 // offer submits an accepted candidate. It reports whether the match

@@ -59,6 +59,16 @@ type Params struct {
 	// ablation that shows why the model layer matters.
 	RequireStateOrder bool
 
+	// UseIndex routes candidate generation through the matcher's
+	// window-signature index (Matcher.Index) when one is attached:
+	// envelope probes with iterative widening replace the per-stream
+	// FindWindows scans. Results are byte-identical to the scan path;
+	// streams the index does not fully cover fall back to scanning.
+	// Ignored when RequireStateOrder is false — the ablation needs
+	// every window, which the index cannot enumerate — or when the
+	// query length falls outside the indexed window range.
+	UseIndex bool
+
 	// Parallelism is the number of worker goroutines a similarity
 	// search fans its candidate streams across. 0 (the default) uses
 	// GOMAXPROCS; 1 forces the sequential scan. Results are identical
@@ -181,6 +191,17 @@ func (p Params) StreamWeight(r SourceRelation) float64 {
 	default:
 		return p.WeightOtherPatient
 	}
+}
+
+// maxStreamWeight returns the largest w_s any relation can carry —
+// the safe choice when inverting the lower bound into a probe
+// envelope that must admit candidates of every relation. Validate
+// enforces same-session >= same-patient >= other-patient.
+func (p Params) maxStreamWeight() float64 {
+	if !p.UseStreamWeights {
+		return 1
+	}
+	return p.WeightSameSession
 }
 
 // ampFreqWeights returns (w_a, w_f), collapsing to (1, 1) when the

@@ -1,0 +1,113 @@
+// Signature-index wiring: the server owns the process-wide
+// window-signature index (internal/sigindex), builds it over the
+// database at startup, keeps it current through the store mutation
+// hook, and persists its configuration through the WAL so a recovered
+// server rebuilds exactly the index it crashed with.
+
+package server
+
+import (
+	"fmt"
+	"log/slog"
+
+	"stsmatch/internal/sigindex"
+	"stsmatch/internal/store"
+	"stsmatch/internal/wal"
+)
+
+// setupMatchIndex enables the signature index when the operator asked
+// for it (Options.MatchIndex) or when a recovered WAL says it was
+// enabled before the crash — the persisted configuration wins over the
+// flag, so the index cannot silently change shape (or vanish) across a
+// restart. Called after durability recovery and before the matcher
+// pool is built.
+func (s *Server) setupMatchIndex(opts Options) error {
+	var cfg sigindex.Config
+	persisted := s.wal != nil && s.wal.recovery.IndexConfig != nil
+	switch {
+	case persisted:
+		ic := s.wal.recovery.IndexConfig
+		cfg = sigindex.Config{
+			MinSegments: int(ic.MinSegments),
+			MaxSegments: int(ic.MaxSegments),
+			AmpBucket:   ic.AmpBucket,
+			DurBucket:   ic.DurBucket,
+		}
+	case opts.MatchIndex:
+		cfg = sigindex.DefaultConfig()
+	default:
+		return nil
+	}
+	idx, err := sigindex.New(cfg)
+	if err != nil {
+		return fmt.Errorf("server: signature index: %w", err)
+	}
+	idx.BuildFrom(s.db)
+	// Registered after the WAL hook, so every mutation is journaled
+	// before the index absorbs it.
+	s.db.AddMutationHook(idx.OnMutation)
+	s.index = idx
+	s.params.UseIndex = true
+	if s.wal != nil {
+		wc := wal.IndexConfig{
+			MinSegments: uint32(cfg.MinSegments),
+			MaxSegments: uint32(cfg.MaxSegments),
+			AmpBucket:   cfg.AmpBucket,
+			DurBucket:   cfg.DurBucket,
+		}
+		// Stamp the log so future snapshots embed the config, and — on
+		// first enablement — journal it so recovery sees it even before
+		// any snapshot exists.
+		s.wal.log.SetIndexConfig(&wc)
+		if !persisted {
+			s.walAppend(wal.Record{Type: wal.TypeIndexConfig, Index: wc})
+		}
+	}
+	st := idx.Stats()
+	s.log.Info("signature index enabled",
+		slog.Bool("recovered", persisted),
+		slog.Int("streams", st.Streams),
+		slog.Int64("windows", st.Windows),
+		slog.Int("minSegments", cfg.MinSegments),
+		slog.Int("maxSegments", cfg.MaxSegments))
+	return nil
+}
+
+// DB exposes the server's live database (crash-recovery tests compare
+// scan and probed matchers over it).
+func (s *Server) DB() *store.DB { return s.db }
+
+// SigIndex exposes the signature index; nil when disabled.
+func (s *Server) SigIndex() *sigindex.Index { return s.index }
+
+// IndexHealth is the signature-index section of the healthz payload.
+type IndexHealth struct {
+	Enabled         bool    `json:"enabled"`
+	Streams         int     `json:"streams"`
+	PoisonedStreams int     `json:"poisonedStreams"`
+	Signatures      int     `json:"signatures"`
+	Windows         int64   `json:"windows"`
+	MinSegments     int     `json:"minSegments"`
+	MaxSegments     int     `json:"maxSegments"`
+	AmpBucket       float64 `json:"ampBucket"`
+	DurBucket       float64 `json:"durBucket"`
+}
+
+// indexHealth summarizes the signature index for /v1/healthz.
+func (s *Server) indexHealth() *IndexHealth {
+	if s.index == nil {
+		return nil
+	}
+	st := s.index.Stats()
+	return &IndexHealth{
+		Enabled:         true,
+		Streams:         st.Streams,
+		PoisonedStreams: st.PoisonedStreams,
+		Signatures:      st.Signatures,
+		Windows:         st.Windows,
+		MinSegments:     st.Config.MinSegments,
+		MaxSegments:     st.Config.MaxSegments,
+		AmpBucket:       st.Config.AmpBucket,
+		DurBucket:       st.Config.DurBucket,
+	}
+}

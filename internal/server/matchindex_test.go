@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"stsmatch/internal/core"
+	"stsmatch/internal/fsm"
+	"stsmatch/internal/sigindex"
+	"stsmatch/internal/signal"
+)
+
+// newIndexedServer builds a durable server with the signature index
+// on and fsync on every append, so abandoning it without Close models
+// a hard crash that loses nothing acknowledged.
+func newIndexedServer(t *testing.T, dir string, matchIndex bool) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), Options{
+		DataDir:       dir,
+		FsyncInterval: 0,
+		MatchIndex:    matchIndex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func ingestRespiration(t *testing.T, baseURL, pid, sid string, seed int64, seconds float64) {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/sessions", CreateSessionRequest{PatientID: pid, SessionID: sid})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create %s/%s status %d", pid, sid, resp.StatusCode)
+	}
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []SampleIn
+	for _, s := range gen.Generate(seconds) {
+		batch = append(batch, SampleIn{T: s.T, Pos: s.Pos})
+	}
+	if resp := postJSON(t, baseURL+"/v1/sessions/"+sid+"/samples", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest %s status %d", sid, resp.StatusCode)
+	}
+}
+
+// compareScanProbed asserts that a scan matcher and an index-backed
+// matcher over the same database return byte-identical results across
+// every search mode.
+func compareScanProbed(t *testing.T, srv *Server, pid, sid string) {
+	t.Helper()
+	db := srv.DB()
+	st := db.Patient(pid).StreamBySession(sid)
+	if st == nil {
+		t.Fatalf("stream %s/%s missing", pid, sid)
+	}
+	seq := st.Seq()
+	if len(seq) < 10 {
+		t.Fatalf("stream %s/%s too short: %d vertices", pid, sid, len(seq))
+	}
+	q := core.NewQuery(seq[len(seq)-10:], pid, sid)
+	params := core.DefaultParams()
+	scanM, err := core.NewMatcher(db, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.UseIndex = true
+	probeM, err := core.NewMatcher(db, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeM.Index = srv.SigIndex()
+
+	check := func(mode string, a, b []core.Match, err1, err2 error) {
+		t.Helper()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: scan err %v, probed err %v", mode, err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: scan %d matches, probed %d", mode, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: result %d differs:\nscan:   %+v\nprobed: %+v", mode, i, a[i], b[i])
+			}
+		}
+	}
+	a, err1 := scanM.FindSimilar(q, nil)
+	b, err2 := probeM.FindSimilar(q, nil)
+	check("FindSimilar", a, b, err1, err2)
+	if len(a) == 0 {
+		t.Error("FindSimilar returned nothing; equivalence check is vacuous")
+	}
+	a, err1 = scanM.TopK(q, 5, nil)
+	b, err2 = probeM.TopK(q, 5, nil)
+	check("TopK", a, b, err1, err2)
+	a, err1 = scanM.FindSimilarTopK(q, 5, nil)
+	b, err2 = probeM.FindSimilarTopK(q, 5, nil)
+	check("FindSimilarTopK", a, b, err1, err2)
+}
+
+// TestIndexCrashRecovery is the index persistence contract: a server
+// with the signature index on is killed mid-stream (hard close plus a
+// torn WAL tail), restarted WITHOUT the flag, and must (a) re-enable
+// the index from the persisted configuration, (b) keep the rebuilt
+// index byte-identical to a fresh build over the recovered database —
+// even after further incremental ingestion — and (c) answer probed
+// searches byte-identically to a full scan.
+func TestIndexCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- Server A: index on, two patients ingesting. Crash. ---
+	_, ts := newIndexedServer(t, dir, true)
+	ingestRespiration(t, ts.URL, "P01", "S01", 7, 60)
+	ingestRespiration(t, ts.URL, "P02", "S02", 11, 60)
+	hz, code := getJSON[HealthzResponse](t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK || hz.Index == nil || !hz.Index.Enabled {
+		t.Fatalf("healthz before crash: code %d, index %+v", code, hz.Index)
+	}
+	if hz.Index.Windows == 0 {
+		t.Fatal("index holds no windows before crash")
+	}
+	ts.Close() // hard crash: no srv.Close, no snapshot
+
+	// Tear the WAL tail: drop the final bytes of the newest segment,
+	// as a crash mid-append would.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 7 {
+		if err := os.Truncate(last, fi.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- Server B: recover WITHOUT the flag. ---
+	srv2, ts2 := newIndexedServer(t, dir, false)
+	if srv2.SigIndex() == nil {
+		t.Fatal("persisted index config did not re-enable the index")
+	}
+	hz2, code := getJSON[HealthzResponse](t, ts2.URL+"/v1/healthz")
+	if code != http.StatusOK || hz2.Index == nil || !hz2.Index.Enabled {
+		t.Fatalf("healthz after recovery: code %d, index %+v", code, hz2.Index)
+	}
+	if hz2.Index.MinSegments != hz.Index.MinSegments || hz2.Index.MaxSegments != hz.Index.MaxSegments ||
+		hz2.Index.AmpBucket != hz.Index.AmpBucket || hz2.Index.DurBucket != hz.Index.DurBucket {
+		t.Fatalf("recovered index config %+v differs from pre-crash %+v", hz2.Index, hz.Index)
+	}
+	if hz2.Index.PoisonedStreams != 0 {
+		t.Errorf("recovery poisoned %d streams", hz2.Index.PoisonedStreams)
+	}
+
+	compareScanProbed(t, srv2, "P01", "S01")
+
+	// Keep ingesting through the resumed session: the mutation hook
+	// must keep the index incremental state identical to a rebuild.
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := gen.Generate(90)
+	st := srv2.DB().Patient("P01").StreamBySession("S01")
+	lastT := st.Seq()[st.Len()-1].T
+	var cont []SampleIn
+	for _, s := range all {
+		if s.T > lastT {
+			cont = append(cont, SampleIn{T: s.T, Pos: s.Pos})
+		}
+	}
+	if resp := postJSON(t, ts2.URL+"/v1/sessions/S01/samples", cont); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery ingest status %d", resp.StatusCode)
+	}
+
+	fresh, err := sigindex.New(srv2.SigIndex().Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.BuildFrom(srv2.DB())
+	if !bytes.Equal(srv2.SigIndex().Dump(), fresh.Dump()) {
+		t.Fatal("recovered+incremental index differs from a fresh build over the recovered database")
+	}
+
+	compareScanProbed(t, srv2, "P01", "S01")
+	compareScanProbed(t, srv2, "P02", "S02")
+}

@@ -48,6 +48,7 @@ import (
 	"stsmatch/internal/fsm"
 	"stsmatch/internal/obs"
 	"stsmatch/internal/plr"
+	"stsmatch/internal/sigindex"
 	"stsmatch/internal/store"
 	"stsmatch/internal/wal"
 )
@@ -66,6 +67,11 @@ type Server struct {
 	start    time.Time
 	wal      *durability // nil when Options.DataDir is unset
 	maxBody  int64       // request-body cap; <= 0 disables
+
+	// index is the window-signature index (nil when disabled); see
+	// matchindex.go. Built before serving and maintained through the
+	// store mutation hook, it is shared by every pooled matcher.
+	index *sigindex.Index
 
 	// col is this server's trace collector: per-instance (not global)
 	// so in-process multi-node tests and embedded deployments keep
@@ -159,9 +165,13 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 			return nil, err
 		}
 	}
+	if err := s.setupMatchIndex(opts); err != nil {
+		return nil, err
+	}
 	s.matchers.New = func() any {
 		// params were validated above; the error path is unreachable.
 		m, _ := core.NewMatcher(s.db, s.params)
+		m.Index = s.index
 		return m
 	}
 	s.route("POST /v1/sessions", "create_session", s.handleCreateSession)
@@ -666,6 +676,7 @@ type HealthzResponse struct {
 	OpenSessions  int                `json:"openSessions"`
 	WAL           *WALHealth         `json:"wal,omitempty"`
 	Replication   *ReplicationHealth `json:"replication,omitempty"`
+	Index         *IndexHealth       `json:"index,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -680,5 +691,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OpenSessions:  s.OpenSessions(),
 		WAL:           s.walHealth(),
 		Replication:   s.replicationHealth(),
+		Index:         s.indexHealth(),
 	})
 }

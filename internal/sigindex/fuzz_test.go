@@ -1,0 +1,52 @@
+package sigindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSignatureRoundTrip hammers the signature codec with arbitrary
+// bytes (the FuzzWALDecode pattern applied to the index's wire form):
+// the decoder must never panic or over-allocate, anything that decodes
+// must re-encode canonically, and the canonical encoding must be a
+// fixed point of decode-encode.
+func FuzzSignatureRoundTrip(f *testing.F) {
+	for _, sig := range []Signature{
+		{},
+		{States: "EOI", Amp: 1, Dur: -1},
+		{States: "EOIEOIEOIEOI", Amp: 123, Dur: 456},
+		{States: "RRRRRRRRR", Amp: -2147483648, Dur: 2147483647},
+	} {
+		f.Add(sig.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{3, 'E', 'O'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := DecodeSignature(data)
+		if err != nil {
+			return
+		}
+		// A decoded signature holds only valid state bytes.
+		for i := 0; i < len(sig.States); i++ {
+			if !validStateByte(sig.States[i]) {
+				t.Fatalf("decoded invalid state byte %q at %d", sig.States[i], i)
+			}
+		}
+		// Canonical re-encode must decode to the same value...
+		enc := sig.Encode()
+		sig2, err := DecodeSignature(enc)
+		if err != nil {
+			t.Fatalf("re-decode of valid signature failed: %v", err)
+		}
+		if sig2 != sig {
+			t.Fatalf("signature changed across round-trip: %+v -> %+v", sig, sig2)
+		}
+		// ...and the canonical encoding is a fixed point (input bytes
+		// may differ only by non-minimal varints).
+		if again := sig2.Encode(); !bytes.Equal(again, enc) {
+			t.Fatalf("encoder not a fixed point:\n got %x\nwant %x", again, enc)
+		}
+	})
+}

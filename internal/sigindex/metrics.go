@@ -1,0 +1,20 @@
+package sigindex
+
+import "stsmatch/internal/obs"
+
+// Index metrics, registered on the default registry. The probe/widening
+// counters increment inside Probe itself, so the per-query counts a
+// traced search reports in its index.probe span equal the metric
+// deltas by construction.
+var (
+	mProbes = obs.Default().Counter("stsmatch_sigindex_probes_total",
+		"Signature-index probes (one per widening round of an indexed search).")
+	mWidenings = obs.Default().Counter("stsmatch_sigindex_widenings_total",
+		"Envelope-widening re-probes (rounds beyond the first of an indexed search).")
+	mWindows = obs.Default().Gauge("stsmatch_sigindex_windows",
+		"Window postings currently stored in the signature index.")
+	mStreams = obs.Default().Gauge("stsmatch_sigindex_streams",
+		"Streams shadowed by the signature index.")
+	mPoisoned = obs.Default().Gauge("stsmatch_sigindex_poisoned_streams",
+		"Streams the index refuses to answer for; the matcher scans these instead.")
+)

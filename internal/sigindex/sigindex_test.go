@@ -1,0 +1,288 @@
+package sigindex
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"stsmatch/internal/plr"
+	"stsmatch/internal/store"
+)
+
+// breathingSeq builds a deterministic regular-breathing PLR sequence:
+// n segments of EX -> EOE -> IN cycles with the given amplitude and a
+// slowly varying per-segment duration (so windows spread over several
+// duration buckets).
+func breathingSeq(t0, amp float64, n int) plr.Sequence {
+	states := []plr.State{plr.EX, plr.EOE, plr.IN}
+	out := plr.Sequence{{T: t0, Pos: []float64{amp}, State: states[0]}}
+	y, t := amp, t0
+	for i := 0; i < n; i++ {
+		st := states[i%3]
+		switch st {
+		case plr.EX:
+			y -= amp
+		case plr.IN:
+			y += amp
+		}
+		t += 1 + 0.1*float64(i%5)
+		out[len(out)-1].State = st
+		out = append(out, plr.Vertex{T: t, Pos: []float64{y}, State: states[(i+1)%3]})
+	}
+	return out
+}
+
+func buildDB(t *testing.T, amps map[StreamKey]float64) *store.DB {
+	t.Helper()
+	db := store.NewDB()
+	for key, amp := range amps {
+		p := db.Patient(key.PatientID)
+		if p == nil {
+			var err error
+			p, err = db.AddPatient(store.PatientInfo{ID: key.PatientID})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := p.AddStream(key.SessionID)
+		if err := st.Append(breathingSeq(0, amp, 36)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+var testStreams = map[StreamKey]float64{
+	{PatientID: "P1", SessionID: "S1"}: 10,
+	{PatientID: "P1", SessionID: "S2"}: 10.5,
+	{PatientID: "P2", SessionID: "S1"}: 11,
+}
+
+func testConfig() Config {
+	return Config{MinSegments: 9, MaxSegments: 12, AmpBucket: 4, DurBucket: 4}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{MinSegments: 0, MaxSegments: 5, AmpBucket: 1, DurBucket: 1},
+		{MinSegments: 5, MaxSegments: 4, AmpBucket: 1, DurBucket: 1},
+		{MinSegments: 1, MaxSegments: 2, AmpBucket: 0, DurBucket: 1},
+		{MinSegments: 1, MaxSegments: 2, AmpBucket: 1, DurBucket: math.Inf(1)},
+		{MinSegments: 1, MaxSegments: 2, AmpBucket: math.NaN(), DurBucket: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	cases := []Signature{
+		{},
+		{States: "EOI", Amp: 0, Dur: 0},
+		{States: "EOIEOIEOI", Amp: -3, Dur: 17},
+		{States: "RRRR", Amp: math.MaxInt32, Dur: math.MinInt32},
+	}
+	for _, want := range cases {
+		got, err := DecodeSignature(want.Encode())
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip changed signature: %+v -> %+v", want, got)
+		}
+	}
+	bad := [][]byte{
+		nil,
+		{5},            // truncated states
+		{1, 'X', 0, 0}, // invalid state byte
+		append(Signature{States: "E"}.Encode(), 0), // trailing byte
+	}
+	for i, b := range bad {
+		if _, err := DecodeSignature(b); err == nil {
+			t.Errorf("bad encoding %d accepted: %x", i, b)
+		}
+	}
+}
+
+// TestProbeMatchesFindWindows cross-checks the inverted index against
+// the store's own window search: with an unbounded envelope, a probe
+// for any indexed signature must return exactly the starts FindWindows
+// reports, per stream, in ascending order.
+func TestProbeMatchesFindWindows(t *testing.T) {
+	db := buildDB(t, testStreams)
+	x, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.BuildFrom(db)
+
+	inf := math.Inf(1)
+	for _, st := range db.Streams() {
+		seq := st.Seq()
+		for l := x.Config().MinSegments; l <= x.Config().MaxSegments; l++ {
+			for j := 0; j+l < len(seq); j += 7 {
+				sig := seq[j : j+l+1].StateSignature()
+				pr := x.Probe(ProbeQuery{Sig: sig, AmpLo: -inf, AmpHi: inf, DurLo: -inf, DurHi: inf})
+				if !pr.Exhaustive {
+					t.Fatalf("unbounded probe not exhaustive for %q", sig)
+				}
+				for _, other := range db.Streams() {
+					want := other.FindWindows(sig)
+					got := pr.Starts[StreamKey{PatientID: other.PatientID, SessionID: other.SessionID}]
+					if len(got) != len(want) {
+						t.Fatalf("probe %q on %s/%s: %d starts, FindWindows %d (%v vs %v)",
+							sig, other.PatientID, other.SessionID, len(got), len(want), got, want)
+					}
+					for i := range want {
+						if int(got[i]) != want[i] {
+							t.Fatalf("probe %q start %d = %d, want %d", sig, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeEnvelopeExact pins bit-exactness of the stored window
+// coordinates: a zero-width envelope at the store's own prefix-sum
+// difference must hit the window, and nudging the envelope off by one
+// ulp-scale step must miss it.
+func TestProbeEnvelopeExact(t *testing.T) {
+	db := buildDB(t, testStreams)
+	x, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.BuildFrom(db)
+
+	st := db.Patient("P1").StreamBySession("S1")
+	seq, sums := st.Snapshot()
+	l := x.Config().MinSegments
+	j := 3
+	sig := seq[j : j+l+1].StateSignature()
+	amp := sums[j+l] - sums[j]
+	dur := seq[j+l].T - seq[j].T
+
+	pr := x.Probe(ProbeQuery{Sig: sig, AmpLo: amp, AmpHi: amp, DurLo: dur, DurHi: dur})
+	found := false
+	for _, s := range pr.Starts[StreamKey{PatientID: "P1", SessionID: "S1"}] {
+		if int(s) == j {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zero-width envelope at exact (amp=%v dur=%v) missed window %d", amp, dur, j)
+	}
+
+	lo := math.Nextafter(amp, math.Inf(1))
+	pr = x.Probe(ProbeQuery{Sig: sig, AmpLo: lo, AmpHi: math.Inf(1), DurLo: dur, DurHi: dur})
+	for _, s := range pr.Starts[StreamKey{PatientID: "P1", SessionID: "S1"}] {
+		if int(s) == j {
+			t.Fatalf("envelope excluding exact amp still hit window %d", j)
+		}
+	}
+	if pr.Exhaustive && pr.Candidates == 0 {
+		// Exhaustive with zero candidates would mean the sig is empty,
+		// contradicting the hit above.
+		t.Fatal("inconsistent exhaustive result")
+	}
+}
+
+// TestIncrementalMatchesBuildFrom: feeding vertices through the
+// mutation hook in many small batches yields a byte-identical index to
+// a one-shot BuildFrom over the finished database.
+func TestIncrementalMatchesBuildFrom(t *testing.T) {
+	cfg := testConfig()
+	incr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.NewDB()
+	db.AddMutationHook(incr.OnMutation)
+	for key, amp := range testStreams {
+		p := db.Patient(key.PatientID)
+		if p == nil {
+			p, err = db.AddPatient(store.PatientInfo{ID: key.PatientID})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := p.AddStream(key.SessionID)
+		seq := breathingSeq(0, amp, 36)
+		for i := 0; i < len(seq); i += 3 {
+			end := i + 3
+			if end > len(seq) {
+				end = len(seq)
+			}
+			if err := st.Append(seq[i:end]...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.BuildFrom(db)
+
+	if !bytes.Equal(incr.Dump(), fresh.Dump()) {
+		t.Fatalf("incremental and one-shot indexes differ:\nincremental:\n%s\nfresh:\n%s",
+			incr.Dump(), fresh.Dump())
+	}
+	is, fs := incr.Stats(), fresh.Stats()
+	if is != fs {
+		t.Fatalf("stats differ: %+v vs %+v", is, fs)
+	}
+	if is.Windows == 0 {
+		t.Fatal("no windows indexed")
+	}
+
+	cov := incr.Coverage()
+	for key := range testStreams {
+		c, ok := cov[key]
+		if !ok || c.Poisoned || c.Vertices != 37 {
+			t.Fatalf("coverage for %v = %+v, want 37 unpoisoned vertices", key, c)
+		}
+	}
+}
+
+// TestPoisoning pins the safety valves: duplicate stream keys and
+// appends to never-opened streams poison exactly the affected shadow,
+// leaving the rest of the index intact.
+func TestPoisoning(t *testing.T) {
+	cfg := testConfig()
+	x, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := StreamKey{PatientID: "P1", SessionID: "S1"}
+	x.OnMutation(store.Mutation{Kind: store.MutStreamOpen, PatientID: "P1", SessionID: "S1"})
+	x.OnMutation(store.Mutation{Kind: store.MutVertexAppend, PatientID: "P1", SessionID: "S1",
+		Vertices: breathingSeq(0, 10, 12)})
+
+	// Duplicate open of the same session poisons it.
+	x.OnMutation(store.Mutation{Kind: store.MutStreamOpen, PatientID: "P1", SessionID: "S1"})
+	if c := x.Coverage()[good]; !c.Poisoned {
+		t.Fatal("duplicate stream-open did not poison the shadow")
+	}
+
+	// Mid-stream append to an unknown key registers it poisoned.
+	x.OnMutation(store.Mutation{Kind: store.MutVertexAppend, PatientID: "P9", SessionID: "S9",
+		Vertices: breathingSeq(100, 5, 12)})
+	if c := x.Coverage()[StreamKey{PatientID: "P9", SessionID: "S9"}]; !c.Poisoned {
+		t.Fatal("append to unknown stream not poisoned")
+	}
+	if got := x.Stats().PoisonedStreams; got != 2 {
+		t.Fatalf("poisoned streams = %d, want 2", got)
+	}
+}

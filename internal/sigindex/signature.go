@@ -1,0 +1,98 @@
+package sigindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Signature identifies one inverted-index cell: the state-order string
+// of a window's segments plus the quantized bucket of its
+// displacement-norm sum (amplitude) and of its duration. The encoded
+// form is the stable wire/debug representation used by Dump and the
+// fuzz harness; the in-memory index keys on (States, cell) directly.
+type Signature struct {
+	States string // one byte per segment: 'E', 'O', 'I' or 'R'
+	Amp    int32  // floor(window amp / Config.AmpBucket)
+	Dur    int32  // floor(window duration / Config.DurBucket)
+}
+
+// appendEncoded appends the canonical binary form of the signature:
+// uvarint state-string length, the state bytes, then the two bucket
+// coordinates as zigzag varints.
+func (s Signature) appendEncoded(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s.States)))
+	b = append(b, s.States...)
+	b = binary.AppendVarint(b, int64(s.Amp))
+	b = binary.AppendVarint(b, int64(s.Dur))
+	return b
+}
+
+// Encode returns the canonical binary form of the signature.
+func (s Signature) Encode() []byte {
+	return s.appendEncoded(make([]byte, 0, len(s.States)+2*binary.MaxVarintLen32+binary.MaxVarintLen64))
+}
+
+// validStateByte reports whether c is a PLR state code as produced by
+// plr.State.Byte().
+func validStateByte(c byte) bool {
+	return c == 'E' || c == 'O' || c == 'I' || c == 'R'
+}
+
+// maxSignatureStates bounds the state-string length a decoder will
+// allocate; real signatures are at most a few dozen segments long.
+const maxSignatureStates = 1 << 16
+
+// DecodeSignature parses the canonical binary form produced by Encode.
+// It rejects truncated input, trailing bytes, state bytes outside the
+// PLR alphabet, and bucket coordinates that do not fit in 32 bits.
+func DecodeSignature(b []byte) (Signature, error) {
+	var sig Signature
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return sig, fmt.Errorf("sigindex: truncated signature length")
+	}
+	if n > maxSignatureStates || uint64(len(b)-off) < n {
+		return sig, fmt.Errorf("sigindex: signature states length %d exceeds input", n)
+	}
+	states := b[off : off+int(n)]
+	for i, c := range states {
+		if !validStateByte(c) {
+			return sig, fmt.Errorf("sigindex: invalid state byte %q at %d", c, i)
+		}
+	}
+	sig.States = string(states)
+	rest := b[off+int(n):]
+	amp, an := binary.Varint(rest)
+	if an <= 0 || amp < math.MinInt32 || amp > math.MaxInt32 {
+		return sig, fmt.Errorf("sigindex: bad amp bucket")
+	}
+	rest = rest[an:]
+	dur, dn := binary.Varint(rest)
+	if dn <= 0 || dur < math.MinInt32 || dur > math.MaxInt32 {
+		return sig, fmt.Errorf("sigindex: bad dur bucket")
+	}
+	if len(rest[dn:]) != 0 {
+		return sig, fmt.Errorf("sigindex: %d trailing bytes after signature", len(rest[dn:]))
+	}
+	sig.Amp = int32(amp)
+	sig.Dur = int32(dur)
+	return sig, nil
+}
+
+// quantize maps a value to its bucket coordinate floor(v/width),
+// saturating at the int32 range. Saturation can merge far-out buckets,
+// which is harmless: buckets only place postings into cells, and every
+// probe re-checks the exact stored amp/dur against its envelope.
+func quantize(v, width float64) int32 {
+	q := math.Floor(v / width)
+	switch {
+	case q >= math.MaxInt32:
+		return math.MaxInt32
+	case q <= math.MinInt32:
+		return math.MinInt32
+	case math.IsNaN(q):
+		return 0
+	}
+	return int32(q)
+}

@@ -1,0 +1,74 @@
+package store
+
+import (
+	"testing"
+
+	"stsmatch/internal/plr"
+)
+
+// TestMutationHookChaining pins the multi-hook contract: AddMutationHook
+// chains observers in installation order, SetMutationHook replaces the
+// whole set, and nil clears it.
+func TestMutationHookChaining(t *testing.T) {
+	db := NewDB()
+	var order []string
+	db.SetMutationHook(func(m Mutation) { order = append(order, "a:"+kindName(m.Kind)) })
+	db.AddMutationHook(func(m Mutation) { order = append(order, "b:"+kindName(m.Kind)) })
+
+	p, err := db.AddPatient(PatientInfo{ID: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+	if err := st.Append(plr.Vertex{T: 1, Pos: []float64{0}, State: plr.EX}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"a:patient-upsert", "b:patient-upsert",
+		"a:stream-open", "b:stream-open",
+		"a:vertex-append", "b:vertex-append",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook call %d = %q, want %q (all: %v)", i, order[i], want[i], order)
+		}
+	}
+
+	// Set replaces both; nil clears.
+	order = nil
+	db.SetMutationHook(func(m Mutation) { order = append(order, "c") })
+	p.AddStream("S2")
+	if len(order) != 1 || order[0] != "c" {
+		t.Fatalf("after SetMutationHook: calls = %v, want [c]", order)
+	}
+	order = nil
+	db.SetMutationHook(nil)
+	p.AddStream("S3")
+	if len(order) != 0 {
+		t.Fatalf("after clearing hooks: calls = %v, want none", order)
+	}
+
+	// AddMutationHook on a clean DB works without a prior Set.
+	order = nil
+	db.AddMutationHook(func(m Mutation) { order = append(order, "d") })
+	p.AddStream("S4")
+	if len(order) != 1 || order[0] != "d" {
+		t.Fatalf("Add without Set: calls = %v, want [d]", order)
+	}
+}
+
+func kindName(k MutationKind) string {
+	switch k {
+	case MutPatientUpsert:
+		return "patient-upsert"
+	case MutStreamOpen:
+		return "stream-open"
+	case MutVertexAppend:
+		return "vertex-append"
+	}
+	return "?"
+}

@@ -52,17 +52,21 @@ type MutationHook func(Mutation)
 
 // hookRef is the shared, swappable hook cell handed down from a DB to
 // its patients and streams, so installing a hook on the DB covers
-// streams created both before and after installation.
+// streams created both before and after installation. It holds an
+// immutable slice of hooks, replaced wholesale (copy-on-write), so
+// emit never takes a lock.
 type hookRef struct {
-	fn atomic.Pointer[MutationHook]
+	fns atomic.Pointer[[]MutationHook]
 }
 
 func (h *hookRef) emit(m Mutation) {
 	if h == nil {
 		return
 	}
-	if fn := h.fn.Load(); fn != nil {
-		(*fn)(m)
+	if fns := h.fns.Load(); fns != nil {
+		for _, fn := range *fns {
+			fn(m)
+		}
 	}
 }
 
@@ -299,17 +303,39 @@ func NewDB() *DB {
 	return &DB{byID: make(map[string]*Patient), hook: &hookRef{}}
 }
 
-// SetMutationHook installs (or replaces, or removes with nil) the
-// hook observing every mutation of this database, including streams
-// that already exist. The write-ahead log uses this seam to journal
-// patient-upserts, stream-opens and vertex-appends without the store
-// knowing about files.
+// SetMutationHook installs the hook observing every mutation of this
+// database, including streams that already exist, replacing any hooks
+// installed earlier (nil removes them all). The write-ahead log uses
+// this seam to journal patient-upserts, stream-opens and
+// vertex-appends without the store knowing about files.
 func (db *DB) SetMutationHook(h MutationHook) {
 	if h == nil {
-		db.hook.fn.Store(nil)
+		db.hook.fns.Store(nil)
 		return
 	}
-	db.hook.fn.Store(&h)
+	db.hook.fns.Store(&[]MutationHook{h})
+}
+
+// AddMutationHook appends a hook to the set installed on this
+// database, preserving the ones already there. Hooks run in
+// installation order, synchronously, under the same contract as
+// SetMutationHook; the signature index chains onto the WAL hook this
+// way.
+func (db *DB) AddMutationHook(h MutationHook) {
+	if h == nil {
+		return
+	}
+	for {
+		old := db.hook.fns.Load()
+		var next []MutationHook
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, h)
+		if db.hook.fns.CompareAndSwap(old, &next) {
+			return
+		}
+	}
 }
 
 // ErrDuplicatePatient is returned when adding a patient whose ID

@@ -27,6 +27,7 @@ func FuzzWALDecode(f *testing.F) {
 		{Type: TypeReplicaSnapshot, LSN: 6, Patient: store.PatientInfo{ID: "P1", Class: "calm", Age: 50},
 			PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 3), Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}},
 		{Type: TypeReplicaPromote, LSN: 7, PatientID: "P1", SessionID: "S1", Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}, Epoch: 2},
+		{Type: TypeIndexConfig, LSN: 8, Index: IndexConfig{MinSegments: 9, MaxSegments: 24, AmpBucket: 4, DurBucket: 4}},
 	} {
 		stream = appendFrame(stream, encodePayload(rec))
 	}

@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stsmatch/internal/store"
+)
+
+func testIndexConfig() IndexConfig {
+	return IndexConfig{MinSegments: 9, MaxSegments: 24, AmpBucket: 4, DurBucket: 2.5}
+}
+
+func TestIndexConfigRecordRoundTrip(t *testing.T) {
+	rec := Record{Type: TypeIndexConfig, LSN: 42, Index: testIndexConfig()}
+	got, err := decodePayload(encodePayload(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeIndexConfig || got.LSN != 42 || got.Index != rec.Index {
+		t.Fatalf("round trip changed record: %+v -> %+v", rec, got)
+	}
+	if got.Type.String() != "index-config" {
+		t.Errorf("Type.String() = %q", got.Type.String())
+	}
+}
+
+// TestIndexConfigRecovered: an index-config record journaled before a
+// crash comes back through RecoveryResult.IndexConfig, and the latest
+// record wins.
+func TestIndexConfigRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, res, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IndexConfig != nil {
+		t.Fatalf("fresh dir recovered index config %+v", res.IndexConfig)
+	}
+	old := IndexConfig{MinSegments: 5, MaxSegments: 6, AmpBucket: 1, DurBucket: 1}
+	want := testIndexConfig()
+	if err := l.Append(Record{Type: TypeIndexConfig, Index: old}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: TypeIndexConfig, Index: want}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res2, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res2.IndexConfig == nil {
+		t.Fatal("index config not recovered from records")
+	}
+	if *res2.IndexConfig != want {
+		t.Fatalf("recovered config %+v, want %+v (last record wins)", *res2.IndexConfig, want)
+	}
+}
+
+// TestIndexConfigSurvivesCompaction: once SetIndexConfig stamps the
+// log, a snapshot embeds the config, so recovery finds it even after
+// compaction has deleted the segment holding the TypeIndexConfig
+// record.
+func TestIndexConfigSurvivesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments + KeepSnapshots 1 so compaction actually deletes
+	// the early segment with the config record.
+	opts := Options{Dir: dir, SegmentMaxBytes: 256, KeepSnapshots: 1}
+	l, _, err := Open(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testIndexConfig()
+	if err := l.Append(Record{Type: TypeIndexConfig, Index: want}); err != nil {
+		t.Fatal(err)
+	}
+	l.SetIndexConfig(&want)
+
+	db := store.NewDB()
+	p, err := db.AddPatient(store.PatientInfo{ID: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+	for i := 0; i < 8; i++ {
+		vs := mkVerts(float64(i*4), 4)
+		if err := st.Append(vs...); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(Record{Type: TypeVertexAppend, PatientID: "P1", SessionID: "S1", Vertices: vs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Snapshot(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second snapshot pushes the retention floor past the first
+	// segment.
+	if _, err := l.Snapshot(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res, err := Open(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.IndexConfig == nil {
+		t.Fatal("index config lost across snapshot compaction")
+	}
+	if *res.IndexConfig != want {
+		t.Fatalf("recovered config %+v, want %+v", *res.IndexConfig, want)
+	}
+}
+
+// TestSnapshotV1StillReadable: a hand-written version-1 snapshot (no
+// index section) loads cleanly with a nil index config.
+func TestSnapshotV1StillReadable(t *testing.T) {
+	db := store.NewDB()
+	p, err := db.AddPatient(store.PatientInfo{ID: "P1", Class: "calm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.AddStream("S1")
+	if err := st.Append(mkVerts(0, 5)...); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "snap-0000000000000007.db")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr [4 + 2 + 8]byte
+	copy(hdr[:4], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], snapVersionV1)
+	binary.LittleEndian.PutUint64(hdr[6:], 7)
+	if _, err := w.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// v1 body: session count then the db payload, with no index
+	// section in between.
+	if _, err := w.Write([]byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteBinary(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, sessions, ic, lsn, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("v1 snapshot unreadable: %v", err)
+	}
+	if ic != nil {
+		t.Fatalf("v1 snapshot produced index config %+v", ic)
+	}
+	if lsn != 7 || len(sessions) != 0 {
+		t.Fatalf("lsn=%d sessions=%d, want 7/0", lsn, len(sessions))
+	}
+	var a, b bytes.Buffer
+	if err := db.WriteBinary(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("v1 snapshot database differs after load")
+	}
+}
+
+// TestSnapshotV2EmbedsIndexConfig: writer stamps the configured index
+// into the snapshot and the reader returns it.
+func TestSnapshotV2EmbedsIndexConfig(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := testIndexConfig()
+	l.SetIndexConfig(&want)
+
+	db := store.NewDB()
+	lsn, err := l.Snapshot(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ic, gotLSN, err := readSnapshotFile(filepath.Join(dir, snapshotName(lsn)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLSN != lsn {
+		t.Fatalf("snapshot lsn %d, want %d", gotLSN, lsn)
+	}
+	if ic == nil || *ic != want {
+		t.Fatalf("snapshot index config = %+v, want %+v", ic, want)
+	}
+}

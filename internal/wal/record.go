@@ -45,6 +45,13 @@ const (
 	// Epoch fences zombie primaries: batches with a lower epoch are
 	// rejected by followers.
 	TypeReplicaPromote Type = 7
+
+	// TypeIndexConfig persists the window-signature index configuration
+	// (PR 7). The index itself is derived data rebuilt from the
+	// recovered database, so the record carries only the Config needed
+	// to rebuild it identically; last record wins, and snapshots embed
+	// the same config so compaction cannot lose it.
+	TypeIndexConfig Type = 8
 )
 
 // String returns the record type name.
@@ -64,6 +71,8 @@ func (t Type) String() string {
 		return "replica-snapshot"
 	case TypeReplicaPromote:
 		return "replica-promote"
+	case TypeIndexConfig:
+		return "index-config"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -88,6 +97,20 @@ type Record struct {
 	// promotion increments it, and followers reject batches from lower
 	// epochs so a deposed primary cannot overwrite a promoted one.
 	Epoch uint64 // TypeReplicaPromote
+
+	// Index is the window-signature index configuration.
+	Index IndexConfig // TypeIndexConfig
+}
+
+// IndexConfig is the journaled window-signature index configuration:
+// enough to rebuild the (derived) index deterministically after
+// recovery. It mirrors sigindex.Config without importing it, keeping
+// the WAL free of matcher dependencies.
+type IndexConfig struct {
+	MinSegments uint32
+	MaxSegments uint32
+	AmpBucket   float64
+	DurBucket   float64
 }
 
 // ErrTorn marks a record that is incomplete or fails its checksum —
@@ -153,6 +176,11 @@ func encodePayload(rec Record) []byte {
 		b = appendString(b, rec.SessionID)
 		b = appendAnchor(b, rec)
 		b = binary.AppendUvarint(b, rec.Epoch)
+	case TypeIndexConfig:
+		b = binary.AppendUvarint(b, uint64(rec.Index.MinSegments))
+		b = binary.AppendUvarint(b, uint64(rec.Index.MaxSegments))
+		b = appendF64(b, rec.Index.AmpBucket)
+		b = appendF64(b, rec.Index.DurBucket)
 	}
 	return b
 }
@@ -224,6 +252,11 @@ func decodePayload(b []byte) (Record, error) {
 		rec.SessionID = d.str()
 		d.anchor(&rec)
 		rec.Epoch = d.uvarint()
+	case TypeIndexConfig:
+		rec.Index.MinSegments = d.u32()
+		rec.Index.MaxSegments = d.u32()
+		rec.Index.AmpBucket = d.f64()
+		rec.Index.DurBucket = d.f64()
 	default:
 		return rec, fmt.Errorf("%w: unknown record type %d", ErrTorn, rec.Type)
 	}
@@ -301,6 +334,16 @@ func (d *decoder) uvarint() uint64 {
 	}
 	d.off += n
 	return v
+}
+
+// u32 reads a uvarint that must fit in 32 bits (the index config
+// counts); larger values could not round-trip and are torn.
+func (d *decoder) u32() uint32 {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxUint32 {
+		d.err = fmt.Errorf("%w: value %d overflows u32", ErrTorn, v)
+	}
+	return uint32(v)
 }
 
 func (d *decoder) f64() float64 {

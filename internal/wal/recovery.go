@@ -47,6 +47,12 @@ type RecoveryResult struct {
 	// SegmentsScanned is how many log segments replay visited.
 	SegmentsScanned int
 
+	// IndexConfig is the persisted window-signature index
+	// configuration, from the snapshot or the latest TypeIndexConfig
+	// record (records win). Nil when the directory never enabled the
+	// index. The caller rebuilds the index from DB with this config.
+	IndexConfig *IndexConfig
+
 	// Duration is the wall time of snapshot load plus replay.
 	Duration time.Duration
 }
@@ -87,11 +93,12 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	// full replay.
 	var db *store.DB
 	var sessions []SessionState
+	var snapIdxConf *IndexConfig
 	var snapLSN uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		d, ss, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
+		d, ss, ic, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
 		if err == nil {
-			db, sessions, snapLSN = d, ss, lsn
+			db, sessions, snapIdxConf, snapLSN = d, ss, ic, lsn
 			break
 		}
 	}
@@ -104,7 +111,7 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	}
 	res.SnapshotLSN = snapLSN
 
-	rs := &replayState{db: db, idx: make(map[string]int)}
+	rs := &replayState{db: db, idx: make(map[string]int), indexConf: snapIdxConf}
 	for _, ss := range sessions {
 		rs.open(ss)
 	}
@@ -154,6 +161,10 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	res.Sessions = rs.list()
 	res.RecordsReplayed = rs.applied
 	res.DB = db
+	res.IndexConfig = rs.indexConf
+	// Carry the recovered config forward so the next snapshot embeds it
+	// even if the owner never calls SetIndexConfig again.
+	l.idxConf.Store(rs.indexConf)
 
 	// Reopen the tail segment for appending, or start the first one. A
 	// tail whose own header was torn (crash between segment creation
@@ -259,10 +270,11 @@ func replaySegment(path string, nameLSN, snapLSN uint64, rs *replayState, res *R
 // snapshot: existing patients/streams are reused and vertices that do
 // not advance a stream are skipped.
 type replayState struct {
-	db       *store.DB
-	sessions []SessionState
-	idx      map[string]int // sessionID -> index in sessions, -1 when closed
-	applied  uint64
+	db        *store.DB
+	sessions  []SessionState
+	idx       map[string]int // sessionID -> index in sessions, -1 when closed
+	indexConf *IndexConfig   // latest TypeIndexConfig seen (snapshot-seeded)
+	applied   uint64
 }
 
 func (rs *replayState) open(ss SessionState) {
@@ -359,6 +371,9 @@ func (rs *replayState) apply(rec Record) error {
 			rs.sessions[i].LastT = rec.AnchorT
 			rs.sessions[i].LastPos = rec.AnchorPos
 		}
+	case TypeIndexConfig:
+		c := rec.Index
+		rs.indexConf = &c // last record wins
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}

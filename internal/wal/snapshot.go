@@ -14,8 +14,13 @@ import (
 )
 
 const (
-	snapMagic   = "STSS"
-	snapVersion = 1
+	snapMagic = "STSS"
+	// snapVersion 2 (PR 7) inserts a window-signature index-config
+	// section between the session manifest and the database payload.
+	// The reader still accepts version 1 (no index section), so
+	// pre-index snapshots recover cleanly.
+	snapVersion   = 2
+	snapVersionV1 = 1
 )
 
 // SessionState is the durable part of one open ingestion session: the
@@ -51,7 +56,7 @@ func (l *Log) Snapshot(db *store.DB, sessions []SessionState) (uint64, error) {
 	lsn := l.nextLSN
 	final := filepath.Join(l.opts.Dir, snapshotName(lsn))
 	tmp := final + ".tmp"
-	if err := writeSnapshotFile(tmp, lsn, db, sessions); err != nil {
+	if err := writeSnapshotFile(tmp, lsn, db, sessions, l.idxConf.Load()); err != nil {
 		os.Remove(tmp) //nolint:errcheck
 		l.fail(err)
 		return 0, l.err
@@ -69,7 +74,7 @@ func (l *Log) Snapshot(db *store.DB, sessions []SessionState) (uint64, error) {
 }
 
 // writeSnapshotFile writes and fsyncs one snapshot file.
-func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []SessionState) error {
+func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []SessionState, idxConf *IndexConfig) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
@@ -95,6 +100,19 @@ func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []Session
 			b = appendF64(b, x)
 		}
 	}
+	// v2: index-config section — presence byte, then the config. The
+	// config must live in snapshots as well as records because
+	// compaction may delete the segment holding the TypeIndexConfig
+	// record.
+	if idxConf == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(idxConf.MinSegments))
+		b = binary.AppendUvarint(b, uint64(idxConf.MaxSegments))
+		b = appendF64(b, idxConf.AmpBucket)
+		b = appendF64(b, idxConf.DurBucket)
+	}
 	if _, err := w.Write(b); err != nil {
 		return err
 	}
@@ -107,70 +125,105 @@ func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []Session
 	return f.Sync()
 }
 
-// readSnapshotFile loads one snapshot file.
-func readSnapshotFile(path string) (*store.DB, []SessionState, uint64, error) {
+// readSnapshotFile loads one snapshot file (version 1 or 2). The
+// returned IndexConfig is nil for v1 snapshots and for v2 snapshots
+// written without an index.
+func readSnapshotFile(path string) (*store.DB, []SessionState, *IndexConfig, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var hdr [4 + 2 + 8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, 0, fmt.Errorf("wal: snapshot header: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("wal: snapshot header: %w", err)
 	}
 	if string(hdr[:4]) != snapMagic {
-		return nil, nil, 0, fmt.Errorf("wal: bad snapshot magic %q", hdr[:4])
+		return nil, nil, nil, 0, fmt.Errorf("wal: bad snapshot magic %q", hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != snapVersion {
-		return nil, nil, 0, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	version := binary.LittleEndian.Uint16(hdr[4:6])
+	if version != snapVersion && version != snapVersionV1 {
+		return nil, nil, nil, 0, fmt.Errorf("wal: unsupported snapshot version %d", version)
 	}
 	lsn := binary.LittleEndian.Uint64(hdr[6:])
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	if n > 1<<20 {
-		return nil, nil, 0, fmt.Errorf("wal: implausible session count %d", n)
+		return nil, nil, nil, 0, fmt.Errorf("wal: implausible session count %d", n)
 	}
 	sessions := make([]SessionState, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var ss SessionState
 		if ss.PatientID, err = readSnapString(r); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if ss.SessionID, err = readSnapString(r); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if ss.Samples, err = binary.ReadUvarint(r); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		var tbuf [8]byte
 		if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		ss.LastT = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 		dims, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if dims > maxDims {
-			return nil, nil, 0, fmt.Errorf("wal: implausible anchor dims %d", dims)
+			return nil, nil, nil, 0, fmt.Errorf("wal: implausible anchor dims %d", dims)
 		}
 		ss.LastPos = make([]float64, dims)
 		for j := range ss.LastPos {
 			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-				return nil, nil, 0, err
+				return nil, nil, nil, 0, err
 			}
 			ss.LastPos[j] = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 		}
 		sessions = append(sessions, ss)
 	}
+	var idxConf *IndexConfig
+	if version >= snapVersion {
+		present, err := r.ReadByte()
+		if err != nil {
+			return nil, nil, nil, 0, fmt.Errorf("wal: snapshot index section: %w", err)
+		}
+		if present != 0 {
+			var ic IndexConfig
+			minSeg, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			maxSeg, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, nil, nil, 0, err
+			}
+			if minSeg > math.MaxUint32 || maxSeg > math.MaxUint32 {
+				return nil, nil, nil, 0, fmt.Errorf("wal: implausible index config %d/%d", minSeg, maxSeg)
+			}
+			ic.MinSegments, ic.MaxSegments = uint32(minSeg), uint32(maxSeg)
+			var tbuf [8]byte
+			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
+				return nil, nil, nil, 0, err
+			}
+			ic.AmpBucket = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
+			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
+				return nil, nil, nil, 0, err
+			}
+			ic.DurBucket = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
+			idxConf = &ic
+		}
+	}
 	db, err := store.ReadBinary(r)
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("wal: snapshot payload: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("wal: snapshot payload: %w", err)
 	}
-	return db, sessions, lsn, nil
+	return db, sessions, idxConf, lsn, nil
 }
 
 func readSnapString(r *bufio.Reader) (string, error) {
