@@ -53,6 +53,8 @@ import (
 	"stsmatch/internal/sigindex"
 	"stsmatch/internal/signal"
 	"stsmatch/internal/store"
+	"stsmatch/internal/subscribe"
+	"stsmatch/internal/wal"
 )
 
 // patientData is one synthetic patient's segmented stream.
@@ -145,6 +147,36 @@ type benchReport struct {
 	// 1, sqrt(S) and S.
 	CorpusScale     int               `json:"corpusScale,omitempty"`
 	IndexComparison []indexScalePoint `json:"indexComparison,omitempty"`
+
+	// Standing measures the push path (internal/subscribe): the
+	// incremental cost of evaluating a standing query per arriving
+	// vertex, at growing corpus scales, against the cost of the
+	// equivalent /v1/match poll. The sub-linearity claim reads off
+	// CandidatesPerVertex: a standing query only examines the suffix
+	// windows each append completes, so its per-vertex work stays flat
+	// while a poll re-scans the (growing) corpus.
+	StandingScale int                  `json:"standingScale,omitempty"`
+	Standing      []standingScalePoint `json:"standing,omitempty"`
+}
+
+// standingScalePoint is one corpus size in the standing-query
+// scenario. NsPerVertex covers Stream.Append plus the subscription
+// drain (the ingest-path overhead a standing query adds per vertex);
+// PolledNsPerQuery is one full similarity search over the same final
+// corpus — the cost a consumer would pay per poll to get the same
+// events by diffing.
+type standingScalePoint struct {
+	Scale            int `json:"scale"`
+	Streams          int `json:"streams"`
+	Vertices         int `json:"vertices"`
+	AppendedVertices int `json:"appendedVertices"`
+
+	NsPerVertex         float64 `json:"nsPerVertex"`
+	CandidatesPerVertex float64 `json:"candidatesPerVertex"`
+	Events              int     `json:"events"`
+
+	PolledNsPerQuery         float64 `json:"polledNsPerQuery"`
+	PolledCandidatesPerQuery int     `json:"polledCandidatesPerQuery"`
 }
 
 func main() {
@@ -155,6 +187,8 @@ func main() {
 	iters := flag.Int("iters", 300, "measured iterations per scenario")
 	corpusScale := flag.Int("corpus-scale", 0,
 		"when S > 0, additionally compare scanned vs index-probed retrieval at corpus scales 1, sqrt(S) and S")
+	standingScale := flag.Int("standing-scale", 16,
+		"largest corpus multiplier for the standing-query scenario (0 disables it)")
 	flag.Parse()
 
 	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
@@ -229,6 +263,26 @@ func main() {
 		}
 	}
 
+	if *standingScale > 0 {
+		report.StandingScale = *standingScale
+		for _, s := range scalePoints(*standingScale) {
+			pt, err := benchStanding(*patients, *duration, s, len(qseq))
+			if err != nil {
+				fatal(err)
+			}
+			report.Standing = append(report.Standing, pt)
+		}
+		// The funnel is deterministic, so sub-linearity is a hard
+		// assertion, not a wall-clock judgement call: the work a
+		// standing query does per arriving vertex must not grow with
+		// the corpus.
+		first, last := report.Standing[0], report.Standing[len(report.Standing)-1]
+		if first.CandidatesPerVertex > 0 && last.CandidatesPerVertex > 1.5*first.CandidatesPerVertex {
+			fatal(fmt.Errorf("standing eval is not sub-linear in the corpus: %.1f candidates/vertex at 1x vs %.1f at %dx",
+				first.CandidatesPerVertex, last.CandidatesPerVertex, last.Scale))
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -254,6 +308,11 @@ func main() {
 		fmt.Printf("scale %4dx: scanned %8d candidates/query, probed %6d (%.1f probes, %.1f widenings/query), %9.0f -> %9.0f ns/op\n",
 			pt.Scale, pt.Scanned.Funnel.CandidatesScanned, pt.Probed.Funnel.CandidatesScanned,
 			pt.ProbesPerQuery, pt.WideningsPerQuery, pt.Scanned.NsPerOp, pt.Probed.NsPerOp)
+	}
+	for _, pt := range report.Standing {
+		fmt.Printf("standing %2dx: %9.0f ns/vertex (%5.1f candidates/vertex, %d events) vs poll %10.0f ns/query (%d candidates)\n",
+			pt.Scale, pt.NsPerVertex, pt.CandidatesPerVertex, pt.Events,
+			pt.PolledNsPerQuery, pt.PolledCandidatesPerQuery)
 	}
 	if report.SingleNodeParallel != nil {
 		fmt.Printf("parallel speedup %.2fx on %d CPUs; wrote %s\n", report.ParallelSpeedup, report.CPUs, *out)
@@ -565,6 +624,115 @@ func benchIndexScale(basePatients int, duration float64, scale, k, iters, qlen i
 	pt.Probed = probed
 	pt.ProbesPerQuery = (sigMetric("stsmatch_sigindex_probes_total") - probesBefore) / queries
 	pt.WideningsPerQuery = (sigMetric("stsmatch_sigindex_widenings_total") - widenBefore) / queries
+	return pt, nil
+}
+
+// benchStanding measures the push path at one corpus scale: a
+// standing query registered over the whole corpus, then 30 seconds of
+// fresh signal appended to one stream vertex by vertex, draining the
+// subscription after every append — the exact ingest-path sequence the
+// server runs. The per-vertex cost is compared against one full
+// similarity search over the same final corpus, which is what a
+// consumer polling /v1/match would pay for the same events.
+func benchStanding(basePatients int, duration float64, scale, qlen int) (standingScalePoint, error) {
+	data, err := buildCohort(basePatients*scale, duration)
+	if err != nil {
+		return standingScalePoint{}, err
+	}
+	db, err := loadDB(data)
+	if err != nil {
+		return standingScalePoint{}, err
+	}
+	vertices := 0
+	for _, pd := range data {
+		vertices += len(pd.vertices)
+	}
+
+	// Continue patient 0's deterministic signal for 30 more seconds,
+	// segmented by a replayed (primed) FSM so the continuation vertices
+	// are exactly what live ingest would have produced.
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), 100)
+	if err != nil {
+		return standingScalePoint{}, err
+	}
+	seg, err := fsm.New(fsm.DefaultConfig())
+	if err != nil {
+		return standingScalePoint{}, err
+	}
+	for _, s := range gen.Generate(duration) {
+		if _, err := seg.Push(s); err != nil {
+			return standingScalePoint{}, err
+		}
+	}
+	var cont plr.Sequence
+	for _, s := range gen.Generate(duration + 30) {
+		vs, err := seg.Push(s)
+		if err != nil {
+			return standingScalePoint{}, err
+		}
+		cont = append(cont, vs...)
+	}
+	if len(cont) == 0 {
+		return standingScalePoint{}, fmt.Errorf("scale %d: continuation produced no vertices", scale)
+	}
+
+	mgr := subscribe.NewManager(core.DefaultParams(), 0)
+	db.AddMutationHook(mgr.OnMutation)
+	qseq := data[0].vertices[len(data[0].vertices)-qlen:]
+	sub := wal.SubState{ID: "bench", PatientID: data[0].pid, Pattern: qseq}
+	if _, err := mgr.Register(&sub, db); err != nil {
+		return standingScalePoint{}, err
+	}
+	st := db.Patient(data[0].pid).StreamBySession(data[0].sid)
+	if st == nil {
+		return standingScalePoint{}, fmt.Errorf("scale %d: stream %s not found", scale, data[0].sid)
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for i := range cont {
+		if err := st.Append(cont[i]); err != nil {
+			return standingScalePoint{}, err
+		}
+		mgr.Drain(ctx, db)
+	}
+	elapsed := time.Since(start)
+	status, ok := mgr.Get("bench")
+	if !ok {
+		return standingScalePoint{}, fmt.Errorf("scale %d: subscription vanished", scale)
+	}
+	pt := standingScalePoint{
+		Scale:               scale,
+		Streams:             len(data),
+		Vertices:            vertices,
+		AppendedVertices:    len(cont),
+		NsPerVertex:         float64(elapsed.Nanoseconds()) / float64(len(cont)),
+		CandidatesPerVertex: float64(status.Candidates) / float64(len(cont)),
+		Events:              status.Matched,
+	}
+
+	// The polled equivalent over the final corpus, sequential so the
+	// candidate count is not confounded by scheduling.
+	params := core.DefaultParams()
+	params.Parallelism = 1
+	m, err := core.NewMatcher(db, params)
+	if err != nil {
+		return standingScalePoint{}, err
+	}
+	q := core.NewQuery(qseq, data[0].pid, "")
+	const pollIters = 20
+	if _, err := m.FindSimilar(q, nil); err != nil {
+		return standingScalePoint{}, err
+	}
+	before := counters()
+	pollStart := time.Now()
+	for i := 0; i < pollIters; i++ {
+		if _, err := m.FindSimilar(q, nil); err != nil {
+			return standingScalePoint{}, err
+		}
+	}
+	pt.PolledNsPerQuery = float64(time.Since(pollStart).Nanoseconds()) / pollIters
+	pt.PolledCandidatesPerQuery = perIter(before, counters(), pollIters).CandidatesScanned
 	return pt, nil
 }
 

@@ -76,6 +76,7 @@ func main() {
 	matchIndex := flag.Bool("match-index", false, "enable the window-signature index for sub-linear candidate retrieval (a data dir that had it on re-enables it automatically)")
 	advertise := flag.String("advertise", "", "base URL this daemon advertises as the source of its WAL shipments (e.g. http://10.0.0.1:8750)")
 	replicateFrom := flag.String("replicate-from", "", "comma-separated source URLs allowed to ship WAL batches here (empty = accept any)")
+	subBuffer := flag.Int("sub-buffer", 0, "per-subscription undelivered event buffer (0 = default 4096; oldest events drop past it)")
 	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
 	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "latency threshold at which a trace is pinned in the slow ring")
 	demo := flag.Bool("demo", false, "run the self-contained demo client and exit")
@@ -123,6 +124,7 @@ func main() {
 		MatchIndex:         *matchIndex,
 		AdvertiseURL:       strings.TrimRight(*advertise, "/"),
 		ReplicateFrom:      replFrom,
+		SubscriptionBuffer: *subBuffer,
 		TraceCapacity:      *traceCap,
 		TraceSlowThreshold: *traceSlow,
 	})

@@ -89,6 +89,11 @@ type Options struct {
 	// pinned in the slow ring (and slow WAL group commits are captured).
 	// 0 selects obs.DefaultSlowThreshold.
 	TraceSlowThreshold time.Duration
+
+	// SubscriptionBuffer caps each standing subscription's undelivered
+	// event buffer; the oldest events are dropped (and counted) past
+	// it. 0 selects subscribe.DefaultBuffer.
+	SubscriptionBuffer int
 }
 
 // DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds
@@ -152,6 +157,7 @@ func (s *Server) openDurability(initial *store.DB, opts Options) error {
 		d.resumed++
 	}
 	s.met.sessionsOpen.Set(int64(len(s.sessions)))
+	s.replaySubscriptions(res)
 
 	s.db.SetMutationHook(s.onMutation)
 	s.wal = d
@@ -202,6 +208,41 @@ func (s *Server) resumeSession(ss wal.SessionState) error {
 	}
 	s.sessions[ss.SessionID] = sess
 	return nil
+}
+
+// replaySubscriptions re-arms the subscriptions persisted in the
+// snapshot, then replays the logged subscription operations — upserts,
+// deletes, acks, and the vertex-append boundaries recorded while any
+// subscription was live — in log order. Because streams are
+// append-only, re-running each incremental evaluation up to its logged
+// boundary re-derives exactly the pre-crash event sequence (same
+// matches, same event sequence numbers), so consumers resuming with
+// Last-Event-ID observe no duplicates and no gaps.
+func (s *Server) replaySubscriptions(res *wal.RecoveryResult) {
+	for i := range res.Subscriptions {
+		st := res.Subscriptions[i]
+		if _, err := s.subs.Register(&st, nil); err != nil {
+			s.log.Warn("could not re-arm subscription",
+				slog.String("id", st.ID), slog.Any("err", err))
+		}
+	}
+	ctx := context.Background()
+	for _, op := range res.SubOps {
+		switch {
+		case op.Upsert != nil:
+			st := *op.Upsert
+			if _, err := s.subs.Register(&st, nil); err != nil {
+				s.log.Warn("could not re-arm subscription",
+					slog.String("id", st.ID), slog.Any("err", err))
+			}
+		case op.DeleteID != "":
+			s.subs.Delete(op.DeleteID)
+		case op.AckID != "":
+			s.subs.Ack(op.AckID, op.Ack)
+		default:
+			s.subs.EvalStream(ctx, s.db, op.PatientID, op.SessionID, uint64(op.To))
+		}
+	}
 }
 
 // onMutation is the store hook: translate each mutation into a WAL
@@ -268,7 +309,7 @@ func (s *Server) snapshot() error {
 	}
 	s.lock()
 	defer s.mu.Unlock()
-	lsn, err := s.wal.log.Snapshot(s.db, s.sessionStates())
+	lsn, err := s.wal.log.Snapshot(s.db, s.sessionStates(), s.subs.States())
 	if err != nil {
 		s.log.Error("snapshot failed", slog.Any("err", err))
 		return err

@@ -273,10 +273,22 @@ func (s *Server) snapshotBatch(r *replicator, link *replicaLink) (wal.Batch, boo
 		AnchorT:   sess.lastT,
 		AnchorPos: append([]float64(nil), sess.lastPos...),
 	}
+	// Ship the standing subscriptions scoped to this session along with
+	// the snapshot, so a fresh (or lapsed) follower arms them before any
+	// incremental appends arrive — a later promote then already has the
+	// subscription state without any extra catch-up protocol.
+	subs := s.subs.StatesInScope(r.patientID, r.sessionID)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	snap.LSN = link.nextSeq
 	link.nextSeq++
+	recs := make([]wal.Record, 0, 1+len(subs))
+	recs = append(recs, snap)
+	for i := range subs {
+		rec := wal.Record{Type: wal.TypeSubUpsert, Sub: &subs[i], LSN: link.nextSeq}
+		link.nextSeq++
+		recs = append(recs, rec)
+	}
 	link.pending = nil
 	link.needSnap = false
 	return wal.Batch{
@@ -285,7 +297,7 @@ func (s *Server) snapshotBatch(r *replicator, link *replicaLink) (wal.Batch, boo
 		PatientID: r.patientID,
 		Epoch:     r.epoch,
 		FirstSeq:  snap.LSN,
-		Records:   []wal.Record{snap},
+		Records:   recs,
 	}, true
 }
 
@@ -411,6 +423,10 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.met.replApplied.Add(len(apply))
+	// Evaluate standing queries against the replicated appends so a
+	// promoted follower already holds the same buffered events (same
+	// sequence numbers) the primary derived.
+	s.subs.Drain(r.Context(), s.db)
 	writeJSON(w, http.StatusOK, ReplicateResponse{
 		NextSeq: rs.cursor.Next,
 		Epoch:   rs.cursor.Epoch,
@@ -476,6 +492,32 @@ func (s *Server) applyReplicated(rs *replicaState, rec wal.Record) error {
 		rs.samples = rec.Samples
 		rs.lastT = rec.AnchorT
 		rs.lastPos = append(rs.lastPos[:0], rec.AnchorPos...)
+		return nil
+	case wal.TypeSubUpsert:
+		if rec.Sub == nil {
+			return errors.New("replicated sub-upsert without state")
+		}
+		// A subscription spanning several replicated sessions arrives on
+		// every link; apply only the newest copy (NextSeq is monotone) so
+		// a stale duplicate cannot rewind the follower's event stream.
+		if cur, ok := s.subs.State(rec.Sub.ID); ok && cur.NextSeq > rec.Sub.NextSeq {
+			return nil
+		}
+		st := *rec.Sub
+		if _, err := s.subs.Register(&st, nil); err != nil {
+			return fmt.Errorf("arming replicated subscription %q: %w", st.ID, err)
+		}
+		s.walAppend(wal.Record{Type: wal.TypeSubUpsert, Sub: &st})
+		return nil
+	case wal.TypeSubDelete:
+		if s.subs.Delete(rec.SubID) {
+			s.walAppend(wal.Record{Type: wal.TypeSubDelete, SubID: rec.SubID})
+		}
+		return nil
+	case wal.TypeSubAck:
+		if s.subs.Ack(rec.SubID, rec.SubAck) {
+			s.walAppend(wal.Record{Type: wal.TypeSubAck, SubID: rec.SubID, SubAck: rec.SubAck})
+		}
 		return nil
 	default:
 		// Unknown/irrelevant record types (e.g. a promote marker) are

@@ -50,6 +50,7 @@ import (
 	"stsmatch/internal/plr"
 	"stsmatch/internal/sigindex"
 	"stsmatch/internal/store"
+	"stsmatch/internal/subscribe"
 	"stsmatch/internal/wal"
 )
 
@@ -67,6 +68,12 @@ type Server struct {
 	start    time.Time
 	wal      *durability // nil when Options.DataDir is unset
 	maxBody  int64       // request-body cap; <= 0 disables
+
+	// subs holds the standing subscriptions (see subscriptions.go and
+	// internal/subscribe). Created before durability opens so WAL
+	// recovery can re-arm persisted subscriptions and replay their
+	// incremental evaluations in log order.
+	subs *subscribe.Manager
 
 	// index is the window-signature index (nil when disabled); see
 	// matchindex.go. Built before serving and maintained through the
@@ -160,6 +167,7 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		replTimeout = DefaultReplicateTimeout
 	}
 	s.replClient = &http.Client{Timeout: replTimeout, Transport: opts.ReplicateTransport}
+	s.subs = subscribe.NewManager(params, opts.SubscriptionBuffer)
 	if opts.DataDir != "" {
 		if err := s.openDurability(db, opts); err != nil {
 			return nil, err
@@ -168,6 +176,11 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	if err := s.setupMatchIndex(opts); err != nil {
 		return nil, err
 	}
+	// Appends buffer deltas for standing-query evaluation; the ingest
+	// and replication paths drain them synchronously under s.mu, so
+	// event order is deterministic. Added after the index hook: the
+	// index must observe a vertex before a standing query can match it.
+	s.db.AddMutationHook(s.subs.OnMutation)
 	s.matchers.New = func() any {
 		// params were validated above; the error path is unreachable.
 		m, _ := core.NewMatcher(s.db, s.params)
@@ -182,6 +195,10 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	s.route("POST /v1/replicate", "replicate", s.handleReplicate)
 	s.route("POST /v1/sessions/{sid}/promote", "promote", s.handlePromote)
 	s.route("POST /v1/match", "match", s.handleMatch)
+	s.route("POST /v1/subscriptions", "create_subscription", s.handleCreateSubscription)
+	s.route("GET /v1/subscriptions", "list_subscriptions", s.handleListSubscriptions)
+	s.route("DELETE /v1/subscriptions/{id}", "delete_subscription", s.handleDeleteSubscription)
+	s.route("GET /v1/subscriptions/{id}/events", "subscription_events", s.handleSubEvents)
 	s.route("GET /v1/stats", "stats", s.handleStats)
 	s.route("GET /v1/shard/stats", "shard_stats", s.handleShardStats)
 	s.route("GET /v1/healthz", "healthz", s.handleHealthz)
@@ -425,6 +442,10 @@ func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn)
 	}
 	s.met.samplesIn.Add(resp.Accepted)
 	s.met.verticesOut.Add(resp.NewVertices)
+	// Evaluate standing queries against the windows the new vertices
+	// just closed — synchronously, still under s.mu, so every
+	// subscription observes appends in exactly ingest order.
+	s.subs.Drain(ctx, s.db)
 	anchor := wal.Record{
 		Type:      wal.TypeSessionAnchor,
 		PatientID: sess.patientID,
@@ -677,6 +698,7 @@ type HealthzResponse struct {
 	WAL           *WALHealth         `json:"wal,omitempty"`
 	Replication   *ReplicationHealth `json:"replication,omitempty"`
 	Index         *IndexHealth       `json:"index,omitempty"`
+	Subscriptions *subscribe.Health  `json:"subscriptions,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -692,5 +714,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		WAL:           s.walHealth(),
 		Replication:   s.replicationHealth(),
 		Index:         s.indexHealth(),
+		Subscriptions: s.subscriptionHealth(),
 	})
 }

@@ -49,6 +49,12 @@ type Gateway struct {
 	mu     sync.Mutex
 	places map[string]*placement
 
+	// subPlaces maps subscription IDs to the scope they were registered
+	// under (guarded by mu); the scope — not the backend — is
+	// authoritative, so event streams re-resolve through session
+	// failover or the ring on every (re)connect.
+	subPlaces map[string]*subPlacement
+
 	// promoteMu serializes failovers so concurrent requests against a
 	// dead primary elect exactly one replacement.
 	promoteMu sync.Mutex
@@ -75,16 +81,17 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 		ring.Add(b)
 	}
 	g := &Gateway{
-		ring:   ring,
-		pool:   pool,
-		opts:   opts,
-		mux:    http.NewServeMux(),
-		log:    obs.Logger("gateway"),
-		met:    pool.met,
-		http:   obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
-		col:    obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
-		start:  time.Now(),
-		places: make(map[string]*placement),
+		ring:      ring,
+		pool:      pool,
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		log:       obs.Logger("gateway"),
+		met:       pool.met,
+		http:      obs.NewHTTPMetrics(obs.Default(), "stsmatch_gateway"),
+		col:       obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
+		start:     time.Now(),
+		places:    make(map[string]*placement),
+		subPlaces: make(map[string]*subPlacement),
 	}
 	obs.RegisterBuildInfo(obs.Default())
 	g.route("POST /v1/sessions", "create_session", g.handleCreateSession)
@@ -93,6 +100,10 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 	g.route("GET /v1/sessions/{sid}/predict", "predict", g.handleSessionScoped)
 	g.route("GET /v1/sessions/{sid}/plr", "plr", g.handleSessionScoped)
 	g.route("POST /v1/match", "match", g.handleMatch)
+	g.route("POST /v1/subscriptions", "create_subscription", g.handleCreateSubscription)
+	g.route("GET /v1/subscriptions", "list_subscriptions", g.handleListSubscriptions)
+	g.route("DELETE /v1/subscriptions/{id}", "delete_subscription", g.handleDeleteSubscription)
+	g.route("GET /v1/subscriptions/{id}/events", "subscription_events", g.handleSubEvents)
 	g.route("GET /v1/stats", "stats", g.handleStats)
 	g.route("GET /v1/healthz", "healthz", g.handleHealthz)
 	g.mux.Handle("GET /v1/traces", g.http.Wrap("traces", g.col.Handler()))

@@ -1,0 +1,16 @@
+package subscribe
+
+import "stsmatch/internal/obs"
+
+// Subscription metrics, registered on the default registry. The eval
+// counter increments once per incremental evaluation (one
+// subscription × one stream delta), matching the subscribe.eval span
+// cardinality, so traced funnel counts reconcile with metric deltas.
+var (
+	mActive = obs.Default().Gauge("stsmatch_sub_active",
+		"Standing subscriptions currently registered.")
+	mEvals = obs.Default().Counter("stsmatch_sub_eval_total",
+		"Incremental standing-query evaluations run (per subscription per stream delta).")
+	mDelivered = obs.Default().Counter("stsmatch_sub_events_delivered_total",
+		"Subscription match events written to consumer streams.")
+)

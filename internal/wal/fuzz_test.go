@@ -28,6 +28,15 @@ func FuzzWALDecode(f *testing.F) {
 			PatientID: "P1", SessionID: "S1", Vertices: mkVerts(0, 3), Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}},
 		{Type: TypeReplicaPromote, LSN: 7, PatientID: "P1", SessionID: "S1", Samples: 90, AnchorT: 3.1, AnchorPos: []float64{5}, Epoch: 2},
 		{Type: TypeIndexConfig, LSN: 8, Index: IndexConfig{MinSegments: 9, MaxSegments: 24, AmpBucket: 4, DurBucket: 4}},
+		{Type: TypeSubUpsert, LSN: 9, Sub: &SubState{
+			ID: "sub-1", PatientID: "P1", SessionID: "S1", Threshold: 2.5, K: 3,
+			Pattern: mkVerts(0, 3), NextSeq: 4, Delivered: 2,
+			Cursors: []SubCursor{{PatientID: "P1", SessionID: "S1", Len: 7}},
+			Events: []SubEvent{{Seq: 1, PatientID: "P1", SessionID: "S1", Start: 2, N: 3,
+				Relation: 1, Distance: 0.5, Weight: 0.4, EndT: 9.5, At: 100}},
+		}},
+		{Type: TypeSubDelete, LSN: 10, SubID: "sub-1"},
+		{Type: TypeSubAck, LSN: 11, SubID: "sub-1", SubAck: 42},
 	} {
 		stream = appendFrame(stream, encodePayload(rec))
 	}

@@ -103,12 +103,12 @@ func TestIndexConfigSurvivesCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := l.Snapshot(db, nil); err != nil {
+	if _, err := l.Snapshot(db, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A second snapshot pushes the retention floor past the first
 	// segment.
-	if _, err := l.Snapshot(db, nil); err != nil {
+	if _, err := l.Snapshot(db, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -169,7 +169,7 @@ func TestSnapshotV1StillReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, sessions, ic, lsn, err := readSnapshotFile(path)
+	got, sessions, ic, _, lsn, err := readSnapshotFile(path)
 	if err != nil {
 		t.Fatalf("v1 snapshot unreadable: %v", err)
 	}
@@ -204,11 +204,11 @@ func TestSnapshotV2EmbedsIndexConfig(t *testing.T) {
 	l.SetIndexConfig(&want)
 
 	db := store.NewDB()
-	lsn, err := l.Snapshot(db, nil)
+	lsn, err := l.Snapshot(db, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, ic, gotLSN, err := readSnapshotFile(filepath.Join(dir, snapshotName(lsn)))
+	_, _, ic, _, gotLSN, err := readSnapshotFile(filepath.Join(dir, snapshotName(lsn)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,6 +52,33 @@ const (
 	// to rebuild it identically; last record wins, and snapshots embed
 	// the same config so compaction cannot lose it.
 	TypeIndexConfig Type = 8
+
+	// Standing-subscription record types (PR 8). A subscription's
+	// events are a deterministic function of (pattern, stream content,
+	// per-stream cursor), so the log journals only the registration
+	// state and lifecycle transitions; recovery re-derives the events
+	// by replaying vertex appends against the registered subscriptions
+	// in log order, and snapshots embed the full materialized state
+	// (cursors, event numbering, undelivered buffer) so compaction
+	// cannot lose events whose source records it deleted.
+
+	// TypeSubUpsert registers (or, replicated, re-arms) a standing
+	// subscription, carrying its full durable state: pattern, scope,
+	// threshold/k, per-stream cursors, event numbering and any
+	// undelivered events. Journaled and fsynced before the create is
+	// acknowledged.
+	TypeSubUpsert Type = 9
+
+	// TypeSubDelete removes a subscription. Journaled and fsynced
+	// before the delete is acknowledged — like a session close — so a
+	// deleted subscription never resurrects after recovery.
+	TypeSubDelete Type = 10
+
+	// TypeSubAck advances a subscription's delivery high-water mark:
+	// journaled when a consumer acknowledges receipt (a reconnect with
+	// Last-Event-ID), so a recovered node knows which events were
+	// already delivered.
+	TypeSubAck Type = 11
 )
 
 // String returns the record type name.
@@ -73,6 +100,12 @@ func (t Type) String() string {
 		return "replica-promote"
 	case TypeIndexConfig:
 		return "index-config"
+	case TypeSubUpsert:
+		return "sub-upsert"
+	case TypeSubDelete:
+		return "sub-delete"
+	case TypeSubAck:
+		return "sub-ack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -100,6 +133,57 @@ type Record struct {
 
 	// Index is the window-signature index configuration.
 	Index IndexConfig // TypeIndexConfig
+
+	// Sub carries a standing subscription's full durable state.
+	Sub *SubState // TypeSubUpsert
+
+	// SubID names the subscription a lifecycle record applies to.
+	SubID string // TypeSubDelete, TypeSubAck
+
+	// SubAck is the acknowledged delivery high-water mark.
+	SubAck uint64 // TypeSubAck
+}
+
+// SubState is the durable state of one standing subscription: the
+// registration (pattern, scope, acceptance rule) plus the materialized
+// evaluation state (per-stream cursors, event numbering, undelivered
+// buffer). It mirrors subscribe.Subscription without importing it,
+// keeping the WAL free of matcher dependencies.
+type SubState struct {
+	ID        string
+	PatientID string // scope + query provenance; "" = every patient
+	SessionID string // "" = every session of the scoped patient(s)
+	Threshold float64
+	K         uint32
+	Pattern   plr.Sequence
+
+	NextSeq   uint64 // next event sequence number (1-based)
+	Delivered uint64 // delivery high-water mark (consumer-acked)
+	Cursors   []SubCursor
+	Events    []SubEvent // emitted, not yet acknowledged
+}
+
+// SubCursor is one stream's evaluation cursor inside a subscription:
+// windows ending below Len have been evaluated (or predate the
+// subscription's registration baseline).
+type SubCursor struct {
+	PatientID string
+	SessionID string
+	Len       uint64
+}
+
+// SubEvent is one emitted match event in durable form.
+type SubEvent struct {
+	Seq       uint64
+	PatientID string
+	SessionID string
+	Start     uint32
+	N         uint32
+	Relation  uint8
+	Distance  float64
+	Weight    float64
+	EndT      float64
+	At        float64 // emission wall time, unix seconds (delivery lag)
 }
 
 // IndexConfig is the journaled window-signature index configuration:
@@ -134,6 +218,8 @@ const (
 	maxString      = 1 << 20
 	maxVertices    = 1 << 24
 	maxDims        = 64
+	maxSubCursors  = 1 << 20
+	maxSubEvents   = 1 << 20
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -181,6 +267,49 @@ func encodePayload(rec Record) []byte {
 		b = binary.AppendUvarint(b, uint64(rec.Index.MaxSegments))
 		b = appendF64(b, rec.Index.AmpBucket)
 		b = appendF64(b, rec.Index.DurBucket)
+	case TypeSubUpsert:
+		b = appendSubState(b, rec.Sub)
+	case TypeSubDelete:
+		b = appendString(b, rec.SubID)
+	case TypeSubAck:
+		b = appendString(b, rec.SubID)
+		b = binary.AppendUvarint(b, rec.SubAck)
+	}
+	return b
+}
+
+// appendSubState serializes a subscription's full durable state: the
+// TypeSubUpsert payload body, also reused verbatim inside snapshots.
+func appendSubState(b []byte, s *SubState) []byte {
+	if s == nil {
+		s = &SubState{}
+	}
+	b = appendString(b, s.ID)
+	b = appendString(b, s.PatientID)
+	b = appendString(b, s.SessionID)
+	b = appendF64(b, s.Threshold)
+	b = binary.AppendUvarint(b, uint64(s.K))
+	b = appendVertices(b, s.Pattern)
+	b = binary.AppendUvarint(b, s.NextSeq)
+	b = binary.AppendUvarint(b, s.Delivered)
+	b = binary.AppendUvarint(b, uint64(len(s.Cursors)))
+	for _, c := range s.Cursors {
+		b = appendString(b, c.PatientID)
+		b = appendString(b, c.SessionID)
+		b = binary.AppendUvarint(b, c.Len)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Events)))
+	for _, e := range s.Events {
+		b = binary.AppendUvarint(b, e.Seq)
+		b = appendString(b, e.PatientID)
+		b = appendString(b, e.SessionID)
+		b = binary.AppendUvarint(b, uint64(e.Start))
+		b = binary.AppendUvarint(b, uint64(e.N))
+		b = append(b, e.Relation)
+		b = appendF64(b, e.Distance)
+		b = appendF64(b, e.Weight)
+		b = appendF64(b, e.EndT)
+		b = appendF64(b, e.At)
 	}
 	return b
 }
@@ -257,6 +386,13 @@ func decodePayload(b []byte) (Record, error) {
 		rec.Index.MaxSegments = d.u32()
 		rec.Index.AmpBucket = d.f64()
 		rec.Index.DurBucket = d.f64()
+	case TypeSubUpsert:
+		rec.Sub = d.subState()
+	case TypeSubDelete:
+		rec.SubID = d.str()
+	case TypeSubAck:
+		rec.SubID = d.str()
+		rec.SubAck = d.uvarint()
 	default:
 		return rec, fmt.Errorf("%w: unknown record type %d", ErrTorn, rec.Type)
 	}
@@ -390,6 +526,64 @@ func (d *decoder) vertices() plr.Sequence {
 		vs = append(vs, v)
 	}
 	return vs
+}
+
+// subState parses a serialized subscription state (appendSubState
+// inverse).
+func (d *decoder) subState() *SubState {
+	s := &SubState{
+		ID:        d.str(),
+		PatientID: d.str(),
+		SessionID: d.str(),
+		Threshold: d.f64(),
+		K:         d.u32(),
+		Pattern:   d.vertices(),
+		NextSeq:   d.uvarint(),
+		Delivered: d.uvarint(),
+	}
+	nc := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if nc > maxSubCursors {
+		d.err = fmt.Errorf("%w: implausible cursor count %d", ErrTorn, nc)
+		return nil
+	}
+	s.Cursors = make([]SubCursor, 0, min(int(nc), 4096))
+	for i := uint64(0); i < nc && d.err == nil; i++ {
+		s.Cursors = append(s.Cursors, SubCursor{
+			PatientID: d.str(),
+			SessionID: d.str(),
+			Len:       d.uvarint(),
+		})
+	}
+	ne := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if ne > maxSubEvents {
+		d.err = fmt.Errorf("%w: implausible event count %d", ErrTorn, ne)
+		return nil
+	}
+	s.Events = make([]SubEvent, 0, min(int(ne), 4096))
+	for i := uint64(0); i < ne && d.err == nil; i++ {
+		s.Events = append(s.Events, SubEvent{
+			Seq:       d.uvarint(),
+			PatientID: d.str(),
+			SessionID: d.str(),
+			Start:     d.u32(),
+			N:         d.u32(),
+			Relation:  d.u8(),
+			Distance:  d.f64(),
+			Weight:    d.f64(),
+			EndT:      d.f64(),
+			At:        d.f64(),
+		})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return s
 }
 
 // anchor parses the raw-sample anchor triple (appendAnchor inverse).

@@ -53,8 +53,37 @@ type RecoveryResult struct {
 	// index. The caller rebuilds the index from DB with this config.
 	IndexConfig *IndexConfig
 
+	// Subscriptions are the standing subscriptions materialized in the
+	// loaded snapshot. SubOps then replays the WAL tail's
+	// subscription-relevant history on top: the caller seeds its
+	// subscription manager from Subscriptions and applies SubOps in
+	// order, re-deriving exactly the events the pre-crash node emitted
+	// (evaluation is deterministic in log order, and window content
+	// below each op's To boundary is immutable under append-only
+	// streams).
+	Subscriptions []SubState
+	SubOps        []SubReplayOp
+
 	// Duration is the wall time of snapshot load plus replay.
 	Duration time.Duration
+}
+
+// SubReplayOp is one subscription-relevant event from the WAL tail, in
+// log order. Exactly one of the four shapes is set: Upsert (a
+// registration or replicated re-arm), DeleteID (a deletion), AckID+Ack
+// (a delivery acknowledgement), or PatientID/SessionID/From/To (PLR
+// vertices applied to a stream while subscriptions were live — the
+// owner re-evaluates windows ending in [From, To) against each
+// registered pattern, clamped by that subscription's cursor).
+type SubReplayOp struct {
+	Upsert   *SubState
+	DeleteID string
+	AckID    string
+	Ack      uint64
+
+	PatientID string
+	SessionID string
+	From, To  int
 }
 
 // Open opens (creating if necessary) the write-ahead log in opts.Dir
@@ -94,11 +123,12 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	var db *store.DB
 	var sessions []SessionState
 	var snapIdxConf *IndexConfig
+	var snapSubs []SubState
 	var snapLSN uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		d, ss, ic, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
+		d, ss, ic, sb, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
 		if err == nil {
-			db, sessions, snapIdxConf, snapLSN = d, ss, ic, lsn
+			db, sessions, snapIdxConf, snapSubs, snapLSN = d, ss, ic, sb, lsn
 			break
 		}
 	}
@@ -111,9 +141,12 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	}
 	res.SnapshotLSN = snapLSN
 
-	rs := &replayState{db: db, idx: make(map[string]int), indexConf: snapIdxConf}
+	rs := &replayState{db: db, idx: make(map[string]int), indexConf: snapIdxConf, subs: make(map[string]bool)}
 	for _, ss := range sessions {
 		rs.open(ss)
+	}
+	for i := range snapSubs {
+		rs.subs[snapSubs[i].ID] = true
 	}
 
 	// Replay segments in LSN order, verifying checksums and LSN
@@ -162,6 +195,8 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	res.RecordsReplayed = rs.applied
 	res.DB = db
 	res.IndexConfig = rs.indexConf
+	res.Subscriptions = snapSubs
+	res.SubOps = rs.subOps
 	// Carry the recovered config forward so the next snapshot embeds it
 	// even if the owner never calls SetIndexConfig again.
 	l.idxConf.Store(rs.indexConf)
@@ -194,7 +229,7 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	// A fresh directory seeded with preloaded history gets an initial
 	// snapshot so the data dir is self-contained from the start.
 	if res.Fresh && initial != nil && initial.NumPatients() > 0 {
-		if _, err := l.Snapshot(initial, nil); err != nil {
+		if _, err := l.Snapshot(initial, nil, nil); err != nil {
 			l.Close() //nolint:errcheck
 			return nil, nil, err
 		}
@@ -272,8 +307,10 @@ func replaySegment(path string, nameLSN, snapLSN uint64, rs *replayState, res *R
 type replayState struct {
 	db        *store.DB
 	sessions  []SessionState
-	idx       map[string]int // sessionID -> index in sessions, -1 when closed
-	indexConf *IndexConfig   // latest TypeIndexConfig seen (snapshot-seeded)
+	idx       map[string]int  // sessionID -> index in sessions, -1 when closed
+	indexConf *IndexConfig    // latest TypeIndexConfig seen (snapshot-seeded)
+	subs      map[string]bool // live subscription IDs (snapshot-seeded)
+	subOps    []SubReplayOp   // subscription-relevant history, log order
 	applied   uint64
 }
 
@@ -330,9 +367,7 @@ func (rs *replayState) apply(rec Record) error {
 		if st == nil {
 			st = p.AddStream(rec.SessionID)
 		}
-		if vs := tailAfter(st, rec.Vertices); len(vs) > 0 {
-			return st.Append(vs...)
-		}
+		return rs.appendTail(st, rec)
 	case TypeSessionClose:
 		if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
 			rs.idx[rec.SessionID] = -1
@@ -358,9 +393,7 @@ func (rs *replayState) apply(rec Record) error {
 		if st == nil {
 			st = p.AddStream(rec.SessionID)
 		}
-		if vs := tailAfter(st, rec.Vertices); len(vs) > 0 {
-			return st.Append(vs...)
-		}
+		return rs.appendTail(st, rec)
 	case TypeReplicaPromote:
 		// This node took over the session at a failover: reopen it with
 		// the promoted anchor so a later crash still recovers it as
@@ -374,8 +407,44 @@ func (rs *replayState) apply(rec Record) error {
 	case TypeIndexConfig:
 		c := rec.Index
 		rs.indexConf = &c // last record wins
+	case TypeSubUpsert:
+		if rec.Sub == nil {
+			return fmt.Errorf("sub-upsert without state")
+		}
+		rs.subs[rec.Sub.ID] = true
+		rs.subOps = append(rs.subOps, SubReplayOp{Upsert: rec.Sub})
+	case TypeSubDelete:
+		delete(rs.subs, rec.SubID)
+		rs.subOps = append(rs.subOps, SubReplayOp{DeleteID: rec.SubID})
+	case TypeSubAck:
+		if rs.subs[rec.SubID] {
+			rs.subOps = append(rs.subOps, SubReplayOp{AckID: rec.SubID, Ack: rec.SubAck})
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+// appendTail applies a record's vertex tail to st and, while any
+// subscription is live, records the append boundaries so the owner can
+// re-derive the events the pre-crash node emitted for it.
+func (rs *replayState) appendTail(st *store.Stream, rec Record) error {
+	vs := tailAfter(st, rec.Vertices)
+	if len(vs) == 0 {
+		return nil
+	}
+	from := len(st.Seq())
+	if err := st.Append(vs...); err != nil {
+		return err
+	}
+	if len(rs.subs) > 0 {
+		rs.subOps = append(rs.subOps, SubReplayOp{
+			PatientID: rec.PatientID,
+			SessionID: rec.SessionID,
+			From:      from,
+			To:        from + len(vs),
+		})
 	}
 	return nil
 }

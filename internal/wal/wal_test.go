@@ -385,12 +385,12 @@ func TestFallbackSnapshotReplaysContiguousTail(t *testing.T) {
 	}
 	appendSession(t, l, "P1", "S1", mkVerts(0, 8))
 	l, res := reopen(l)
-	if _, err := l.Snapshot(res.DB, res.Sessions); err != nil { // snapshot A
+	if _, err := l.Snapshot(res.DB, res.Sessions, nil); err != nil { // snapshot A
 		t.Fatal(err)
 	}
 	appendSession(t, l, "P1", "S1", mkVerts(100, 8)) // rotates several segments
 	l, res = reopen(l)
-	if _, err := l.Snapshot(res.DB, res.Sessions); err != nil { // snapshot B compacts
+	if _, err := l.Snapshot(res.DB, res.Sessions, nil); err != nil { // snapshot B compacts
 		t.Fatal(err)
 	}
 	appendSession(t, l, "P1", "S1", mkVerts(200, 4))
@@ -446,7 +446,7 @@ func TestSnapshotCompactsSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsn, err := l.Snapshot(res.DB, res.Sessions)
+	lsn, err := l.Snapshot(res.DB, res.Sessions, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +489,7 @@ func TestSnapshotPruneKeepsNewest(t *testing.T) {
 		if err := l.Append(Record{Type: TypePatientUpsert, Patient: store.PatientInfo{ID: "P1"}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := l.Snapshot(db, nil); err != nil {
+		if _, err := l.Snapshot(db, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
