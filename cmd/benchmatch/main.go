@@ -26,6 +26,16 @@
 // (internal/sigindex), asserting identical results at every point;
 // the per-point funnel shows whether candidates examined grows with
 // the corpus (scan: linear) or stays flat (probed: sub-linear).
+//
+// With -clients N > 0 (default 8) the runner boots an R=2 replicated
+// 3-shard cluster, ingests the cohort through the gateway, and
+// hammers the same query with N concurrent workers in three modes —
+// legacy primary-only scatter (max-lag 0), follower reads at a loose
+// staleness bound, and gateway cache hits — reporting QPS and ns/op
+// for each (concurrentLoad in the report). Every response in every
+// mode is hard-asserted to carry the byte-identical match list of the
+// primary-only merge, and the cache mode must actually serve from
+// cache (verified against the hit counter).
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"stsmatch/internal/core"
@@ -148,6 +159,16 @@ type benchReport struct {
 	CorpusScale     int               `json:"corpusScale,omitempty"`
 	IndexComparison []indexScalePoint `json:"indexComparison,omitempty"`
 
+	// Concurrent is the multi-client read-path scenario: the same
+	// deterministic top-k query hammered by N workers against an R=2
+	// replicated 3-shard cluster, measured three ways — legacy
+	// primary-only scatter (max-lag 0), follower reads at a loose
+	// staleness bound (each patient arc pinned to one caught-up holder,
+	// followers preferred), and gateway cache hits (zero backend
+	// calls). Every response in all three modes is hard-asserted to
+	// carry the byte-identical match list of the primary-only merge.
+	Concurrent *concurrentResult `json:"concurrentLoad,omitempty"`
+
 	// Standing measures the push path (internal/subscribe): the
 	// incremental cost of evaluating a standing query per arriving
 	// vertex, at growing corpus scales, against the cost of the
@@ -157,6 +178,39 @@ type benchReport struct {
 	// while a poll re-scans the (growing) corpus.
 	StandingScale int                  `json:"standingScale,omitempty"`
 	Standing      []standingScalePoint `json:"standing,omitempty"`
+}
+
+// concurrentResult is one run of the multi-client scenario. QPS is
+// aggregate throughput across all workers; NsPerOp is the mean
+// per-request wall latency one worker observed (elapsed / requests per
+// worker), so under concurrency QPS * NsPerOp ≈ clients * 1e9.
+type concurrentResult struct {
+	Clients        int `json:"clients"`
+	OpsPerScenario int `json:"opsPerScenario"`
+	Shards         int `json:"shards"`
+	Replicas       int `json:"replicas"`
+	Matches        int `json:"matches"`
+
+	PrimaryOnly  loadPoint `json:"primaryOnly"`
+	FollowerRead loadPoint `json:"followerReads"`
+	CacheHit     loadPoint `json:"cacheHit"`
+
+	// PlannedPatientsPerQuery / FollowerServedPerQuery describe the
+	// follower-read plan observed on the warmup query: how many patient
+	// arcs were pinned to a single holder, and how many of those
+	// holders were followers rather than primaries.
+	PlannedPatientsPerQuery int `json:"plannedPatientsPerQuery"`
+	FollowerServedPerQuery  int `json:"followerServedPerQuery"`
+
+	// Speedups are QPS ratios over the primary-only baseline.
+	FollowerReadSpeedup float64 `json:"followerReadSpeedup"`
+	CacheHitSpeedup     float64 `json:"cacheHitSpeedup"`
+}
+
+// loadPoint is one load scenario's throughput and latency.
+type loadPoint struct {
+	QPS     float64 `json:"qps"`
+	NsPerOp float64 `json:"nsPerOp"`
 }
 
 // standingScalePoint is one corpus size in the standing-query
@@ -189,6 +243,8 @@ func main() {
 		"when S > 0, additionally compare scanned vs index-probed retrieval at corpus scales 1, sqrt(S) and S")
 	standingScale := flag.Int("standing-scale", 16,
 		"largest corpus multiplier for the standing-query scenario (0 disables it)")
+	clients := flag.Int("clients", 8,
+		"concurrent workers in the multi-client read-path scenario (0 disables it)")
 	flag.Parse()
 
 	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
@@ -244,6 +300,18 @@ func main() {
 	if report.SingleNodeSequential.Matches != report.Sharded.Matches {
 		fatal(fmt.Errorf("sharded top-k (%d matches) disagrees with single node (%d): merge is broken",
 			report.Sharded.Matches, report.SingleNodeSequential.Matches))
+	}
+
+	if *clients > 0 {
+		cres, err := benchConcurrent(data, qseq, *k, *clients, *iters, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		if cres.Matches != report.SingleNodeSequential.Matches {
+			fatal(fmt.Errorf("replicated cluster top-k (%d matches) disagrees with single node (%d)",
+				cres.Matches, report.SingleNodeSequential.Matches))
+		}
+		report.Concurrent = &cres
 	}
 
 	if *corpusScale > 0 {
@@ -304,6 +372,12 @@ func main() {
 		line("parallel", *report.SingleNodeParallel)
 	}
 	line("3-shard gw", report.Sharded)
+	if c := report.Concurrent; c != nil {
+		fmt.Printf("concurrent %dx: primary-only %7.0f qps, follower-reads %7.0f qps (%.2fx, %d/%d arcs on followers), cache-hit %7.0f qps / %8.0f ns/op (%.2fx)\n",
+			c.Clients, c.PrimaryOnly.QPS, c.FollowerRead.QPS, c.FollowerReadSpeedup,
+			c.FollowerServedPerQuery, c.PlannedPatientsPerQuery,
+			c.CacheHit.QPS, c.CacheHit.NsPerOp, c.CacheHitSpeedup)
+	}
 	for _, pt := range report.IndexComparison {
 		fmt.Printf("scale %4dx: scanned %8d candidates/query, probed %6d (%.1f probes, %.1f widenings/query), %9.0f -> %9.0f ns/op\n",
 			pt.Scale, pt.Scanned.Funnel.CandidatesScanned, pt.Probed.Funnel.CandidatesScanned,
@@ -780,7 +854,10 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		go hs.Serve(listeners[i]) //nolint:errcheck
 	}
 
-	gw, err := shard.NewGateway(urls, shard.Options{HealthInterval: -1})
+	// Cache disabled: this scenario tracks the scatter-merge path
+	// itself, and a repeated identical query would otherwise be served
+	// from the gateway result cache after the first iteration.
+	gw, err := shard.NewGateway(urls, shard.Options{HealthInterval: -1, MatchCacheSize: -1})
 	if err != nil {
 		return scenarioResult{}, err
 	}
@@ -851,6 +928,260 @@ func benchSharded(data []patientData, qseq plr.Sequence, k, iters int) (scenario
 		}
 	}
 	out.StageLatency = samples.percentiles()
+	return out, nil
+}
+
+// benchConcurrent boots an R=2 replicated 3-shard cluster, ingests the
+// cohort through the gateway (so every session has a WAL-following
+// replica that is fully caught up when the acks return), and measures
+// the same deterministic top-k query under `clients` concurrent
+// workers in three modes: legacy primary-only scatter (max-lag 0),
+// follower reads at a loose staleness bound, and gateway cache hits.
+// Every response in every mode is checked against the primary-only
+// merge's byte-identical match list — the scenario is a correctness
+// gate as much as a throughput number.
+func benchConcurrent(data []patientData, qseq plr.Sequence, k, clients, totalOps int, duration float64) (concurrentResult, error) {
+	const shards = 3
+	const replicas = 2
+	var urls []string
+	var servers []*http.Server
+	var listeners []net.Listener
+	defer func() {
+		for _, hs := range servers {
+			hs.Close() //nolint:errcheck
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return concurrentResult{}, err
+		}
+		listeners = append(listeners, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i := range listeners {
+		// Backends advertise their own URL so WAL shipments between them
+		// carry real source identities.
+		srv, err := server.NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(),
+			server.Options{AdvertiseURL: urls[i]})
+		if err != nil {
+			return concurrentResult{}, err
+		}
+		hs := &http.Server{Handler: srv}
+		servers = append(servers, hs)
+		go hs.Serve(listeners[i]) //nolint:errcheck
+	}
+
+	newGW := func(cacheSize int) (*shard.Gateway, string, error) {
+		gw, err := shard.NewGateway(urls, shard.Options{
+			Replicas:       replicas,
+			HealthInterval: -1,
+			MatchCacheSize: cacheSize,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			gw.Close()
+			return nil, "", err
+		}
+		hs := &http.Server{Handler: gw}
+		servers = append(servers, hs)
+		go hs.Serve(ln) //nolint:errcheck
+		return gw, "http://" + ln.Addr().String(), nil
+	}
+	// Two gateways over the same shards: the scatter modes run with the
+	// cache disabled (every op must really execute the plan), the
+	// cache-hit mode gets the default-sized cache.
+	gw, gwURL, err := newGW(-1)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	defer gw.Close()
+	gwc, gwcURL, err := newGW(0)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	defer gwc.Close()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(url string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	for i, pd := range data {
+		if err := post(gwURL+"/v1/sessions",
+			server.CreateSessionRequest{PatientID: pd.pid, SessionID: pd.sid}); err != nil {
+			return concurrentResult{}, err
+		}
+		// Replay the cohort's deterministic signal through the server's
+		// own segmenter: the shards end up holding exactly the vertices
+		// the single-node scenarios matched against.
+		gen, err := signal.NewRespiration(signal.DefaultRespiration(), int64(100+i))
+		if err != nil {
+			return concurrentResult{}, err
+		}
+		samples := gen.Generate(duration)
+		for off := 0; off < len(samples); off += 512 {
+			end := min(off+512, len(samples))
+			batch := make([]server.SampleIn, 0, end-off)
+			for _, s := range samples[off:end] {
+				batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
+			}
+			if err := post(gwURL+"/v1/sessions/"+pd.sid+"/samples", batch); err != nil {
+				return concurrentResult{}, err
+			}
+		}
+	}
+
+	doMatch := func(url string, body []byte) (shard.MatchResult, string, error) {
+		resp, err := client.Post(url+"/v1/match", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return shard.MatchResult{}, "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return shard.MatchResult{}, "", fmt.Errorf("gateway status %d", resp.StatusCode)
+		}
+		var res shard.MatchResult
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		return res, resp.Header.Get("X-Cache"), err
+	}
+	reqPrim := server.MatchRequest{Seq: qseq, PatientID: data[0].pid, SessionID: data[0].sid, K: k}
+	bodyPrim, err := json.Marshal(reqPrim)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	reqFol := reqPrim
+	reqFol.MaxLag = 1 << 20
+	bodyFol, err := json.Marshal(reqFol)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+
+	// The primary-only merge is the reference every other mode must
+	// reproduce byte for byte.
+	base, _, err := doMatch(gwURL, bodyPrim)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	if base.Degraded || base.ShardsOK != shards {
+		return concurrentResult{}, fmt.Errorf("concurrent warmup degraded: %d/%d shards", base.ShardsOK, base.ShardsQueried)
+	}
+	want, err := json.Marshal(base.Matches)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	fol, _, err := doMatch(gwURL, bodyFol)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	if fol.Degraded || fol.PlannedPatients == 0 || fol.FollowerServed == 0 {
+		return concurrentResult{}, fmt.Errorf("follower-read warmup: degraded=%v planned=%d followerServed=%d",
+			fol.Degraded, fol.PlannedPatients, fol.FollowerServed)
+	}
+	if got, err := json.Marshal(fol.Matches); err != nil || !bytes.Equal(got, want) {
+		return concurrentResult{}, fmt.Errorf("follower-read merge diverges from primary-only (err %v)", err)
+	}
+	// Cache warmup: the first call runs before the gateway knows any
+	// store tokens (uncacheable), the second fills, the third must hit.
+	for i := 0; i < 2; i++ {
+		if _, _, err := doMatch(gwcURL, bodyPrim); err != nil {
+			return concurrentResult{}, err
+		}
+	}
+	hit, cc, err := doMatch(gwcURL, bodyPrim)
+	if err != nil {
+		return concurrentResult{}, err
+	}
+	if cc != "hit" {
+		return concurrentResult{}, fmt.Errorf("cache warmup: third identical query X-Cache = %q, want hit", cc)
+	}
+	if got, err := json.Marshal(hit.Matches); err != nil || !bytes.Equal(got, want) {
+		return concurrentResult{}, fmt.Errorf("cached merge diverges from primary-only (err %v)", err)
+	}
+
+	per := totalOps / clients
+	if per < 1 {
+		per = 1
+	}
+	ops := per * clients
+	hammer := func(url string, body []byte) (loadPoint, error) {
+		errCh := make(chan error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					res, _, err := doMatch(url, body)
+					if err == nil {
+						var got []byte
+						if got, err = json.Marshal(res.Matches); err == nil && !bytes.Equal(got, want) {
+							err = fmt.Errorf("response diverged from primary-only merge under load")
+						}
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			return loadPoint{}, err
+		default:
+		}
+		return loadPoint{
+			QPS:     float64(ops) / elapsed.Seconds(),
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(per),
+		}, nil
+	}
+
+	out := concurrentResult{
+		Clients:                 clients,
+		OpsPerScenario:          ops,
+		Shards:                  shards,
+		Replicas:                replicas,
+		Matches:                 len(base.Matches),
+		PlannedPatientsPerQuery: fol.PlannedPatients,
+		FollowerServedPerQuery:  fol.FollowerServed,
+	}
+	if out.PrimaryOnly, err = hammer(gwURL, bodyPrim); err != nil {
+		return concurrentResult{}, fmt.Errorf("primary-only: %w", err)
+	}
+	if out.FollowerRead, err = hammer(gwURL, bodyFol); err != nil {
+		return concurrentResult{}, fmt.Errorf("follower-reads: %w", err)
+	}
+	hitsBefore := sigMetric("stsmatch_gateway_match_cache_hits_total")
+	if out.CacheHit, err = hammer(gwcURL, bodyPrim); err != nil {
+		return concurrentResult{}, fmt.Errorf("cache-hit: %w", err)
+	}
+	// Both gateways share the process-wide metrics registry, but only
+	// gwc has a cache, so the delta is attributable.
+	if delta := sigMetric("stsmatch_gateway_match_cache_hits_total") - hitsBefore; delta < float64(ops) {
+		return concurrentResult{}, fmt.Errorf("cache scenario served only %.0f/%d requests from cache", delta, ops)
+	}
+	if out.PrimaryOnly.QPS > 0 {
+		out.FollowerReadSpeedup = out.FollowerRead.QPS / out.PrimaryOnly.QPS
+		out.CacheHitSpeedup = out.CacheHit.QPS / out.PrimaryOnly.QPS
+	}
 	return out, nil
 }
 

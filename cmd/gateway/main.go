@@ -12,6 +12,17 @@
 // checker ejects the primary the gateway promotes a replica and
 // re-routes the session there with no acknowledged data lost.
 //
+// Replicas also serve reads on request: POST /v1/match with ?max-lag=N
+// (or body "maxLag") pins each patient's arc to one caught-up holder —
+// followers preferred — tolerating up to N vertices of staleness, with
+// the merged answer byte-identical to the primary-only scatter; an
+// over-stale follower refuses its arc and the gateway retries it on
+// the primary. A bounded result cache (-match-cache) keyed on the
+// canonical query plus every backend's X-Store-Seq token serves
+// repeated identical queries with zero backend calls (X-Cache: hit);
+// any write routed through the gateway changes the key before its ack
+// returns.
+//
 //	gateway -listen :8760 -replicas 2 \
 //	        -backends http://127.0.0.1:8751,http://127.0.0.1:8752,http://127.0.0.1:8753
 //
@@ -55,6 +66,8 @@ func main() {
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "active health-probe period (negative = disabled)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures before a backend is ejected")
 	readmitThreshold := flag.Int("readmit-threshold", 2, "consecutive probe successes before an ejected backend is readmitted")
+	matchCache := flag.Int("match-cache", shard.DefaultMatchCacheSize, "match result cache entries (negative = disable); keyed on query + per-shard store high-water marks")
+	freshEvery := flag.Duration("freshness-interval", 5*time.Second, "background /v1/shard/stats polling period seeding the follower-read freshness tracker (0 = piggyback-only)")
 	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
 	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "latency threshold at which a trace is pinned in the slow ring")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/ on the listen address")
@@ -87,6 +100,9 @@ func main() {
 		HealthInterval:   *healthEvery,
 		FailThreshold:    *failThreshold,
 		ReadmitThreshold: *readmitThreshold,
+
+		MatchCacheSize:    *matchCache,
+		FreshnessInterval: *freshEvery,
 
 		TraceCapacity:      *traceCap,
 		TraceSlowThreshold: *traceSlow,

@@ -28,7 +28,14 @@
 // /v1/replicate applies shipped batches on the receiving side. The
 // -advertise flag names this daemon in its outgoing shipments (so
 // followers can allowlist it) and -replicate-from restricts which
-// sources may ship WAL batches here.
+// sources may ship WAL batches here. Followers also serve reads:
+// POST /v1/match on a replica answers from its WAL-applied store, and
+// a leg carrying an X-Match-Require freshness bound is refused for any
+// patient whose local holdings fall short — the contract behind the
+// gateway's bounded-staleness follower reads. /v1/shard/stats and
+// /v1/healthz report per-session per-link shipped/acked sequence
+// numbers plus per-patient holdings, and every response carries an
+// X-Store-Seq mutation high-water mark for the gateway's result cache.
 //
 // With -pprof the daemon additionally serves net/http/pprof under
 // /debug/pprof/ on the same listener. The daemon shuts down gracefully

@@ -31,6 +31,12 @@ type MatchRequest struct {
 	// threshold (Matcher.TopK); K == 0 returns every match within the
 	// threshold (Matcher.FindSimilar).
 	K int `json:"k,omitempty"`
+	// MaxLag is interpreted by the gateway, not by shards: the number
+	// of vertices of replication lag the client tolerates per patient.
+	// 0 (the default) keeps every scatter leg on primaries; > 0 lets
+	// the gateway serve a patient's arc from a follower whose holdings
+	// trail the primary by at most MaxLag vertices.
+	MaxLag int `json:"maxLag,omitempty"`
 }
 
 // RemoteMatch is one match in wire form: the stream is named rather
@@ -53,6 +59,14 @@ type RemoteMatch struct {
 type MatchResponse struct {
 	Matches []RemoteMatch `json:"matches"`
 	Profile *obs.Profile  `json:"profile,omitempty"`
+	// Refused lists patients this shard declined to score because its
+	// holdings were below the leg's X-Match-Require bound (see
+	// readpath.go); the gateway retries them on another holder.
+	Refused []string `json:"refused,omitempty"`
+	// Freshness reports this shard's holdings for every patient the
+	// leg's scope named, refused or served — the gateway's freshness
+	// tracker converges from these piggybacks.
+	Freshness map[string]PatientFreshness `json:"freshness,omitempty"`
 }
 
 // handleMatch runs a similarity search for a serialized query. Like
@@ -77,6 +91,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be >= 0, got %d", req.K))
 		return
 	}
+	scope, err := ParseMatchScope(r.Header)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	restrict, refused, fresh := s.matchScopeRestrict(scope)
 	q := core.NewQuery(req.Seq, req.PatientID, req.SessionID)
 	if req.Now != nil {
 		q.Now = *req.Now
@@ -84,11 +104,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	matcher := s.matchers.Get().(*core.Matcher)
 	defer s.matchers.Put(matcher)
 	var matches []core.Match
-	var err error
 	if req.K > 0 {
-		matches, err = matcher.TopKCtx(r.Context(), q, req.K, nil)
+		matches, err = matcher.TopKCtx(r.Context(), q, req.K, restrict)
 	} else {
-		matches, err = matcher.FindSimilarCtx(r.Context(), q, nil)
+		matches, err = matcher.FindSimilarCtx(r.Context(), q, restrict)
 	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
@@ -106,7 +125,8 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			Weight:    mt.Weight,
 		}
 	}
-	resp := MatchResponse{Matches: out}
+	sort.Strings(refused)
+	resp := MatchResponse{Matches: out, Refused: refused, Freshness: fresh}
 	if r.URL.Query().Get("debug") == "profile" {
 		// Inline "explain": serialize this query's span tree. The
 		// handler root span is still open, so it reports elapsed-so-far
@@ -124,6 +144,16 @@ type ShardSession struct {
 	SessionID string `json:"sessionId"`
 	PatientID string `json:"patientId"`
 	Samples   int    `json:"samples"`
+	// Vertices is the session stream's current length — the per-session
+	// high-water mark a freshness tracker compares across holders.
+	Vertices int `json:"vertices"`
+	// Links reports, for a primary session, each replica link's
+	// assigned/acked sequence numbers (see ReplLinkStatus); absent on
+	// unreplicated sessions and on Replicas entries.
+	Links []ReplLinkStatus `json:"links,omitempty"`
+	// AppliedSeq is, for a Replicas entry, the highest shipping
+	// sequence number this follower has contiguously applied.
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
 }
 
 // ShardStatsResponse is the shard-local inventory served at
@@ -138,34 +168,61 @@ type ShardStatsResponse struct {
 	// failover candidates, not primaries — a gateway rediscovering
 	// placement must route to a Sessions entry, never a Replicas one.
 	Replicas []ShardSession `json:"replicas,omitempty"`
+	// Freshness reports this shard's holdings per patient, for every
+	// patient with a live or followed session here. The gateway's
+	// freshness tracker seeds itself from these on its polling path.
+	Freshness map[string]PatientFreshness `json:"freshness,omitempty"`
 }
 
 func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
 	s.lock()
 	sessions := make([]ShardSession, 0, len(s.sessions))
+	fresh := make(map[string]PatientFreshness)
 	for sid, sess := range s.sessions {
-		sessions = append(sessions, ShardSession{
+		entry := ShardSession{
 			SessionID: sid,
 			PatientID: sess.patientID,
 			Samples:   sess.samples,
-		})
+			Vertices:  sess.stream.Len(),
+		}
+		if sess.repl != nil {
+			entry.Links = sess.repl.linkStatuses()
+		}
+		sessions = append(sessions, entry)
+		if _, ok := fresh[sess.patientID]; !ok {
+			fresh[sess.patientID] = s.patientFreshnessLocked(sess.patientID)
+		}
 	}
 	replicas := make([]ShardSession, 0, len(s.replicas))
 	for sid, rs := range s.replicas {
-		replicas = append(replicas, ShardSession{
+		entry := ShardSession{
 			SessionID: sid,
 			PatientID: rs.patientID,
 			Samples:   int(rs.samples),
-		})
+		}
+		if rs.stream != nil {
+			entry.Vertices = rs.stream.Len()
+		}
+		if rs.cursor.Next > 0 {
+			entry.AppliedSeq = rs.cursor.Next - 1
+		}
+		replicas = append(replicas, entry)
+		if _, ok := fresh[rs.patientID]; !ok {
+			fresh[rs.patientID] = s.patientFreshnessLocked(rs.patientID)
+		}
 	}
 	s.mu.Unlock()
 	sort.Slice(sessions, func(a, b int) bool { return sessions[a].SessionID < sessions[b].SessionID })
 	sort.Slice(replicas, func(a, b int) bool { return replicas[a].SessionID < replicas[b].SessionID })
+	if len(fresh) == 0 {
+		fresh = nil
+	}
 	writeJSON(w, http.StatusOK, ShardStatsResponse{
-		Patients: s.db.NumPatients(),
-		Streams:  len(s.db.Streams()),
-		Vertices: s.db.NumVertices(),
-		Sessions: sessions,
-		Replicas: replicas,
+		Patients:  s.db.NumPatients(),
+		Streams:   len(s.db.Streams()),
+		Vertices:  s.db.NumVertices(),
+		Sessions:  sessions,
+		Replicas:  replicas,
+		Freshness: fresh,
 	})
 }

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMatchScopeHeaderRoundTrip: scope headers survive encode/decode
+// even with separator characters inside patient IDs.
+func TestMatchScopeHeaderRoundTrip(t *testing.T) {
+	cases := []MatchScope{
+		{},
+		{Exclude: []string{"P01", "p,with,commas", "p with spaces", "p=eq:colon"}},
+		{Only: []string{"P02", "ünïcode"}},
+		{
+			Only:    []string{"P03", "P04"},
+			Require: map[string]PatientFreshness{"P03": {Streams: 2, Vertices: 117}},
+		},
+		{
+			Exclude: []string{"P05"},
+			Require: map[string]PatientFreshness{"P06": {Streams: 1, Vertices: 0}},
+		},
+	}
+	for i, sc := range cases {
+		h := make(http.Header)
+		sc.SetHeaders(h)
+		got, err := ParseMatchScope(h)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if !reflect.DeepEqual(normScope(sc), normScope(got)) {
+			t.Errorf("case %d: round-trip %+v -> %+v", i, sc, got)
+		}
+	}
+}
+
+// normScope nil-normalizes empty slices/maps for DeepEqual.
+func normScope(sc MatchScope) MatchScope {
+	if len(sc.Exclude) == 0 {
+		sc.Exclude = nil
+	}
+	if len(sc.Only) == 0 {
+		sc.Only = nil
+	}
+	if len(sc.Require) == 0 {
+		sc.Require = nil
+	}
+	return sc
+}
+
+func TestMatchScopeHeaderParseErrors(t *testing.T) {
+	for _, c := range []struct{ header, value string }{
+		{HeaderMatchRequire, "P01"},     // missing '='
+		{HeaderMatchRequire, "P01=5"},   // missing ':'
+		{HeaderMatchRequire, "P01=x:2"}, // bad stream bound
+		{HeaderMatchRequire, "P01=1:y"}, // bad vertex bound
+		{HeaderMatchOnly, "%zz"},        // bad escape
+		{HeaderMatchExclude, "ok,%zz"},  // bad escape mid-list
+	} {
+		h := make(http.Header)
+		h.Set(c.header, c.value)
+		if _, err := ParseMatchScope(h); err == nil {
+			t.Errorf("%s: %q parsed without error", c.header, c.value)
+		}
+	}
+}
+
+// TestStoreSeqTokenAdvances: every response carries X-Store-Seq, the
+// token is constant across reads of a quiescent store, and an ingest
+// response already reflects the post-mutation counter.
+func TestStoreSeqTokenAdvances(t *testing.T) {
+	_, ts := newReplServer(t, Options{})
+
+	get := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		tok := resp.Header.Get(HeaderStoreSeq)
+		if tok == "" {
+			t.Fatal("response missing X-Store-Seq")
+		}
+		if !strings.Contains(tok, "-") {
+			t.Fatalf("token %q not in epoch-seq form", tok)
+		}
+		return tok
+	}
+
+	before := get()
+	if again := get(); again != before {
+		t.Fatalf("quiescent store token moved: %q -> %q", before, again)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P01", SessionID: "S01"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	createTok := resp.Header.Get(HeaderStoreSeq)
+	if createTok == before {
+		t.Fatal("create response did not advance the store token")
+	}
+	if after := get(); after != createTok {
+		t.Fatalf("create response token %q != settled token %q: ack must reflect the post-mutation counter", createTok, after)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/sessions/S01/samples", respSamples(t, 3, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	ingestTok := resp.Header.Get(HeaderStoreSeq)
+	if ingestTok == createTok {
+		t.Fatal("ingest response did not advance the store token")
+	}
+	if after := get(); after != ingestTok {
+		t.Fatalf("ingest token %q != settled token %q", ingestTok, after)
+	}
+}
+
+// TestIngestFreshnessHeaders: ingest and create acks piggyback the
+// patient's post-write holdings and the replication outcome.
+func TestIngestFreshnessHeaders(t *testing.T) {
+	_, replica := newReplServer(t, Options{})
+	_, primary := newReplServer(t, Options{AdvertiseURL: "http://primary"})
+
+	// Unreplicated session: X-Replicated: none.
+	resp := postJSON(t, primary.URL+"/v1/sessions", CreateSessionRequest{PatientID: "P00", SessionID: "S00"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderReplicated); got != "none" {
+		t.Errorf("unreplicated create X-Replicated = %q, want none", got)
+	}
+
+	// Replicated session: create and ingest report "full" after a clean
+	// synchronous flush, with the patient's holdings alongside.
+	resp = postJSON(t, primary.URL+"/v1/sessions", CreateSessionRequest{
+		PatientID: "P01", SessionID: "S01", Replicate: []string{replica.URL},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replicated create status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderReplicated); got != "full" {
+		t.Errorf("replicated create X-Replicated = %q, want full", got)
+	}
+
+	resp = postJSON(t, primary.URL+"/v1/sessions/S01/samples", respSamples(t, 5, 20))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderReplicated); got != "full" {
+		t.Errorf("ingest X-Replicated = %q, want full", got)
+	}
+	if resp.Header.Get(HeaderPatientStreams) != "1" {
+		t.Errorf("X-Patient-Streams = %q, want 1", resp.Header.Get(HeaderPatientStreams))
+	}
+	stats, _ := getJSON[ShardStatsResponse](t, primary.URL+"/v1/shard/stats")
+	wantV := stats.Freshness["P01"].Vertices
+	if wantV == 0 {
+		t.Fatal("stats report no vertices for P01")
+	}
+	if got := resp.Header.Get(HeaderPatientVertices); got != strconv.Itoa(wantV) {
+		t.Errorf("X-Patient-Vertices = %q, stats say %d", got, wantV)
+	}
+}
+
+// TestMatchScopeRefusal drives the follower-read contract directly
+// against one server: an Only leg with a satisfiable Require bound is
+// served, an unsatisfiable bound is refused, and an Exclude leg omits
+// the excluded patient's matches entirely.
+func TestMatchScopeRefusal(t *testing.T) {
+	_, ts := newReplServer(t, Options{})
+	for _, pid := range []string{"PA", "PB"} {
+		resp := postJSON(t, ts.URL+"/v1/sessions", CreateSessionRequest{PatientID: pid, SessionID: "S-" + pid})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s status %d", pid, resp.StatusCode)
+		}
+		ingestBatches(t, ts.URL, "S-"+pid, respSamples(t, 21, 40), 256)
+	}
+	plrA, _ := getJSON[PLRResponse](t, ts.URL+"/v1/sessions/S-PA/plr")
+	if len(plrA.Vertices) < 8 {
+		t.Fatalf("query stream too short: %d vertices", len(plrA.Vertices))
+	}
+	q := MatchRequest{Seq: plrA.Vertices[len(plrA.Vertices)-6:], PatientID: "PA", SessionID: "S-PA"}
+	holdings := func(pid string) PatientFreshness {
+		stats, _ := getJSON[ShardStatsResponse](t, ts.URL+"/v1/shard/stats")
+		return stats.Freshness[pid]
+	}
+	frA := holdings("PA")
+	if frA.Streams != 1 || frA.Vertices == 0 {
+		t.Fatalf("PA holdings = %+v", frA)
+	}
+
+	body, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(sc MatchScope) MatchResponse {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/match", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		sc.SetHeaders(req.Header)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scoped match status %d", resp.StatusCode)
+		}
+		return decode[MatchResponse](t, resp)
+	}
+
+	baseline := post(MatchScope{})
+	if len(baseline.Matches) == 0 {
+		t.Fatal("baseline match found nothing; fixture broken")
+	}
+	if baseline.Refused != nil || baseline.Freshness != nil {
+		t.Errorf("unscoped match reported scope fields: %+v %+v", baseline.Refused, baseline.Freshness)
+	}
+
+	// Satisfiable bound: served, holdings reported, nothing refused.
+	ok := post(MatchScope{Only: []string{"PA", "PB"}, Require: map[string]PatientFreshness{"PA": frA}})
+	if len(ok.Refused) != 0 {
+		t.Errorf("satisfiable bound refused %v", ok.Refused)
+	}
+	if ok.Freshness["PA"] != frA {
+		t.Errorf("reported freshness %+v, want %+v", ok.Freshness["PA"], frA)
+	}
+	if len(ok.Matches) != len(baseline.Matches) {
+		t.Errorf("scoped full match returned %d matches, baseline %d", len(ok.Matches), len(baseline.Matches))
+	}
+
+	// Unsatisfiable bound (as if the primary were ahead): refused, and
+	// none of PA's matches leak into the response.
+	over := frA
+	over.Vertices += 10
+	ref := post(MatchScope{Only: []string{"PA", "PB"}, Require: map[string]PatientFreshness{"PA": over}})
+	if len(ref.Refused) != 1 || ref.Refused[0] != "PA" {
+		t.Fatalf("Refused = %v, want [PA]", ref.Refused)
+	}
+	for _, m := range ref.Matches {
+		if m.PatientID == "PA" {
+			t.Fatalf("refused patient still matched: %+v", m)
+		}
+	}
+
+	// Exclude mode: PA's arcs are scored elsewhere, so they must not
+	// appear here; PB's still do.
+	exc := post(MatchScope{Exclude: []string{"PA"}})
+	sawPB := false
+	for _, m := range exc.Matches {
+		if m.PatientID == "PA" {
+			t.Fatalf("excluded patient matched: %+v", m)
+		}
+		sawPB = sawPB || m.PatientID == "PB"
+	}
+	// A bound on a patient this shard does not hold at all is refused.
+	missing := post(MatchScope{Exclude: []string{"PA"}, Require: map[string]PatientFreshness{"PZ": {Streams: 1}}})
+	if len(missing.Refused) != 1 || missing.Refused[0] != "PZ" {
+		t.Errorf("unknown-patient Require: Refused = %v, want [PZ]", missing.Refused)
+	}
+	_ = sawPB // PB similarity to PA's query is data-dependent; presence not asserted
+}
+
+// TestShardStatsLinkSeqs: after a replicated ingest the primary's
+// stats expose per-link shipped/acked sequence numbers, the follower
+// reports its applied high-water mark, and both sides publish
+// per-patient holdings. The healthz payload carries the same per-
+// session link detail.
+func TestShardStatsLinkSeqs(t *testing.T) {
+	_, replica := newReplServer(t, Options{})
+	_, primary := newReplServer(t, Options{AdvertiseURL: "http://primary"})
+
+	resp := postJSON(t, primary.URL+"/v1/sessions", CreateSessionRequest{
+		PatientID: "P01", SessionID: "S01", Replicate: []string{replica.URL},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	ingestBatches(t, primary.URL, "S01", respSamples(t, 9, 30), 256)
+
+	pStats, _ := getJSON[ShardStatsResponse](t, primary.URL+"/v1/shard/stats")
+	if len(pStats.Sessions) != 1 {
+		t.Fatalf("primary sessions = %+v", pStats.Sessions)
+	}
+	sess := pStats.Sessions[0]
+	if sess.Vertices == 0 {
+		t.Error("primary session reports zero vertices")
+	}
+	if len(sess.Links) != 1 {
+		t.Fatalf("primary links = %+v, want one to the replica", sess.Links)
+	}
+	link := sess.Links[0]
+	if link.Target != replica.URL {
+		t.Errorf("link target %q, want %q", link.Target, replica.URL)
+	}
+	if link.ShippedSeq == 0 {
+		t.Error("link shipped nothing after ingest")
+	}
+	if link.AckedSeq != link.ShippedSeq {
+		t.Errorf("acked %d != shipped %d after synchronous flush", link.AckedSeq, link.ShippedSeq)
+	}
+	if pStats.Freshness["P01"].Vertices == 0 {
+		t.Error("primary stats missing P01 freshness")
+	}
+
+	rStats, _ := getJSON[ShardStatsResponse](t, replica.URL+"/v1/shard/stats")
+	if len(rStats.Replicas) != 1 {
+		t.Fatalf("replica inventory = %+v", rStats.Replicas)
+	}
+	if got := rStats.Replicas[0].AppliedSeq; got != link.AckedSeq {
+		t.Errorf("replica applied seq %d, primary acked %d", got, link.AckedSeq)
+	}
+	if rStats.Freshness["P01"] != pStats.Freshness["P01"] {
+		t.Errorf("follower freshness %+v != primary %+v after clean flush",
+			rStats.Freshness["P01"], pStats.Freshness["P01"])
+	}
+
+	hz, _ := getJSON[HealthzResponse](t, primary.URL+"/v1/healthz")
+	if hz.Replication == nil || len(hz.Replication.Sessions) != 1 {
+		t.Fatalf("healthz replication sessions = %+v", hz.Replication)
+	}
+	hs := hz.Replication.Sessions[0]
+	if hs.SessionID != "S01" || len(hs.Links) != 1 || hs.Links[0].AckedSeq != link.AckedSeq {
+		t.Errorf("healthz session detail = %+v, want S01 with acked %d", hs, link.AckedSeq)
+	}
+}

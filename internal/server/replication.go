@@ -28,6 +28,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -104,6 +105,41 @@ func (r *replicator) enqueue(recs ...wal.Record) {
 			link.needSnap = true
 		}
 	}
+}
+
+// ReplLinkStatus is one primary→replica shipping lane's sequence
+// state, exposed in /v1/shard/stats and /v1/healthz so operators (and
+// the gateway freshness tracker) can see which replica is behind.
+type ReplLinkStatus struct {
+	Target string `json:"target"`
+	// ShippedSeq is the highest sequence number assigned on this link
+	// (records staged for shipment); AckedSeq is the highest the
+	// replica has contiguously acknowledged. Their difference is the
+	// link's in-flight backlog in records.
+	ShippedSeq uint64 `json:"shippedSeq"`
+	AckedSeq   uint64 `json:"ackedSeq"`
+	// SnapshotPending marks a link collapsed to snapshot catch-up: the
+	// next shipment re-anchors the follower with full session state.
+	SnapshotPending bool   `json:"snapshotPending,omitempty"`
+	LastError       string `json:"lastError,omitempty"`
+}
+
+// linkStatuses snapshots every link's sequence state.
+func (r *replicator) linkStatuses() []ReplLinkStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReplLinkStatus, 0, len(r.links))
+	for _, link := range r.links {
+		shipped := link.nextSeq - 1
+		out = append(out, ReplLinkStatus{
+			Target:          link.target,
+			ShippedSeq:      shipped,
+			AckedSeq:        shipped - uint64(len(link.pending)),
+			SnapshotPending: link.needSnap,
+			LastError:       link.lastErr,
+		})
+	}
+	return out
 }
 
 // lag returns the largest unacknowledged backlog across links. A link
@@ -672,12 +708,25 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ReplSessionHealth details one replicated session's shipping state in
+// healthz: the per-link assigned/acked sequence numbers.
+type ReplSessionHealth struct {
+	SessionID string           `json:"sessionId"`
+	PatientID string           `json:"patientId"`
+	Epoch     uint64           `json:"epoch"`
+	Links     []ReplLinkStatus `json:"links"`
+}
+
 // ReplicationHealth is the replication section of healthz.
 type ReplicationHealth struct {
 	PrimarySessions int    `json:"primarySessions"` // sessions this node ships
 	ReplicaSessions int    `json:"replicaSessions"` // sessions this node follows
 	MaxLagRecords   int    `json:"maxLagRecords"`   // worst unshipped backlog
 	LastShipError   string `json:"lastShipError,omitempty"`
+	// Sessions details each primary session's links, sorted by session
+	// ID, so a single healthz poll shows exactly which replica of which
+	// session is behind (not just the worst aggregate).
+	Sessions []ReplSessionHealth `json:"sessions,omitempty"`
 }
 
 // replicationHealth summarizes replication for /v1/healthz. Returns
@@ -686,7 +735,7 @@ func (s *Server) replicationHealth() *ReplicationHealth {
 	s.lock()
 	defer s.mu.Unlock()
 	h := &ReplicationHealth{ReplicaSessions: len(s.replicas)}
-	for _, sess := range s.sessions {
+	for sid, sess := range s.sessions {
 		if sess.repl == nil {
 			continue
 		}
@@ -694,14 +743,20 @@ func (s *Server) replicationHealth() *ReplicationHealth {
 		if lag := sess.repl.lag(); lag > h.MaxLagRecords {
 			h.MaxLagRecords = lag
 		}
-		sess.repl.mu.Lock()
-		for _, link := range sess.repl.links {
-			if link.lastErr != "" {
-				h.LastShipError = link.lastErr
+		detail := ReplSessionHealth{
+			SessionID: sid,
+			PatientID: sess.patientID,
+			Epoch:     sess.repl.epoch,
+			Links:     sess.repl.linkStatuses(),
+		}
+		for _, link := range detail.Links {
+			if link.LastError != "" {
+				h.LastShipError = link.LastError
 			}
 		}
-		sess.repl.mu.Unlock()
+		h.Sessions = append(h.Sessions, detail)
 	}
+	sort.Slice(h.Sessions, func(a, b int) bool { return h.Sessions[a].SessionID < h.Sessions[b].SessionID })
 	if h.PrimarySessions == 0 && h.ReplicaSessions == 0 {
 		return nil
 	}

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -66,6 +67,7 @@ type Server struct {
 	log      *slog.Logger
 	met      *serverMetrics
 	start    time.Time
+	seqEpoch int64       // start nonce prefixed onto X-Store-Seq tokens
 	wal      *durability // nil when Options.DataDir is unset
 	maxBody  int64       // request-body cap; <= 0 disables
 
@@ -158,6 +160,7 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		replFrom:  opts.ReplicateFrom,
 		col:       obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
 	}
+	s.seqEpoch = s.start.UnixNano()
 	obs.RegisterBuildInfo(obs.Default())
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -206,7 +209,9 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	// /metrics is excluded from the access log and from tracing, but
 	// still counts in the request metrics like any other route.
 	s.mux.Handle("GET /metrics", s.met.http.WrapScrape("metrics", obs.Default().Handler()))
-	s.handler = obs.RequestID(obs.TraceHTTP("server", s.col, obs.AccessLog(s.log, s.mux)))
+	// seqStamp sits innermost so the X-Store-Seq high-water mark is
+	// evaluated as late as possible — after the handler's mutations.
+	s.handler = obs.RequestID(obs.TraceHTTP("server", s.col, obs.AccessLog(s.log, s.seqStamp(s.mux))))
 	return s, nil
 }
 
@@ -300,6 +305,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// session exists (or the response says which ones do not).
 		replErrs = s.replFlush(r.Context(), sess.repl)
 	}
+	s.setFreshnessHeaders(w, sess, s.patientFreshness(req.PatientID), replErrs)
 	s.log.Info("session opened",
 		slog.String("patientId", req.PatientID),
 		slog.String("sessionId", req.SessionID),
@@ -381,12 +387,15 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyErrCode(err), fmt.Errorf("decoding samples: %w", err))
 		return
 	}
-	resp, repl, code, err := s.ingestLocked(r.Context(), sid, batch)
-	if repl != nil {
+	resp, sess, fresh, code, err := s.ingestLocked(r.Context(), sid, batch)
+	if sess != nil && sess.repl != nil {
 		// Ship before answering — even on error, so replicas hold
 		// exactly what this node stored. The ack then implies every
 		// healthy replica has every acknowledged vertex.
-		resp.ReplicaErrors = s.replFlush(r.Context(), repl)
+		resp.ReplicaErrors = s.replFlush(r.Context(), sess.repl)
+	}
+	if sess != nil {
+		s.setFreshnessHeaders(w, sess, fresh, resp.ReplicaErrors)
 	}
 	if err != nil {
 		httpError(w, code, err)
@@ -395,16 +404,36 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// setFreshnessHeaders piggybacks the patient's post-write holdings on
+// a session-scoped response. The counts were snapshotted under s.mu
+// before replication flushed, so X-Replicated: full guarantees every
+// follower holds at least the advertised streams/vertices — the fact
+// the gateway's freshness tracker records for both primary and
+// followers off a single ingest ack.
+func (s *Server) setFreshnessHeaders(w http.ResponseWriter, sess *session, fresh PatientFreshness, replErrs []string) {
+	h := w.Header()
+	h.Set(HeaderPatientStreams, strconv.Itoa(fresh.Streams))
+	h.Set(HeaderPatientVertices, strconv.Itoa(fresh.Vertices))
+	switch {
+	case sess.repl == nil:
+		h.Set(HeaderReplicated, "none")
+	case len(replErrs) == 0:
+		h.Set(HeaderReplicated, "full")
+	default:
+		h.Set(HeaderReplicated, "partial")
+	}
+}
+
 // ingestLocked runs one ingest batch under the session lock and stages
 // the resulting records on the session's replica links. The returned
 // replicator (nil for unreplicated sessions) must be flushed by the
 // caller after the lock is released.
-func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn) (SamplesResponse, *replicator, int, error) {
+func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn) (SamplesResponse, *session, PatientFreshness, int, error) {
 	s.lock()
 	defer s.mu.Unlock()
 	sess, ok := s.sessions[sid]
 	if !ok {
-		return SamplesResponse{}, nil, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
+		return SamplesResponse{}, nil, PatientFreshness{}, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
 	}
 	resp := SamplesResponse{}
 	var newVs []plr.Vertex
@@ -475,12 +504,16 @@ func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn)
 		recs = append(recs, anchor)
 		sess.repl.enqueue(recs...)
 	}
+	// Snapshot the patient's holdings before the caller flushes
+	// replication: a clean flush then proves followers hold at least
+	// these counts.
+	fresh := s.patientFreshnessLocked(sess.patientID)
 	if pushErr != nil {
-		return resp, sess.repl, pushCode, pushErr
+		return resp, sess, fresh, pushCode, pushErr
 	}
 	resp.TotalSamples = sess.samples
 	resp.CurrentState = sess.seg.CurrentState().String()
-	return resp, sess.repl, 0, nil
+	return resp, sess, fresh, 0, nil
 }
 
 // CloseSessionResponse reports the final state of a closed session.

@@ -1,0 +1,127 @@
+// Gateway result cache for /v1/match: a bounded LRU keyed on
+// (canonical query signature, sorted per-backend store sequence
+// high-water marks). Every shard response carries X-Store-Seq, a
+// monotone mutation counter prefixed with a per-process start nonce;
+// any ingest routed through the gateway advances the primary's
+// tracked token before the ack returns, so the next identical query
+// computes a different key and misses. No invalidation protocol —
+// coherence falls out of the key.
+//
+// Out-of-band writes (a client mutating a shard directly, bypassing
+// the gateway) are caught by the health prober: every probe response
+// refreshes the tracked token, bounding the staleness window to one
+// HealthInterval.
+
+package shard
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+)
+
+type matchCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	met     *shardMetrics
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte // the merged MatchResult JSON served on a hit, verbatim
+}
+
+// newMatchCache returns a cache bounded to max entries, or nil when
+// max <= 0 (caching disabled).
+func newMatchCache(max int, met *shardMetrics) *matchCache {
+	if max <= 0 {
+		return nil
+	}
+	return &matchCache{
+		max:     max,
+		entries: make(map[string]*list.Element, max),
+		order:   list.New(),
+		met:     met,
+	}
+}
+
+// cacheKey derives the lookup key: a digest of the canonical query
+// bytes (which include max-lag, so different staleness tolerances
+// never share an entry) plus every healthy backend's current store
+// token, sorted for order independence. ok is false — the query is
+// uncacheable — when any healthy backend has no known token yet.
+func cacheKey(canonical []byte, backends []*Backend) (string, bool) {
+	sum := sha256.Sum256(canonical)
+	toks := make([]string, 0, len(backends))
+	for _, b := range backends {
+		if !b.Healthy() {
+			continue
+		}
+		tok := b.StoreSeq()
+		if tok == "" {
+			return "", false
+		}
+		toks = append(toks, b.URL()+"="+tok)
+	}
+	if len(toks) == 0 {
+		return "", false
+	}
+	sort.Strings(toks)
+	return hex.EncodeToString(sum[:]) + "|" + strings.Join(toks, ","), true
+}
+
+// get returns the cached merged result for a key, marking it most
+// recently used.
+func (c *matchCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.met.cacheMisses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.met.cacheHits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores a merged result under key, evicting the least recently
+// used entry past capacity.
+func (c *matchCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.met.cacheEvictions.Inc()
+	}
+	c.met.cacheEntries.Set(int64(c.order.Len()))
+}
+
+// Len reports the number of cached results.
+func (c *matchCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -8,11 +8,14 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"stsmatch/internal/obs"
+	"stsmatch/internal/server"
 )
 
 // Options tunes the gateway's backend clients. The zero value selects
@@ -69,7 +72,24 @@ type Options struct {
 	// TraceSlowThreshold is the latency at or above which a gateway
 	// trace is pinned in the slow ring (0 = obs.DefaultSlowThreshold).
 	TraceSlowThreshold time.Duration
+
+	// MatchCacheSize bounds the gateway's /v1/match result cache in
+	// entries (0 = DefaultMatchCacheSize, negative = disable caching).
+	// The cache is keyed on (query signature, per-backend store
+	// high-water marks), so entries go stale only by construction,
+	// never by time.
+	MatchCacheSize int
+
+	// FreshnessInterval is the period of the gateway's background
+	// /v1/shard/stats polling that seeds the follower-read freshness
+	// tracker (0 = disabled; the tracker still converges from
+	// piggybacked response headers on regular traffic).
+	FreshnessInterval time.Duration
 }
+
+// DefaultMatchCacheSize bounds the gateway result cache when
+// Options.MatchCacheSize is zero.
+const DefaultMatchCacheSize = 512
 
 func (o Options) withDefaults() Options {
 	if o.Vnodes <= 0 {
@@ -102,6 +122,9 @@ func (o Options) withDefaults() Options {
 	if o.ReadmitThreshold <= 0 {
 		o.ReadmitThreshold = 2
 	}
+	if o.MatchCacheSize == 0 {
+		o.MatchCacheSize = DefaultMatchCacheSize
+	}
 	return o
 }
 
@@ -119,6 +142,11 @@ type Backend struct {
 	healthy   atomic.Bool
 	fails     atomic.Int64
 	successes atomic.Int64 // consecutive successes while ejected
+
+	// storeSeq is the backend's last seen X-Store-Seq token — its
+	// mutation high-water mark, refreshed by every response including
+	// health probes. The match result cache keys on it.
+	storeSeq atomic.Value // string
 }
 
 // URL returns the backend's base URL.
@@ -126,6 +154,66 @@ func (b *Backend) URL() string { return b.url }
 
 // Healthy reports whether the backend is currently admitted.
 func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// StoreSeq returns the backend's last seen store high-water token
+// ("" until any response has been observed).
+func (b *Backend) StoreSeq() string {
+	if v := b.storeSeq.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// noteStoreSeq advances the tracked token, never retreating it: match
+// legs and ingest acks race on this slot, and a slow read carrying a
+// pre-ingest token must not overwrite the newer high-water mark a
+// write ack already published (that would let a later cache hit serve
+// pre-ingest bytes under a fresh-looking key).
+func (b *Backend) noteStoreSeq(tok string) {
+	for {
+		cur := b.StoreSeq()
+		if !storeSeqNewer(tok, cur) {
+			return
+		}
+		if b.storeSeq.CompareAndSwap(cur, tok) {
+			return
+		}
+	}
+}
+
+// storeSeqNewer reports whether token a ("epoch-seq") supersedes cur.
+// A different epoch means the shard restarted — always accept, since
+// the counter restarted with it. An empty or unparsable current value
+// is always superseded.
+func storeSeqNewer(a, cur string) bool {
+	if cur == "" {
+		return true
+	}
+	ae, as, aok := splitStoreSeq(a)
+	ce, cs, cok := splitStoreSeq(cur)
+	if !cok {
+		return true
+	}
+	if !aok {
+		return false
+	}
+	if ae != ce {
+		return true
+	}
+	return as > cs
+}
+
+func splitStoreSeq(tok string) (epoch string, seq uint64, ok bool) {
+	i := strings.LastIndexByte(tok, '-')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseUint(tok[i+1:], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return tok[:i], n, true
+}
 
 // Pool manages the set of backends: per-backend pooled clients,
 // bounded retries with jittered exponential backoff on idempotent
@@ -180,6 +268,7 @@ func NewPool(urls []string, opts Options) (*Pool, error) {
 			hc:  &http.Client{Transport: transport},
 		}
 		b.healthy.Store(true)
+		b.storeSeq.Store("") // non-nil slot so noteStoreSeq can CAS
 		p.met.healthy.With(u).Set(1)
 		p.backends = append(p.backends, b)
 		p.byURL[u] = b
@@ -241,6 +330,14 @@ func (p *Pool) backoff(n int) time.Duration {
 // The returned status/body reflect the backend's response verbatim; a
 // non-nil error means no usable response was obtained.
 func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []byte, idempotent bool) (int, []byte, error) {
+	status, respBody, _, err := p.doHdr(ctx, b, method, path, body, nil, idempotent)
+	return status, respBody, err
+}
+
+// doHdr is do with per-request extra headers (the scatter planner's
+// per-leg scope rides here, keeping the body canonical across legs)
+// and the backend's response headers returned (freshness piggybacks).
+func (p *Pool) doHdr(ctx context.Context, b *Backend, method, path string, body []byte, hdr http.Header, idempotent bool) (int, []byte, http.Header, error) {
 	attempts := 1
 	if idempotent {
 		attempts += p.opts.MaxRetries
@@ -252,7 +349,7 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 			select {
 			case <-time.After(p.backoff(attempt)):
 			case <-ctx.Done():
-				return 0, nil, ctx.Err()
+				return 0, nil, nil, ctx.Err()
 			}
 		}
 		// Each attempt gets its own span (annotated retry=true past the
@@ -265,7 +362,7 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 			sp.Annotate("retry", true)
 			sp.Annotate("attempt", attempt+1)
 		}
-		status, respBody, err := p.once(actx, b, method, path, body)
+		status, respBody, respHdr, err := p.once(actx, b, method, path, body, hdr)
 		if err != nil {
 			sp.Annotate("error", err.Error())
 			sp.Finish()
@@ -273,7 +370,7 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 			p.met.requests.With(b.url, "error").Inc()
 			p.recordFailure(b)
 			if ctx.Err() != nil {
-				return 0, nil, lastErr
+				return 0, nil, nil, lastErr
 			}
 			continue
 		}
@@ -289,13 +386,13 @@ func (p *Pool) do(ctx context.Context, b *Backend, method, path string, body []b
 			continue
 		}
 		p.met.requests.With(b.url, "ok").Inc()
-		return status, respBody, nil
+		return status, respBody, respHdr, nil
 	}
-	return 0, nil, lastErr
+	return 0, nil, nil, lastErr
 }
 
 // once performs a single attempt with the per-attempt timeout.
-func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body []byte) (int, []byte, error) {
+func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body []byte, hdr http.Header) (int, []byte, http.Header, error) {
 	rctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
 	defer cancel()
 	var rd io.Reader
@@ -304,10 +401,13 @@ func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body [
 	}
 	req, err := http.NewRequestWithContext(rctx, method, b.url+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	// Propagate the trace context and request ID to the backend, so one
 	// logical request joins up across gateway and shard logs/traces.
@@ -316,14 +416,21 @@ func (p *Pool) once(ctx context.Context, b *Backend, method, path string, body [
 	resp, err := b.hc.Do(req)
 	p.met.latency.With(b.url).Observe(time.Since(start).Seconds())
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, respBody, nil
+	// Every response refreshes the backend's store high-water token —
+	// regular traffic and health probes alike — which is what keeps the
+	// match result cache's keys current even for writes that bypass
+	// this gateway.
+	if tok := resp.Header.Get(server.HeaderStoreSeq); tok != "" {
+		b.noteStoreSeq(tok)
+	}
+	return resp.StatusCode, respBody, resp.Header, nil
 }
 
 // recordFailure counts one failure; crossing the threshold ejects the
@@ -378,7 +485,7 @@ func (p *Pool) ProbeAll() {
 		wg.Add(1)
 		go func(b *Backend) {
 			defer wg.Done()
-			status, _, err := p.once(context.Background(), b, http.MethodGet, "/v1/healthz", nil)
+			status, _, _, err := p.once(context.Background(), b, http.MethodGet, "/v1/healthz", nil, nil)
 			if err != nil || status != http.StatusOK {
 				p.recordFailure(b)
 				return

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -58,6 +59,18 @@ type Gateway struct {
 	// promoteMu serializes failovers so concurrent requests against a
 	// dead primary elect exactly one replacement.
 	promoteMu sync.Mutex
+
+	// fresh tracks per-backend per-patient holdings for the follower-
+	// read planner (see freshness.go); cache is the high-water-mark
+	// keyed /v1/match result cache (nil when disabled; see cache.go).
+	fresh *freshTracker
+	cache *matchCache
+
+	// stopFresh/freshDone bound the optional background freshness
+	// poller started when Options.FreshnessInterval > 0.
+	stopFresh chan struct{}
+	freshDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // placement records where a session lives: the backend currently
@@ -92,8 +105,17 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 		start:     time.Now(),
 		places:    make(map[string]*placement),
 		subPlaces: make(map[string]*subPlacement),
+		fresh:     newFreshTracker(),
+		stopFresh: make(chan struct{}),
+		freshDone: make(chan struct{}),
 	}
+	g.cache = newMatchCache(opts.MatchCacheSize, pool.met)
 	obs.RegisterBuildInfo(obs.Default())
+	if opts.FreshnessInterval > 0 {
+		go g.freshLoop(opts.FreshnessInterval)
+	} else {
+		close(g.freshDone)
+	}
 	g.route("POST /v1/sessions", "create_session", g.handleCreateSession)
 	g.route("POST /v1/sessions/{sid}/samples", "ingest_samples", g.handleSessionScoped)
 	g.route("DELETE /v1/sessions/{sid}", "close_session", g.handleSessionScoped)
@@ -124,8 +146,74 @@ func (g *Gateway) route(pattern, name string, h http.HandlerFunc) {
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.handler.ServeHTTP(w, r) }
 
-// Close stops the pool's health checker.
-func (g *Gateway) Close() { g.pool.Close() }
+// Close stops the pool's health checker and the freshness poller.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stopFresh) })
+	<-g.freshDone
+	g.pool.Close()
+}
+
+// freshLoop periodically refreshes the freshness tracker from the
+// shards' stats inventories.
+func (g *Gateway) freshLoop(interval time.Duration) {
+	defer close(g.freshDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stopFresh:
+			return
+		case <-t.C:
+			g.RefreshFreshness(context.Background())
+		}
+	}
+}
+
+// RefreshFreshness polls every healthy backend's /v1/shard/stats and
+// folds the per-patient holdings into the freshness tracker. The
+// background poller calls this on a timer; tests call it directly for
+// deterministic convergence.
+func (g *Gateway) RefreshFreshness(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.pool.Backends() {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			status, body, err := g.pool.do(ctx, b, http.MethodGet, "/v1/shard/stats", nil, true)
+			if err != nil || status != http.StatusOK {
+				return
+			}
+			var stats server.ShardStatsResponse
+			if json.Unmarshal(body, &stats) != nil {
+				return
+			}
+			g.fresh.observeMap(b.URL(), stats.Freshness)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// MatchCacheLen reports the number of cached match results (tests,
+// stats).
+func (g *Gateway) MatchCacheLen() int { return g.cache.Len() }
+
+// CreditFreshness raises the tracked holdings of a backend for a
+// patient, never lowering a self-report — the same inference rule the
+// replication piggyback uses. Exported for tests and operational
+// pre-seeding; an over-credit is safe because a follower re-verifies
+// its real holdings against every leg's bound and refuses when short.
+func (g *Gateway) CreditFreshness(backend, pid string, fr server.PatientFreshness) {
+	g.fresh.credit(backend, pid, fr)
+}
+
+// FreshnessView reports the gateway's tracked holdings of a backend
+// for a patient (tests, debugging).
+func (g *Gateway) FreshnessView(backend, pid string) (server.PatientFreshness, bool) {
+	return g.fresh.holdings(backend, pid)
+}
 
 // Ring exposes the gateway's hash ring (read-only use).
 func (g *Gateway) Ring() *Ring { return g.ring }
@@ -171,6 +259,17 @@ func relay(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(body) //nolint:errcheck
+}
+
+// relayFreshnessHeaders forwards the shard's piggybacked per-patient
+// freshness headers to the client, so callers can observe their own
+// write's high-water mark and replication state.
+func relayFreshnessHeaders(w http.ResponseWriter, respHdr http.Header) {
+	for _, h := range []string{server.HeaderPatientStreams, server.HeaderPatientVertices, server.HeaderReplicated} {
+		if v := respHdr.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
 }
 
 // handleCreateSession places a session on the ring: the first R
@@ -224,12 +323,13 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusInternalServerError, err)
 		return
 	}
-	status, respBody, err := g.pool.do(r.Context(), primary, http.MethodPost, "/v1/sessions", fwd, false)
+	status, respBody, respHdr, err := g.pool.doHdr(r.Context(), primary, http.MethodPost, "/v1/sessions", fwd, nil, false)
 	if err != nil {
 		gwError(w, http.StatusBadGateway, err)
 		return
 	}
 	if status == http.StatusCreated {
+		g.noteIngestFreshness(primary.URL(), req.PatientID, owners, respHdr)
 		g.mu.Lock()
 		g.places[req.SessionID] = &placement{
 			patientID: req.PatientID,
@@ -244,6 +344,7 @@ func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			slog.String("backend", primary.URL()),
 			slog.Int("replicas", len(req.Replicate)))
 	}
+	relayFreshnessHeaders(w, respHdr)
 	relay(w, status, respBody)
 }
 
@@ -277,16 +378,24 @@ func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
 		path += "?" + r.URL.RawQuery
 	}
 	idempotent := r.Method == http.MethodGet
-	status, respBody, err := g.pool.do(r.Context(), b, r.Method, path, body, idempotent)
+	status, respBody, respHdr, err := g.pool.doHdr(r.Context(), b, r.Method, path, body, nil, idempotent)
 	if err != nil {
 		gwError(w, http.StatusBadGateway, err)
 		return
+	}
+	if status == http.StatusOK {
+		g.mu.Lock()
+		pid := pl.patientID
+		owners := append([]string(nil), pl.owners...)
+		g.mu.Unlock()
+		g.noteIngestFreshness(b.URL(), pid, owners, respHdr)
 	}
 	if r.Method == http.MethodDelete && status == http.StatusOK {
 		g.mu.Lock()
 		delete(g.places, sid)
 		g.mu.Unlock()
 	}
+	relayFreshnessHeaders(w, respHdr)
 	relay(w, status, respBody)
 }
 
@@ -362,6 +471,33 @@ func (g *Gateway) failover(ctx context.Context, sid string, pl *placement) (*Bac
 		return b, nil
 	}
 	return nil, lastErr
+}
+
+// noteIngestFreshness folds an ingest/create ack's piggybacked patient
+// counts into the freshness tracker. The serving backend's report is
+// authoritative (observe); a clean synchronous replication flush
+// (X-Replicated: full) proves every follower holds at least the same
+// data, so they are credited too — credit only raises, never lowers,
+// so a later self-report corrects any over-estimate.
+func (g *Gateway) noteIngestFreshness(backendURL, pid string, owners []string, hdr http.Header) {
+	if pid == "" {
+		return
+	}
+	streams, err1 := strconv.Atoi(hdr.Get(server.HeaderPatientStreams))
+	vertices, err2 := strconv.Atoi(hdr.Get(server.HeaderPatientVertices))
+	if err1 != nil || err2 != nil {
+		return
+	}
+	fr := server.PatientFreshness{Streams: streams, Vertices: vertices}
+	g.fresh.observe(backendURL, pid, fr)
+	if hdr.Get(server.HeaderReplicated) != "full" {
+		return
+	}
+	for _, u := range owners {
+		if u != backendURL {
+			g.fresh.credit(u, pid, fr)
+		}
+	}
 }
 
 // bodyErrCode maps a buffered-read error to a status: 413 when the
@@ -473,16 +609,187 @@ type MatchResult struct {
 	// ShardsQueried / ShardsOK count the fan-out.
 	ShardsQueried int `json:"shardsQueried"`
 	ShardsOK      int `json:"shardsOk"`
+	// PlannedPatients / FollowerServed count the read-path plan for
+	// this query: how many patient arcs were pinned to a single holder
+	// and how many of those holders were followers. Zero at max-lag 0
+	// (the legacy everyone-scans-everything scatter).
+	PlannedPatients int `json:"plannedPatients,omitempty"`
+	FollowerServed  int `json:"followerServed,omitempty"`
+	// UnservedPatients lists planned patients no holder could serve
+	// within the query's max-lag bound even after retries; when
+	// non-empty the result is Degraded.
+	UnservedPatients []string `json:"unservedPatients,omitempty"`
 }
 
-// handleMatch scatters a similarity query to every backend and merges
-// the shard-local results into the global answer. The merge is exact:
-// every shard scores candidates with identical Params and the query's
-// own provenance, so ascending weighted distance is a total order the
-// gateway can merge on; for k-NN queries each shard returns its local
-// top-k and the merged top-k of those is the union's top-k. Replicated
-// streams are scored on both their primary and their followers, so
-// the merge deduplicates identical matches before ranking.
+// patientAssign is one planned patient's serving decision: the backend
+// pinned to score it, its primary, the freshness bound a follower must
+// re-verify (nil when the primary serves), and the ordered alternates
+// for retry after a refusal or leg failure.
+type patientAssign struct {
+	backend string
+	primary string
+	require *server.PatientFreshness
+	alts    []string
+}
+
+// planScatter pins each live patient to exactly one holder within the
+// query's lag tolerance. maxLag <= 0 plans nothing: every shard scans
+// all its local data and the merge deduplicates, exactly the
+// pre-follower-read behaviour. With maxLag > 0 each planned patient is
+// scored once — by a caught-up follower when that balances load —
+// and every other leg excludes it, which is what turns R-way
+// replication from duplicated scoring work into spread capacity.
+//
+// The plan is advisory: a follower pinned here re-verifies its real
+// holdings against the Require bound and refuses when short, so a
+// stale freshness tracker costs one retry leg, never a stale answer
+// beyond the bound.
+func (g *Gateway) planScatter(maxLag int) map[string]*patientAssign {
+	if maxLag <= 0 {
+		return nil
+	}
+	type place struct {
+		primary  string
+		owners   []string
+		conflict bool
+	}
+	g.mu.Lock()
+	pats := make(map[string]*place)
+	for _, pl := range g.places {
+		if cur, ok := pats[pl.patientID]; ok {
+			// Two sessions of one patient disagreeing on their primary
+			// (transient, mid-failover): leave the patient unplanned —
+			// every holder scores it and the merge dedups.
+			if cur.primary != pl.primary {
+				cur.conflict = true
+			}
+			continue
+		}
+		pats[pl.patientID] = &place{primary: pl.primary, owners: append([]string(nil), pl.owners...)}
+	}
+	g.mu.Unlock()
+	pids := make([]string, 0, len(pats))
+	for pid := range pats {
+		pids = append(pids, pid)
+	}
+	sort.Strings(pids)
+	plan := make(map[string]*patientAssign)
+	load := make(map[string]int)
+	for _, pid := range pids {
+		pp := pats[pid]
+		if pp.conflict || pp.primary == "" {
+			continue
+		}
+		if pb := g.pool.ByURL(pp.primary); pb == nil || !pb.Healthy() {
+			// Dead primary: stay on the legacy path for this patient so
+			// the surviving followers score their copies and the ring
+			// coverage check decides degradation.
+			continue
+		}
+		primHW, known := g.fresh.holdings(pp.primary, pid)
+		pa := &patientAssign{primary: pp.primary}
+		if !known {
+			// No evidence about the primary's holdings yet: pin to the
+			// primary (always exact) and learn from its piggyback.
+			pa.backend = pp.primary
+			plan[pid] = pa
+			load[pp.primary]++
+			continue
+		}
+		bound := server.PatientFreshness{Streams: primHW.Streams, Vertices: primHW.Vertices - maxLag}
+		if bound.Vertices < 0 {
+			bound.Vertices = 0
+		}
+		// Candidates: caught-up followers first so load ties shift reads
+		// off primaries (which also carry ingest), then the primary.
+		var cands []string
+		for _, u := range pp.owners {
+			if u == pp.primary {
+				continue
+			}
+			fb := g.pool.ByURL(u)
+			if fb == nil || !fb.Healthy() {
+				continue
+			}
+			if fHW, ok := g.fresh.holdings(u, pid); ok &&
+				fHW.Streams >= bound.Streams && fHW.Vertices >= bound.Vertices {
+				cands = append(cands, u)
+			}
+		}
+		cands = append(cands, pp.primary)
+		best := cands[0]
+		for _, u := range cands[1:] {
+			if load[u] < load[best] {
+				best = u
+			}
+		}
+		pa.backend = best
+		// The bound travels with the patient even when the primary
+		// serves: if that leg fails mid-query, the retry can still fall
+		// back to a bound-checked follower.
+		pa.require = &bound
+		if best != pp.primary {
+			pa.alts = append(pa.alts, pp.primary)
+		}
+		for _, u := range cands {
+			if u != best && u != pp.primary {
+				pa.alts = append(pa.alts, u)
+			}
+		}
+		plan[pid] = pa
+		load[best]++
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	return plan
+}
+
+// legScope builds one backend's per-leg scope from the plan: the
+// patients it is pinned to keep their Require bounds; every other
+// planned patient is excluded.
+func legScope(plan map[string]*patientAssign, backend string) server.MatchScope {
+	var sc server.MatchScope
+	for pid, pa := range plan {
+		if pa.backend != backend {
+			sc.Exclude = append(sc.Exclude, pid)
+			continue
+		}
+		if pa.require != nil {
+			if sc.Require == nil {
+				sc.Require = make(map[string]server.PatientFreshness)
+			}
+			sc.Require[pid] = *pa.require
+		}
+	}
+	sort.Strings(sc.Exclude)
+	return sc
+}
+
+// handleMatch answers a similarity query: result cache first, then a
+// planned scatter to the backends, merging the shard-local results
+// into the global answer. The merge is exact: every shard scores
+// candidates with identical Params and the query's own provenance, so
+// ascending weighted distance is a total order the gateway can merge
+// on; for k-NN queries each shard returns its local top-k and the
+// merged top-k of those is the union's top-k.
+//
+// At max-lag 0 (the default) every shard scans all its local data —
+// replicated streams are scored on both their primary and their
+// followers and the merge deduplicates, exactly the legacy behaviour.
+// With maxLag > 0 the planner pins each live patient to one caught-up
+// holder (preferring followers, so primaries shed read work) and the
+// leg's scope headers exclude that patient everywhere else; a follower
+// that cannot meet the leg's freshness bound refuses the patient and
+// the gateway retries it on an alternate. The merged result is
+// byte-identical across plans because the scope only changes which
+// holder scores a copy, never what is scored.
+//
+// The result cache is keyed on (canonical query, every healthy
+// backend's store high-water mark): any ingest through the gateway
+// advances the primary's tracked token before the ack returns, so the
+// next identical query misses naturally. Hits are served from the
+// exact bytes a miss produced — zero backend calls, byte-identical.
 func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	body, err := readBody(w, r)
@@ -495,6 +802,19 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusBadRequest, fmt.Errorf("decoding match request: %w", err))
 		return
 	}
+	// ?max-lag= overrides the body knob; merging it into the request
+	// before canonicalization keeps it part of the cache signature.
+	if v := r.URL.Query().Get("max-lag"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			gwError(w, http.StatusBadRequest, fmt.Errorf("invalid max-lag %q", v))
+			return
+		}
+		req.MaxLag = n
+	}
+	if req.MaxLag < 0 {
+		req.MaxLag = 0
+	}
 	// ?debug=profile asks each shard for its span tree inline and
 	// merges them under this request's scatter legs.
 	profile := r.URL.Query().Get("debug") == "profile"
@@ -502,9 +822,39 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if profile {
 		path += "?debug=profile"
 	}
+	// Canonical query bytes: a re-marshal normalizes field order and
+	// whitespace so equivalent requests share one cache signature, and
+	// every scatter leg (and retry) reuses these bytes verbatim.
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		gwError(w, http.StatusInternalServerError, err)
+		return
+	}
 	backends := g.pool.Backends()
+	// Profiled requests bypass the cache: their payload embeds a
+	// per-request trace.
+	var key string
+	if g.cache != nil && !profile {
+		if k, ok := cacheKey(canonical, backends); ok {
+			key = k
+			if cached, hit := g.cache.get(key); hit {
+				w.Header().Set("X-Cache", "hit")
+				relay(w, http.StatusOK, cached)
+				g.met.scatter.Observe(time.Since(start).Seconds())
+				return
+			}
+			w.Header().Set("X-Cache", "miss")
+		}
+	}
+
+	plan := g.planScatter(req.MaxLag)
+	assigned := make(map[string][]string, len(backends))
+	for pid, pa := range plan {
+		assigned[pa.backend] = append(assigned[pa.backend], pid)
+	}
 	type leg struct {
 		resp server.MatchResponse
+		tok  string // X-Store-Seq the leg's response carried
 		err  error
 	}
 	legs := make([]leg, len(backends))
@@ -514,8 +864,15 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 			legs[i].err = errors.New("unhealthy (ejected)")
 			continue
 		}
+		sc := legScope(plan, b.URL())
+		var hdr http.Header
+		if !sc.Empty() {
+			hdr = make(http.Header)
+			sc.SetHeaders(hdr)
+		}
+		nAssigned := len(assigned[b.URL()])
 		wg.Add(1)
-		go func(i int, b *Backend) {
+		go func(i int, b *Backend, hdr http.Header, nAssigned, nExcluded int) {
 			defer wg.Done()
 			// One span per scatter leg; the leg's context flows into the
 			// pool, whose per-attempt spans (and the backend's own trace,
@@ -523,7 +880,11 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 			lctx, sp := obs.StartSpan(r.Context(), "scatter.leg")
 			defer sp.Finish()
 			sp.Annotate("backend", b.URL())
-			status, respBody, err := g.pool.do(lctx, b, http.MethodPost, path, body, true)
+			if plan != nil {
+				sp.Annotate("assigned", nAssigned)
+				sp.Annotate("excluded", nExcluded)
+			}
+			status, respBody, respHdr, err := g.pool.doHdr(lctx, b, http.MethodPost, path, canonical, hdr, true)
 			switch {
 			case err != nil:
 				sp.Annotate("error", err.Error())
@@ -533,23 +894,47 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 				legs[i].err = fmt.Errorf("status %d: %s", status, errDetail(respBody))
 			default:
 				sp.Annotate("status", status)
+				legs[i].tok = respHdr.Get(server.HeaderStoreSeq)
 				legs[i].err = json.Unmarshal(respBody, &legs[i].resp)
 			}
-		}(i, b)
+		}(i, b, hdr, nAssigned, len(sc.Exclude))
 	}
 	wg.Wait()
 
 	res := MatchResult{ShardsQueried: len(backends), ShardErrors: map[string]string{}}
+	res.PlannedPatients = len(plan)
 	answered := make(map[string]bool, len(backends))
+	served := make(map[string]bool, len(plan))
+	var needRetry []string
 	var lists [][]server.RemoteMatch
 	for i, b := range backends {
 		if legs[i].err != nil {
 			res.ShardErrors[b.URL()] = legs[i].err.Error()
+			// Planned patients were excluded from every other leg, so a
+			// failed leg's assignments must be retried on an alternate.
+			needRetry = append(needRetry, assigned[b.URL()]...)
 			continue
 		}
 		res.ShardsOK++
 		answered[b.URL()] = true
 		lists = append(lists, legs[i].resp.Matches)
+		g.fresh.observeMap(b.URL(), legs[i].resp.Freshness)
+		refused := make(map[string]bool, len(legs[i].resp.Refused))
+		for _, pid := range legs[i].resp.Refused {
+			refused[pid] = true
+			g.met.readRefusals.Inc()
+			needRetry = append(needRetry, pid)
+		}
+		for _, pid := range assigned[b.URL()] {
+			if refused[pid] {
+				continue
+			}
+			served[pid] = true
+			if pa := plan[pid]; pa.backend != pa.primary {
+				res.FollowerServed++
+				g.met.followerReads.Inc()
+			}
+		}
 		if p := legs[i].resp.Profile; p != nil {
 			// The shard's handler root is parented on this gateway's
 			// attempt span (it continued our traceparent), so grafting
@@ -565,6 +950,15 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if len(needRetry) > 0 {
+		lists = append(lists, g.retryScatter(r.Context(), path, canonical, plan, needRetry, served, &res)...)
+	}
+	for pid := range plan {
+		if !served[pid] {
+			res.UnservedPatients = append(res.UnservedPatients, pid)
+		}
+	}
+	sort.Strings(res.UnservedPatients)
 	res.Matches = MergeMatches(lists, req.K)
 	// A failed shard only degrades the result if some arc it owns has
 	// no answering replica; the coverage test is against the shards
@@ -574,6 +968,9 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 			res.Degraded = true
 			break
 		}
+	}
+	if len(res.UnservedPatients) > 0 {
+		res.Degraded = true
 	}
 	if len(res.ShardErrors) == 0 {
 		res.ShardErrors = nil
@@ -587,7 +984,157 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.met.scatter.Observe(time.Since(start).Seconds())
-	gwJSON(w, http.StatusOK, res)
+	out, err := json.Marshal(res)
+	if err != nil {
+		gwError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Only clean, complete results are worth caching: degraded or
+	// partial answers would otherwise be replayed until the next write.
+	if key != "" && !res.Degraded && len(res.ShardErrors) == 0 {
+		g.cache.put(key, out)
+		// A replicated write acked through this gateway advances only
+		// the primary's tracked token; the followers' advance is first
+		// observed by this very scatter. Re-file the same bytes under
+		// the post-scatter key so the next identical query hits instead
+		// of recomputing — but only while every healthy backend's
+		// tracked token still equals the token its leg returned:
+		// equality means no newer write was acked in between, so the
+		// new key binds exactly these bytes.
+		if key2, ok := cacheKey(canonical, backends); ok && key2 != key {
+			fresh := true
+			for i, b := range backends {
+				if !b.Healthy() {
+					continue
+				}
+				if legs[i].tok == "" || b.StoreSeq() != legs[i].tok {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				g.cache.put(key2, out)
+			}
+		}
+	}
+	relay(w, http.StatusOK, out)
+}
+
+// retryScatter runs one recovery round for planned patients whose leg
+// failed or refused them: each patient goes to its first healthy
+// untried alternate (primary first), grouped so one extra request per
+// backend covers all its retries. Patients with no viable alternate
+// are left unserved; the caller reports them and degrades the result.
+func (g *Gateway) retryScatter(ctx context.Context, path string, canonical []byte,
+	plan map[string]*patientAssign, needRetry []string, served map[string]bool,
+	res *MatchResult) [][]server.RemoteMatch {
+	type retryGroup struct {
+		only    []string
+		require map[string]server.PatientFreshness
+	}
+	groups := make(map[string]*retryGroup)
+	for _, pid := range needRetry {
+		pa := plan[pid]
+		for _, alt := range pa.alts {
+			ab := g.pool.ByURL(alt)
+			if ab == nil || !ab.Healthy() {
+				continue
+			}
+			// A follower alternate still has to prove the freshness
+			// bound; without one (the bound was never computed) only the
+			// primary is exact.
+			if alt != pa.primary && pa.require == nil {
+				continue
+			}
+			gr := groups[alt]
+			if gr == nil {
+				gr = &retryGroup{}
+				groups[alt] = gr
+			}
+			gr.only = append(gr.only, pid)
+			if alt != pa.primary {
+				if gr.require == nil {
+					gr.require = make(map[string]server.PatientFreshness)
+				}
+				gr.require[pid] = *pa.require
+			}
+			break
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	targets := make([]string, 0, len(groups))
+	for u := range groups {
+		targets = append(targets, u)
+	}
+	sort.Strings(targets)
+	lists := make([][]server.RemoteMatch, len(targets))
+	type outcome struct {
+		backend string
+		resp    server.MatchResponse
+		ok      bool
+	}
+	outs := make([]outcome, len(targets))
+	var wg sync.WaitGroup
+	for i, u := range targets {
+		gr := groups[u]
+		sort.Strings(gr.only)
+		b := g.pool.ByURL(u)
+		if b == nil {
+			continue
+		}
+		g.met.retryLegs.Inc()
+		wg.Add(1)
+		go func(i int, b *Backend, gr *retryGroup) {
+			defer wg.Done()
+			lctx, sp := obs.StartSpan(ctx, "scatter.retry")
+			defer sp.Finish()
+			sp.Annotate("backend", b.URL())
+			sp.Annotate("patients", len(gr.only))
+			sc := server.MatchScope{Only: gr.only, Require: gr.require}
+			hdr := make(http.Header)
+			sc.SetHeaders(hdr)
+			status, respBody, _, err := g.pool.doHdr(lctx, b, http.MethodPost, path, canonical, hdr, true)
+			if err != nil {
+				sp.Annotate("error", err.Error())
+				return
+			}
+			if status != http.StatusOK {
+				sp.Annotate("status", status)
+				return
+			}
+			if json.Unmarshal(respBody, &outs[i].resp) != nil {
+				return
+			}
+			outs[i].backend = b.URL()
+			outs[i].ok = true
+		}(i, b, gr)
+	}
+	wg.Wait()
+	for i, u := range targets {
+		if !outs[i].ok {
+			continue
+		}
+		lists[i] = outs[i].resp.Matches
+		g.fresh.observeMap(u, outs[i].resp.Freshness)
+		refused := make(map[string]bool, len(outs[i].resp.Refused))
+		for _, pid := range outs[i].resp.Refused {
+			refused[pid] = true
+			g.met.readRefusals.Inc()
+		}
+		for _, pid := range groups[u].only {
+			if refused[pid] {
+				continue
+			}
+			served[pid] = true
+			if u != plan[pid].primary {
+				res.FollowerServed++
+				g.met.followerReads.Inc()
+			}
+		}
+	}
+	return lists
 }
 
 // errDetail extracts the "error" field of a JSON error body, falling

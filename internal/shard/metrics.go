@@ -14,6 +14,15 @@ type shardMetrics struct {
 	degraded  *obs.Counter
 	routed    *obs.CounterVec // backend: sessions routed by the ring
 	failovers *obs.Counter    // sessions promoted onto a replica
+
+	// Follower-read planner and result cache (see gateway.go handleMatch).
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+	followerReads  *obs.Counter // patient arcs assigned to a follower leg
+	readRefusals   *obs.Counter // patients refused by a shard's freshness check
+	retryLegs      *obs.Counter // extra legs sent to recover refused/failed patients
 }
 
 func newShardMetrics(r *obs.Registry) *shardMetrics {
@@ -36,5 +45,19 @@ func newShardMetrics(r *obs.Registry) *shardMetrics {
 			"Sessions routed to a backend by the consistent-hash ring.", "backend"),
 		failovers: r.Counter("stsmatch_gateway_failovers_total",
 			"Sessions failed over to a replica after the primary was ejected."),
+		cacheHits: r.Counter("stsmatch_gateway_match_cache_hits_total",
+			"Match queries served from the result cache with zero backend calls."),
+		cacheMisses: r.Counter("stsmatch_gateway_match_cache_misses_total",
+			"Match cache lookups that fell through to a scatter."),
+		cacheEvictions: r.Counter("stsmatch_gateway_match_cache_evictions_total",
+			"Match cache entries evicted by the LRU bound."),
+		cacheEntries: r.Gauge("stsmatch_gateway_match_cache_entries",
+			"Match cache entries currently resident."),
+		followerReads: r.Counter("stsmatch_gateway_follower_reads_total",
+			"Patient arcs served by a follower leg instead of the primary."),
+		readRefusals: r.Counter("stsmatch_gateway_read_refusals_total",
+			"Patients a shard refused to serve under the query's max-lag bound."),
+		retryLegs: r.Counter("stsmatch_gateway_match_retry_legs_total",
+			"Extra scatter legs sent to recover refused or failed patients."),
 	}
 }

@@ -1,0 +1,164 @@
+package shard_test
+
+// Read-path benchmarks: the same deterministic query through the
+// legacy primary-only scatter (max-lag 0), the follower-read plan
+// (loose bound, arcs pinned to caught-up replicas), and the gateway
+// result cache. Every iteration's match list is checked against the
+// primary-only reference, so CI's bench smoke at -benchtime=1x doubles
+// as a cheap end-to-end exercise of all three modes; representative
+// numbers come from `benchmatch -clients`.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"stsmatch/internal/server"
+	"stsmatch/internal/shard"
+	"stsmatch/internal/signal"
+	"stsmatch/internal/testutil"
+)
+
+// benchIngest mirrors ingestSession for benchmarks: create a session
+// and stream a deterministic trace into it through the gateway.
+func benchIngest(tb testing.TB, baseURL, pid, sid string, seed int64) {
+	tb.Helper()
+	resp := testutil.PostJSON(tb, baseURL+"/v1/sessions",
+		server.CreateSessionRequest{PatientID: pid, SessionID: sid})
+	if resp.StatusCode != http.StatusCreated {
+		tb.Fatalf("create session %s via %s: status %d", sid, baseURL, resp.StatusCode)
+	}
+	gen, err := signal.NewRespiration(signal.DefaultRespiration(), seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	samples := gen.Generate(30)
+	for i := 0; i < len(samples); i += 512 {
+		end := min(i+512, len(samples))
+		batch := make([]server.SampleIn, 0, end-i)
+		for _, s := range samples[i:end] {
+			batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
+		}
+		resp := testutil.PostJSON(tb, baseURL+"/v1/sessions/"+sid+"/samples", batch)
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("ingest %s: status %d", sid, resp.StatusCode)
+		}
+	}
+}
+
+// benchMatch posts raw body bytes and returns the decoded result plus
+// the X-Cache header.
+func benchMatch(tb testing.TB, baseURL string, body []byte) (shard.MatchResult, string) {
+	tb.Helper()
+	resp, err := http.Post(baseURL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("match status %d: %s", resp.StatusCode, raw)
+	}
+	var res shard.MatchResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		tb.Fatal(err)
+	}
+	return res, resp.Header.Get("X-Cache")
+}
+
+// setupReadBench boots an R=2 cluster with an ingested cohort and
+// returns the gateway URL, the primary-only and follower-read request
+// bodies, and the reference match-list bytes both must reproduce.
+func setupReadBench(b *testing.B, cacheSize int) (gwURL string, prim, fol, want []byte) {
+	b.Helper()
+	c := testutil.StartCluster(b, 3, 2, func(cfg *testutil.ClusterConfig) {
+		cfg.Gateway.MatchCacheSize = cacheSize
+	})
+	for i := 0; i < 3; i++ {
+		pid := fmt.Sprintf("P%02d", i)
+		benchIngest(b, c.URL, pid, "S-"+pid, int64(100+i))
+	}
+	pr := testutil.GetJSON[server.PLRResponse](b, c.URL+"/v1/sessions/S-P00/plr")
+	if len(pr.Vertices) < 12 {
+		b.Fatalf("query stream too short: %d vertices", len(pr.Vertices))
+	}
+	req := server.MatchRequest{Seq: pr.Vertices[len(pr.Vertices)-10:],
+		PatientID: "P00", SessionID: "S-P00", K: 10}
+	prim, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.MaxLag = 1 << 20
+	if fol, err = json.Marshal(req); err != nil {
+		b.Fatal(err)
+	}
+	res, _ := benchMatch(b, c.URL, prim)
+	if res.Degraded || len(res.Matches) == 0 {
+		b.Fatalf("warmup degraded=%v matches=%d", res.Degraded, len(res.Matches))
+	}
+	if want, err = json.Marshal(res.Matches); err != nil {
+		b.Fatal(err)
+	}
+	return c.URL, prim, fol, want
+}
+
+// checkMatches asserts one iteration reproduced the reference merge.
+func checkMatches(b *testing.B, res shard.MatchResult, want []byte) {
+	b.Helper()
+	got, err := json.Marshal(res.Matches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		b.Fatalf("matches diverged from primary-only merge:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func BenchmarkMatchPrimaryOnly(b *testing.B) {
+	gwURL, prim, _, want := setupReadBench(b, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := benchMatch(b, gwURL, prim)
+		checkMatches(b, res, want)
+	}
+}
+
+func BenchmarkMatchFollowerReads(b *testing.B) {
+	gwURL, _, fol, want := setupReadBench(b, -1)
+	res, _ := benchMatch(b, gwURL, fol)
+	if res.FollowerServed == 0 || res.PlannedPatients == 0 {
+		b.Fatalf("follower-read warmup: planned=%d followerServed=%d",
+			res.PlannedPatients, res.FollowerServed)
+	}
+	checkMatches(b, res, want)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := benchMatch(b, gwURL, fol)
+		checkMatches(b, res, want)
+	}
+}
+
+func BenchmarkMatchCacheHit(b *testing.B) {
+	gwURL, prim, _, want := setupReadBench(b, 0) // 0 = default-sized cache
+	// The setup query ran before any store tokens were known
+	// (uncacheable); the next fills the cache and the one after must
+	// hit.
+	benchMatch(b, gwURL, prim)
+	if _, cc := benchMatch(b, gwURL, prim); cc != "hit" {
+		b.Fatalf("cache warmup: X-Cache = %q, want hit", cc)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, cc := benchMatch(b, gwURL, prim)
+		if cc != "hit" {
+			b.Fatalf("iteration %d: X-Cache = %q, want hit", i, cc)
+		}
+		checkMatches(b, res, want)
+	}
+}

@@ -57,12 +57,22 @@ type MutationHook func(Mutation)
 // emit never takes a lock.
 type hookRef struct {
 	fns atomic.Pointer[[]MutationHook]
+
+	// seq counts every mutation emitted through this cell, whether or
+	// not hooks are installed. It is the database's logical high-water
+	// mark: any write — patient upsert, stream open, vertex append,
+	// local or replicated — advances it, so equal sequence numbers mean
+	// the database cannot have changed in between. The server exposes
+	// it as the X-Store-Seq response header and the gateway keys its
+	// result cache on it.
+	seq atomic.Uint64
 }
 
 func (h *hookRef) emit(m Mutation) {
 	if h == nil {
 		return
 	}
+	h.seq.Add(1)
 	if fns := h.fns.Load(); fns != nil {
 		for _, fn := range *fns {
 			fn(m)
@@ -375,6 +385,13 @@ func (db *DB) Patients() []*Patient {
 	out := make([]*Patient, len(db.patients))
 	copy(out, db.patients)
 	return out
+}
+
+// MutationSeq returns the database's monotone mutation counter: the
+// number of mutations emitted since the DB was created. Two equal
+// readings bracket a quiescent database.
+func (db *DB) MutationSeq() uint64 {
+	return db.hook.seq.Load()
 }
 
 // NumPatients returns the number of patient records.
