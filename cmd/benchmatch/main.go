@@ -976,7 +976,11 @@ func benchConcurrent(data []patientData, qseq plr.Sequence, k, clients, totalOps
 		gw, err := shard.NewGateway(urls, shard.Options{
 			Replicas:       replicas,
 			HealthInterval: -1,
-			MatchCacheSize: cacheSize,
+			// No background freshness poller: the benchmark's tracker
+			// converges from ingest-ack piggybacks alone, keeping runs
+			// deterministic.
+			FreshnessInterval: -1,
+			MatchCacheSize:    cacheSize,
 		})
 		if err != nil {
 			return nil, "", err

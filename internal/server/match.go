@@ -96,6 +96,14 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A read's token must lower-bound its data: snapshot the store
+	// high-water mark BEFORE touching the store, so a write landing
+	// mid-query leaves the response token older than the scored data,
+	// never newer. Leaving the stamp to seqWriter's lazy first-write
+	// path would evaluate it AFTER scoring; a token newer than the data
+	// lets the gateway's cache re-file pre-write bytes under a
+	// post-write key (an acked write would then vanish from a hit).
+	w.Header().Set(HeaderStoreSeq, s.storeSeqToken())
 	restrict, refused, fresh := s.matchScopeRestrict(scope)
 	q := core.NewQuery(req.Seq, req.PatientID, req.SessionID)
 	if req.Now != nil {
@@ -112,6 +120,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if s.testHookMidMatch != nil {
+		s.testHookMidMatch()
 	}
 	out := make([]RemoteMatch, len(matches))
 	for i, mt := range matches {

@@ -23,7 +23,12 @@
 // per-process start nonce (a restart must never repeat a token) and
 // seq the store's monotone mutation counter. Two equal tokens bracket
 // a quiescent store, which is what makes the gateway's result cache
-// coherent without any invalidation protocol.
+// coherent without any invalidation protocol. The stamp direction
+// differs by request kind: mutation acks stamp lazily at first write
+// (post-mutation — the gateway may advance its tracked mark before
+// acking the client), while /v1/match snapshots the token before
+// scoring (pre-read — the token lower-bounds the data scored, so the
+// gateway never binds a result to a key newer than its contents).
 
 package server
 
@@ -166,6 +171,11 @@ func (s *Server) storeSeqToken() string {
 // evaluated lazily at first write: an ingest response then reflects
 // the post-mutation counter, which is what lets the gateway advance
 // its cached high-water mark before acknowledging the client.
+//
+// A handler that has already set the header wins: reads snapshot
+// their token BEFORE touching the store (see handleMatch) because a
+// read's token must lower-bound its data, while the mutation acks
+// this lazy path exists for must reflect the post-mutation counter.
 func (s *Server) seqStamp(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		next.ServeHTTP(&seqWriter{ResponseWriter: w, srv: s}, r)
@@ -181,7 +191,9 @@ type seqWriter struct {
 func (w *seqWriter) stamp() {
 	if !w.stamped {
 		w.stamped = true
-		w.Header().Set(HeaderStoreSeq, w.srv.storeSeqToken())
+		if w.Header().Get(HeaderStoreSeq) == "" {
+			w.Header().Set(HeaderStoreSeq, w.srv.storeSeqToken())
+		}
 	}
 }
 

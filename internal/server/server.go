@@ -95,6 +95,11 @@ type Server struct {
 	advertise  string
 	replFrom   []string
 
+	// testHookMidMatch, when non-nil, runs in handleMatch between
+	// scoring and the response write; tests inject a concurrent write
+	// there to pin the token-snapshot-before-scoring ordering.
+	testHookMidMatch func()
+
 	// matchers pools core.Matcher instances (one in flight per
 	// prediction; a Matcher carries scratch buffers and is not safe for
 	// concurrent use). The matchers wrap the server's live *store.DB,

@@ -81,15 +81,25 @@ type Options struct {
 	MatchCacheSize int
 
 	// FreshnessInterval is the period of the gateway's background
-	// /v1/shard/stats polling that seeds the follower-read freshness
-	// tracker (0 = disabled; the tracker still converges from
-	// piggybacked response headers on regular traffic).
+	// /v1/shard/stats polling that seeds and refreshes the
+	// follower-read freshness tracker (negative = disabled; 0 =
+	// DefaultFreshnessInterval when Replicas > 1, else disabled). The
+	// tracker converges from piggybacked response headers on regular
+	// traffic either way, but polling is what bounds how far the
+	// planner's max-lag baseline — the primary's tracked holdings —
+	// can trail the primary's actual state after writes that bypass
+	// this gateway (out-of-band clients, a second gateway), so it
+	// defaults on whenever follower reads are possible.
 	FreshnessInterval time.Duration
 }
 
 // DefaultMatchCacheSize bounds the gateway result cache when
 // Options.MatchCacheSize is zero.
 const DefaultMatchCacheSize = 512
+
+// DefaultFreshnessInterval is the background freshness-polling period
+// when Options.FreshnessInterval is zero and replication is enabled.
+const DefaultFreshnessInterval = 5 * time.Second
 
 func (o Options) withDefaults() Options {
 	if o.Vnodes <= 0 {
@@ -124,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MatchCacheSize == 0 {
 		o.MatchCacheSize = DefaultMatchCacheSize
+	}
+	if o.FreshnessInterval == 0 && o.Replicas > 1 {
+		o.FreshnessInterval = DefaultFreshnessInterval
 	}
 	return o
 }
@@ -182,9 +195,13 @@ func (b *Backend) noteStoreSeq(tok string) {
 }
 
 // storeSeqNewer reports whether token a ("epoch-seq") supersedes cur.
-// A different epoch means the shard restarted — always accept, since
-// the counter restarted with it. An empty or unparsable current value
-// is always superseded.
+// Epochs are per-process start nonces (UnixNano at boot), so across
+// epochs only a numerically greater one is newer: a delayed in-flight
+// response from a shard's previous incarnation must not retreat the
+// token back to the old epoch after post-restart tokens were observed
+// (the retreated token would reconstruct a pre-restart cache key and
+// let a stale pre-restart result hit). An empty or unparsable current
+// value is always superseded.
 func storeSeqNewer(a, cur string) bool {
 	if cur == "" {
 		return true
@@ -198,7 +215,15 @@ func storeSeqNewer(a, cur string) bool {
 		return false
 	}
 	if ae != ce {
-		return true
+		an, aerr := strconv.ParseInt(ae, 10, 64)
+		cn, cerr := strconv.ParseInt(ce, 10, 64)
+		if cerr != nil {
+			return true
+		}
+		if aerr != nil {
+			return false
+		}
+		return an > cn
 	}
 	return as > cs
 }

@@ -170,6 +170,68 @@ func TestPoolValidation(t *testing.T) {
 	}
 }
 
+func TestStoreSeqNewer(t *testing.T) {
+	cases := []struct {
+		a, cur string
+		want   bool
+	}{
+		{"100-5", "", true},     // anything supersedes the unknown token
+		{"100-6", "100-5", true},
+		{"100-5", "100-5", false},
+		{"100-4", "100-5", false},
+		// A later incarnation (greater epoch) supersedes regardless of
+		// its counter.
+		{"200-1", "100-99", true},
+		// A delayed response from a previous incarnation must NOT
+		// retreat the token past a post-restart observation: the
+		// retreated token would reconstruct a pre-restart cache key.
+		{"100-99", "200-1", false},
+		// Unparsable current values are always superseded; unparsable
+		// candidates never supersede a parsable current.
+		{"100-5", "garbage", true},
+		{"garbage", "100-5", false},
+		{"100-5", "bogus-x", true},
+		{"bogus-x", "100-5", false},
+		// Parsable seqs under unparsable epochs: epoch comparison decides.
+		{"epochB-1", "epochA-9", true}, // current epoch unparsable -> accept
+	}
+	for _, c := range cases {
+		if got := storeSeqNewer(c.a, c.cur); got != c.want {
+			t.Errorf("storeSeqNewer(%q, %q) = %v, want %v", c.a, c.cur, got, c.want)
+		}
+	}
+}
+
+// TestNoteStoreSeqNoEpochRetreat: once a post-restart token is
+// tracked, racing responses from the shard's previous incarnation can
+// neither retreat the token nor ping-pong it between epochs.
+func TestNoteStoreSeqNoEpochRetreat(t *testing.T) {
+	b := &Backend{}
+	b.storeSeq.Store("")
+	b.noteStoreSeq("100-7") // pre-restart incarnation
+	b.noteStoreSeq("200-1") // shard restarted
+	b.noteStoreSeq("100-9") // delayed in-flight pre-restart response
+	if got := b.StoreSeq(); got != "200-1" {
+		t.Fatalf("tracked token = %q after delayed old-epoch response, want 200-1", got)
+	}
+	b.noteStoreSeq("200-2")
+	if got := b.StoreSeq(); got != "200-2" {
+		t.Fatalf("tracked token = %q, want 200-2", got)
+	}
+}
+
+func TestFreshnessIntervalDefault(t *testing.T) {
+	if got := (Options{}).withDefaults().FreshnessInterval; got != 0 {
+		t.Errorf("unreplicated default FreshnessInterval = %v, want 0 (disabled)", got)
+	}
+	if got := (Options{Replicas: 2}).withDefaults().FreshnessInterval; got != DefaultFreshnessInterval {
+		t.Errorf("R=2 default FreshnessInterval = %v, want %v", got, DefaultFreshnessInterval)
+	}
+	if got := (Options{Replicas: 2, FreshnessInterval: -1}).withDefaults().FreshnessInterval; got != -1 {
+		t.Errorf("explicit disable overridden: %v", got)
+	}
+}
+
 func TestBackoffBounds(t *testing.T) {
 	p := &Pool{opts: fastOpts().withDefaults()}
 	for n := 1; n < 20; n++ {

@@ -1000,7 +1000,10 @@ func (g *Gateway) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// of recomputing — but only while every healthy backend's
 		// tracked token still equals the token its leg returned:
 		// equality means no newer write was acked in between, so the
-		// new key binds exactly these bytes.
+		// new key binds exactly these bytes. Sound because a match
+		// leg's token is snapshotted before scoring (see
+		// server/readpath.go): it can never be newer than the data the
+		// leg scored, so equal tokens can't mask a mid-query write.
 		if key2, ok := cacheKey(canonical, backends); ok && key2 != key {
 			fresh := true
 			for i, b := range backends {
