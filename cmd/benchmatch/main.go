@@ -53,6 +53,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stsmatch/internal/core"
@@ -169,6 +170,15 @@ type benchReport struct {
 	// carry the byte-identical match list of the primary-only merge.
 	Concurrent *concurrentResult `json:"concurrentLoad,omitempty"`
 
+	// Rebalance is the elastic-scaling scenario (-rebalance): the same
+	// replicated cluster grows from 3 to 4 backends under a live query
+	// load, every ring-displaced session is drained onto the new node
+	// via the live-migration protocol, and the deterministic top-k
+	// query is measured before, during, and after the drain — every
+	// response in all three windows byte-identical to the pre-drain
+	// merge.
+	Rebalance *rebalanceResult `json:"rebalance,omitempty"`
+
 	// Standing measures the push path (internal/subscribe): the
 	// incremental cost of evaluating a standing query per arriving
 	// vertex, at growing corpus scales, against the cost of the
@@ -213,6 +223,29 @@ type loadPoint struct {
 	NsPerOp float64 `json:"nsPerOp"`
 }
 
+// rebalanceResult is one run of the elastic-scaling scenario: a 3-shard
+// R=2 cluster grows a 4th backend and drains every ring-displaced
+// session onto it while a client keeps querying. MatchNsDuring is the
+// per-query latency observed while the drain was in flight — the
+// scenario's headline is how little it deviates from Before/After,
+// since queries never block on a migration (the source serves fenced
+// reads until the cutover instant).
+type rebalanceResult struct {
+	Shards         int     `json:"shards"`
+	Replicas       int     `json:"replicas"`
+	SessionsMoved  int     `json:"sessionsMoved"`
+	VerticesMoved  int     `json:"verticesMoved"`
+	DrainSeconds   float64 `json:"drainSeconds"`
+	SessionsPerSec float64 `json:"sessionsPerSecond"`
+
+	MatchNsBefore float64 `json:"matchNsBefore"`
+	MatchNsDuring float64 `json:"matchNsDuring"`
+	MatchNsAfter  float64 `json:"matchNsAfter"`
+	// QueriesDuring counts the queries that completed while the drain
+	// was in flight (all byte-identical to the pre-drain merge).
+	QueriesDuring int `json:"queriesDuring"`
+}
+
 // standingScalePoint is one corpus size in the standing-query
 // scenario. NsPerVertex covers Stream.Append plus the subscription
 // drain (the ingest-path overhead a standing query adds per vertex);
@@ -245,6 +278,8 @@ func main() {
 		"largest corpus multiplier for the standing-query scenario (0 disables it)")
 	clients := flag.Int("clients", 8,
 		"concurrent workers in the multi-client read-path scenario (0 disables it)")
+	rebalance := flag.Bool("rebalance", false,
+		"run the elastic-scaling scenario: grow a replicated 3-shard cluster to 4 backends under live query load and drain displaced sessions via live migration")
 	flag.Parse()
 
 	obs.InitLogging(os.Stderr, slog.LevelWarn, false)
@@ -314,6 +349,14 @@ func main() {
 		report.Concurrent = &cres
 	}
 
+	if *rebalance {
+		rres, err := benchRebalance(data, qseq, *k, *iters, *duration)
+		if err != nil {
+			fatal(err)
+		}
+		report.Rebalance = &rres
+	}
+
 	if *corpusScale > 0 {
 		report.CorpusScale = *corpusScale
 		// Scaled corpora are big; fewer iterations still average a
@@ -377,6 +420,11 @@ func main() {
 			c.Clients, c.PrimaryOnly.QPS, c.FollowerRead.QPS, c.FollowerReadSpeedup,
 			c.FollowerServedPerQuery, c.PlannedPatientsPerQuery,
 			c.CacheHit.QPS, c.CacheHit.NsPerOp, c.CacheHitSpeedup)
+	}
+	if r := report.Rebalance; r != nil {
+		fmt.Printf("rebalance 3->4: %d sessions (%d vertices) drained in %.2fs (%.1f/s); match %8.0f -> %8.0f -> %8.0f ns/op (before/during/after, %d queries during)\n",
+			r.SessionsMoved, r.VerticesMoved, r.DrainSeconds, r.SessionsPerSec,
+			r.MatchNsBefore, r.MatchNsDuring, r.MatchNsAfter, r.QueriesDuring)
 	}
 	for _, pt := range report.IndexComparison {
 		fmt.Printf("scale %4dx: scanned %8d candidates/query, probed %6d (%.1f probes, %.1f widenings/query), %9.0f -> %9.0f ns/op\n",
@@ -1185,6 +1233,237 @@ func benchConcurrent(data []patientData, qseq plr.Sequence, k, clients, totalOps
 	if out.PrimaryOnly.QPS > 0 {
 		out.FollowerReadSpeedup = out.FollowerRead.QPS / out.PrimaryOnly.QPS
 		out.CacheHitSpeedup = out.CacheHit.QPS / out.PrimaryOnly.QPS
+	}
+	return out, nil
+}
+
+// benchRebalance boots the same R=2 replicated 3-shard cluster as
+// benchConcurrent, then grows it to 4 backends while one client keeps
+// hammering the deterministic top-k query: AddBackend + Rebalance
+// drains every ring-displaced session onto the new node through the
+// live-migration protocol. The scenario hard-asserts zero failed
+// moves, at least one session moved, and that every query issued
+// before, during, and after the drain returns the byte-identical
+// pre-drain match list — elasticity must be invisible to readers.
+func benchRebalance(data []patientData, qseq plr.Sequence, k, iters int, duration float64) (rebalanceResult, error) {
+	const shards = 3
+	const replicas = 2
+	var urls []string
+	var servers []*http.Server
+	var listeners []net.Listener
+	defer func() {
+		for _, hs := range servers {
+			hs.Close() //nolint:errcheck
+		}
+	}()
+	// Four backends up front; the gateway only learns about the fourth
+	// when the scenario grows the ring.
+	for i := 0; i < shards+1; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return rebalanceResult{}, err
+		}
+		listeners = append(listeners, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	for i := range listeners {
+		srv, err := server.NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(),
+			server.Options{AdvertiseURL: urls[i]})
+		if err != nil {
+			return rebalanceResult{}, err
+		}
+		hs := &http.Server{Handler: srv}
+		servers = append(servers, hs)
+		go hs.Serve(listeners[i]) //nolint:errcheck
+	}
+
+	gw, err := shard.NewGateway(urls[:shards], shard.Options{
+		Replicas:          replicas,
+		HealthInterval:    -1,
+		FreshnessInterval: -1,
+		MatchCacheSize:    -1, // every query must really execute the scatter
+	})
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	defer gw.Close()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	ghs := &http.Server{Handler: gw}
+	servers = append(servers, ghs)
+	go ghs.Serve(gln) //nolint:errcheck
+	gwURL := "http://" + gln.Addr().String()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(url string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	for i, pd := range data {
+		if err := post(gwURL+"/v1/sessions",
+			server.CreateSessionRequest{PatientID: pd.pid, SessionID: pd.sid}); err != nil {
+			return rebalanceResult{}, err
+		}
+		gen, err := signal.NewRespiration(signal.DefaultRespiration(), int64(100+i))
+		if err != nil {
+			return rebalanceResult{}, err
+		}
+		samples := gen.Generate(duration)
+		for off := 0; off < len(samples); off += 512 {
+			end := min(off+512, len(samples))
+			batch := make([]server.SampleIn, 0, end-off)
+			for _, s := range samples[off:end] {
+				batch = append(batch, server.SampleIn{T: s.T, Pos: s.Pos})
+			}
+			if err := post(gwURL+"/v1/sessions/"+pd.sid+"/samples", batch); err != nil {
+				return rebalanceResult{}, err
+			}
+		}
+	}
+
+	body, err := json.Marshal(server.MatchRequest{
+		Seq: qseq, PatientID: data[0].pid, SessionID: data[0].sid, K: k,
+	})
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	doMatch := func() (shard.MatchResult, error) {
+		resp, err := client.Post(gwURL+"/v1/match", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return shard.MatchResult{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return shard.MatchResult{}, fmt.Errorf("gateway status %d", resp.StatusCode)
+		}
+		var res shard.MatchResult
+		return res, json.NewDecoder(resp.Body).Decode(&res)
+	}
+
+	base, err := doMatch()
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	if base.Degraded || base.ShardsOK != shards {
+		return rebalanceResult{}, fmt.Errorf("rebalance warmup degraded: %d/%d shards", base.ShardsOK, base.ShardsQueried)
+	}
+	want, err := json.Marshal(base.Matches)
+	if err != nil {
+		return rebalanceResult{}, err
+	}
+	checked := func() (shard.MatchResult, error) {
+		res, err := doMatch()
+		if err != nil {
+			return res, err
+		}
+		if res.Degraded {
+			return res, fmt.Errorf("query degraded mid-scenario: %d/%d shards", res.ShardsOK, res.ShardsQueried)
+		}
+		got, err := json.Marshal(res.Matches)
+		if err != nil {
+			return res, err
+		}
+		if !bytes.Equal(got, want) {
+			return res, fmt.Errorf("match list diverged from pre-drain merge")
+		}
+		return res, nil
+	}
+	timed := func(n int) (float64, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := checked(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n), nil
+	}
+
+	out := rebalanceResult{Shards: shards, Replicas: replicas}
+	if out.MatchNsBefore, err = timed(iters); err != nil {
+		return rebalanceResult{}, fmt.Errorf("before drain: %w", err)
+	}
+
+	// One client keeps querying while the drain runs; the drain's
+	// wall clock divided into the queries that completed inside it is
+	// the mid-drain latency.
+	stop := make(chan struct{})
+	loadErr := make(chan error, 1)
+	var during atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				loadErr <- nil
+				return
+			default:
+			}
+			if _, err := checked(); err != nil {
+				loadErr <- fmt.Errorf("during drain: %w", err)
+				return
+			}
+			during.Add(1)
+		}
+	}()
+
+	if err := gw.AddBackend(urls[shards]); err != nil {
+		return rebalanceResult{}, err
+	}
+	drainStart := time.Now()
+	rep := gw.Rebalance(context.Background())
+	out.DrainSeconds = time.Since(drainStart).Seconds()
+	out.QueriesDuring = int(during.Load())
+	close(stop)
+	if err := <-loadErr; err != nil {
+		return rebalanceResult{}, err
+	}
+	if len(rep.Failed) > 0 {
+		return rebalanceResult{}, fmt.Errorf("rebalance failed %d sessions: %v", len(rep.Failed), rep.Failed)
+	}
+	if len(rep.Moved) == 0 {
+		return rebalanceResult{}, fmt.Errorf("rebalance moved no sessions onto the new backend (checked %d)", rep.Checked)
+	}
+	out.SessionsMoved = len(rep.Moved)
+	if out.DrainSeconds > 0 {
+		out.SessionsPerSec = float64(out.SessionsMoved) / out.DrainSeconds
+	}
+	if out.QueriesDuring > 0 {
+		out.MatchNsDuring = out.DrainSeconds * 1e9 / float64(out.QueriesDuring)
+	}
+
+	// Vertices moved: the migrated sessions' full PLR streams, read
+	// back through the gateway (which now routes them to the new node).
+	for _, mv := range rep.Moved {
+		resp, err := client.Get(gwURL + "/v1/sessions/" + mv.SessionID + "/plr")
+		if err != nil {
+			return rebalanceResult{}, err
+		}
+		var pr server.PLRResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		resp.Body.Close()
+		if err != nil {
+			return rebalanceResult{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return rebalanceResult{}, fmt.Errorf("plr for migrated session %s: status %d", mv.SessionID, resp.StatusCode)
+		}
+		out.VerticesMoved += len(pr.Vertices)
+	}
+
+	if out.MatchNsAfter, err = timed(iters); err != nil {
+		return rebalanceResult{}, fmt.Errorf("after drain: %w", err)
 	}
 	return out, nil
 }

@@ -67,6 +67,8 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures before a backend is ejected")
 	readmitThreshold := flag.Int("readmit-threshold", 2, "consecutive probe successes before an ejected backend is readmitted")
 	matchCache := flag.Int("match-cache", shard.DefaultMatchCacheSize, "match result cache entries (negative = disable); keyed on query + per-shard store high-water marks")
+	rebalanceConc := flag.Int("rebalance-concurrency", shard.DefaultRebalanceConcurrency, "sessions migrated in parallel during a rebalance drain")
+	migrateTimeout := flag.Duration("migrate-timeout", shard.DefaultMigrateTimeout, "per-session migration deadline during a rebalance")
 	freshEvery := flag.Duration("freshness-interval", shard.DefaultFreshnessInterval, "background /v1/shard/stats polling period seeding the follower-read freshness tracker (negative = piggyback-only; 0 = default when -replicas > 1)")
 	traceCap := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "traces retained in each in-memory ring (recent and slow)")
 	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "latency threshold at which a trace is pinned in the slow ring")
@@ -103,6 +105,9 @@ func main() {
 
 		MatchCacheSize:    *matchCache,
 		FreshnessInterval: *freshEvery,
+
+		RebalanceConcurrency: *rebalanceConc,
+		MigrateTimeout:       *migrateTimeout,
 
 		TraceCapacity:      *traceCap,
 		TraceSlowThreshold: *traceSlow,

@@ -94,6 +94,11 @@ type Options struct {
 	// event buffer; the oldest events are dropped (and counted) past
 	// it. 0 selects subscribe.DefaultBuffer.
 	SubscriptionBuffer int
+
+	// MigrateCatchupRounds caps how many catch-up flush rounds one
+	// POST /v1/sessions/{sid}/migrate runs before giving up on a target
+	// that cannot keep pace. 0 selects DefaultMigrateCatchupRounds.
+	MigrateCatchupRounds int
 }
 
 // DefaultMaxBodyBytes is the default request-body cap: 8 MiB holds
@@ -158,6 +163,22 @@ func (s *Server) openDurability(initial *store.DB, opts Options) error {
 	}
 	s.met.sessionsOpen.Set(int64(len(s.sessions)))
 	s.replaySubscriptions(res)
+
+	// Re-seed migration state. A committed entry is a tombstone (the
+	// session lives elsewhere; stale routes get 410 + redirect). A
+	// prepared entry whose session resumed above means we crashed inside
+	// the cutover window: resume *fenced* so no write can diverge from a
+	// target that may already be primary; the migration's re-drive (from
+	// the gateway) completes or aborts it.
+	for i := range res.Migrations {
+		m := res.Migrations[i]
+		s.migrations[m.SessionID] = &m
+		if m.Phase == wal.MigratePrepare {
+			if sess, ok := s.sessions[m.SessionID]; ok {
+				sess.fenced = true
+			}
+		}
+	}
 
 	s.db.SetMutationHook(s.onMutation)
 	s.wal = d
@@ -309,7 +330,7 @@ func (s *Server) snapshot() error {
 	}
 	s.lock()
 	defer s.mu.Unlock()
-	lsn, err := s.wal.log.Snapshot(s.db, s.sessionStates(), s.subs.States())
+	lsn, err := s.wal.log.Snapshot(s.db, s.sessionStates(), s.subs.States(), s.migrationStates()...)
 	if err != nil {
 		s.log.Error("snapshot failed", slog.Any("err", err))
 		return err

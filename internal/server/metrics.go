@@ -22,6 +22,12 @@ type serverMetrics struct {
 	replSnapshots  *obs.Counter
 	replLag        *obs.Gauge
 	replPromotions *obs.Counter
+
+	// Live session migration (see migration.go).
+	migrations         *obs.Counter
+	migrationFailures  *obs.Counter
+	migrationsInFlight *obs.Gauge
+	migrationBytes     *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -55,5 +61,13 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Worst unacknowledged replication backlog across sessions and links."),
 		replPromotions: r.Counter("stsmatch_repl_promotions_total",
 			"Replica sessions promoted to primary (failovers served)."),
+		migrations: r.Counter("stsmatch_migrations_total",
+			"Live sessions migrated away from this node (cutover committed)."),
+		migrationFailures: r.Counter("stsmatch_migration_failures_total",
+			"Migration attempts that aborted before commit (catch-up or cutover failed)."),
+		migrationsInFlight: r.Gauge("stsmatch_migration_sessions_in_flight",
+			"Sessions currently mid-migration on this node (source side)."),
+		migrationBytes: r.Counter("stsmatch_migration_bytes_shipped_total",
+			"Bytes of catch-up batches shipped to migration targets."),
 	}
 }

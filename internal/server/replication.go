@@ -55,6 +55,30 @@ type replicator struct {
 	epoch     uint64
 	deposed   bool // a replica rejected us with a newer epoch
 	links     []*replicaLink
+
+	// migration marks the temporary single-target link a live session
+	// migration ships over (see migration.go); its traffic is counted
+	// separately so drains are observable.
+	migration bool
+}
+
+// isDeposed reports whether a replica fenced this replicator with a
+// newer epoch — for a migration link, the signal that the target is
+// already primary.
+func (r *replicator) isDeposed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deposed
+}
+
+// hasTarget reports whether this replicator already ships to target.
+func (r *replicator) hasTarget(target string) bool {
+	for _, link := range r.links {
+		if link.target == target {
+			return true
+		}
+	}
+	return false
 }
 
 // replicaLink is one primary→replica shipping lane.
@@ -229,7 +253,7 @@ func (s *Server) flushLink(ctx context.Context, r *replicator, link *replicaLink
 			s.met.replSnapshots.Inc()
 		}
 
-		status, err := s.shipBatch(ctx, link.target, batch)
+		status, sent, err := s.shipBatch(ctx, link.target, batch)
 		switch {
 		case err == nil && status == http.StatusOK:
 			r.mu.Lock()
@@ -247,6 +271,9 @@ func (s *Server) flushLink(ctx context.Context, r *replicator, link *replicaLink
 			retry := len(link.pending) > 0 || link.needSnap
 			r.mu.Unlock()
 			s.met.replShipped.Add(len(batch.Records))
+			if r.migration {
+				s.met.migrationBytes.Add(sent)
+			}
 			if !retry {
 				return nil
 			}
@@ -342,7 +369,7 @@ func (s *Server) snapshotBatch(r *replicator, link *replicaLink) (wal.Batch, boo
 // count, snapshot-or-incremental, status), and the trace context plus
 // request ID propagate to the follower, so one ingest's trace spans
 // primary and replicas alike.
-func (s *Server) shipBatch(ctx context.Context, target string, b wal.Batch) (int, error) {
+func (s *Server) shipBatch(ctx context.Context, target string, b wal.Batch) (status, sent int, err error) {
 	sctx, sp := obs.StartSpan(ctx, "repl.ship")
 	defer sp.Finish()
 	sp.Annotate("target", target)
@@ -351,23 +378,24 @@ func (s *Server) shipBatch(ctx context.Context, target string, b wal.Batch) (int
 	if len(b.Records) == 1 && b.Records[0].Type == wal.TypeReplicaSnapshot {
 		sp.Annotate("snapshot", true)
 	}
+	payload := wal.EncodeBatch(b)
 	req, err := http.NewRequestWithContext(sctx, http.MethodPost,
-		target+"/v1/replicate", bytes.NewReader(wal.EncodeBatch(b)))
+		target+"/v1/replicate", bytes.NewReader(payload))
 	if err != nil {
 		sp.Annotate("error", err.Error())
-		return 0, err
+		return 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	obs.InjectHeaders(sctx, req.Header)
 	resp, err := s.replClient.Do(req)
 	if err != nil {
 		sp.Annotate("error", err.Error())
-		return 0, err
+		return 0, 0, err
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
 	sp.Annotate("status", resp.StatusCode)
-	return resp.StatusCode, nil
+	return resp.StatusCode, len(payload), nil
 }
 
 // replicaState is a follower's view of one replicated session: the

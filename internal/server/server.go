@@ -95,6 +95,16 @@ type Server struct {
 	advertise  string
 	replFrom   []string
 
+	// Live session migration (see migration.go): per-session migration
+	// state (guarded by mu; committed entries are tombstones answering
+	// 410 with a redirect hint) and the catch-up round cap.
+	migrations           map[string]*wal.MigrationState
+	migrateCatchupRounds int
+
+	// testHookMigrate, when non-nil, runs at each migration phase
+	// boundary; chaos tests kill nodes there (see SetMigrationHook).
+	testHookMigrate func(phase string)
+
 	// testHookMidMatch, when non-nil, runs in handleMatch between
 	// scoring and the response write; tests inject a concurrent write
 	// there to pin the token-snapshot-before-scoring ordering.
@@ -118,6 +128,13 @@ type session struct {
 	lastT     float64
 	lastPos   []float64
 	repl      *replicator // nil when the session is not replicated
+
+	// fenced rejects new writes while a migration cutover is in flight
+	// (or after a restart recovered a prepared-but-uncommitted
+	// migration); migrating is the temporary catch-up link shipping the
+	// session to its migration target.
+	fenced    bool
+	migrating *replicator
 
 	// resumed marks a session rebuilt by crash recovery: its segmenter
 	// was re-primed from the stored PLR tail, so vertices it re-emits
@@ -151,19 +168,21 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 		db = store.NewDB()
 	}
 	s := &Server{
-		db:        db,
-		params:    params,
-		segCfg:    segCfg,
-		sessions:  make(map[string]*session),
-		mux:       http.NewServeMux(),
-		log:       obs.Logger("server"),
-		met:       newServerMetrics(obs.Default()),
-		start:     time.Now(),
-		maxBody:   opts.MaxBodyBytes,
-		replicas:  make(map[string]*replicaState),
-		advertise: opts.AdvertiseURL,
-		replFrom:  opts.ReplicateFrom,
-		col:       obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
+		db:                   db,
+		params:               params,
+		segCfg:               segCfg,
+		sessions:             make(map[string]*session),
+		mux:                  http.NewServeMux(),
+		log:                  obs.Logger("server"),
+		met:                  newServerMetrics(obs.Default()),
+		start:                time.Now(),
+		maxBody:              opts.MaxBodyBytes,
+		replicas:             make(map[string]*replicaState),
+		migrations:           make(map[string]*wal.MigrationState),
+		migrateCatchupRounds: opts.MigrateCatchupRounds,
+		advertise:            opts.AdvertiseURL,
+		replFrom:             opts.ReplicateFrom,
+		col:                  obs.NewCollector(opts.TraceCapacity, opts.TraceSlowThreshold),
 	}
 	s.seqEpoch = s.start.UnixNano()
 	obs.RegisterBuildInfo(obs.Default())
@@ -202,6 +221,7 @@ func NewWithOptions(db *store.DB, params core.Params, segCfg fsm.Config, opts Op
 	s.route("GET /v1/sessions/{sid}/plr", "plr", s.handlePLR)
 	s.route("POST /v1/replicate", "replicate", s.handleReplicate)
 	s.route("POST /v1/sessions/{sid}/promote", "promote", s.handlePromote)
+	s.route("POST /v1/sessions/{sid}/migrate", "migrate_session", s.handleMigrate)
 	s.route("POST /v1/match", "match", s.handleMatch)
 	s.route("POST /v1/subscriptions", "create_subscription", s.handleCreateSubscription)
 	s.route("GET /v1/subscriptions", "list_subscriptions", s.handleListSubscriptions)
@@ -403,6 +423,10 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 		s.setFreshnessHeaders(w, sess, fresh, resp.ReplicaErrors)
 	}
 	if err != nil {
+		if code == http.StatusNotFound {
+			s.goneOr404(w, sid)
+			return
+		}
 		httpError(w, code, err)
 		return
 	}
@@ -439,6 +463,12 @@ func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn)
 	sess, ok := s.sessions[sid]
 	if !ok {
 		return SamplesResponse{}, nil, PatientFreshness{}, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
+	}
+	if sess.fenced {
+		// A migration cutover is in flight; accepting the write here
+		// could lose it when the target takes over. Retryable.
+		return SamplesResponse{}, nil, PatientFreshness{}, http.StatusServiceUnavailable,
+			fmt.Errorf("session %q is migrating; retry shortly", sid)
 	}
 	resp := SamplesResponse{}
 	var newVs []plr.Vertex
@@ -493,7 +523,7 @@ func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn)
 		// from exactly the newest pre-crash observation.
 		s.walAppendCtx(ctx, anchor)
 	}
-	if sess.repl != nil && resp.Accepted > 0 {
+	if (sess.repl != nil || sess.migrating != nil) && resp.Accepted > 0 {
 		// Stage everything this call stored — including partial progress
 		// before an error — so replicas never trail what we kept.
 		recs := make([]wal.Record, 0, 2)
@@ -507,7 +537,14 @@ func (s *Server) ingestLocked(ctx context.Context, sid string, batch []SampleIn)
 		}
 		anchor.AnchorPos = append([]float64(nil), anchor.AnchorPos...)
 		recs = append(recs, anchor)
-		sess.repl.enqueue(recs...)
+		if sess.repl != nil {
+			sess.repl.enqueue(recs...)
+		}
+		if sess.migrating != nil {
+			// A migration catch-up link tails the same records, so the
+			// target converges even under sustained ingest.
+			sess.migrating.enqueue(recs...)
+		}
 	}
 	// Snapshot the patient's holdings before the caller flushes
 	// replication: a clean flush then proves followers hold at least
@@ -543,6 +580,9 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return nil, http.StatusNotFound, fmt.Errorf("no open session %q", sid)
 		}
+		if sess.fenced {
+			return nil, http.StatusConflict, fmt.Errorf("session %q is mid-migration; close it on its new home", sid)
+		}
 		if s.wal != nil {
 			// Journal and fsync the close record before removing the
 			// session, so a 200 really means "durably closed": if the flush
@@ -567,6 +607,10 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 		return sess, 0, nil
 	}()
 	if err != nil {
+		if code == http.StatusNotFound {
+			s.goneOr404(w, sid)
+			return
+		}
 		httpError(w, code, err)
 		return
 	}
@@ -619,7 +663,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions[sid]
 	if !ok {
 		s.mu.Unlock()
-		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		s.goneOr404(w, sid)
 		return
 	}
 	patientID, sessionID := sess.patientID, sess.sessionID
@@ -696,7 +740,7 @@ func (s *Server) handlePLR(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions[sid]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no open session %q", sid))
+		s.goneOr404(w, sid)
 		return
 	}
 	seq := sess.stream.Seq()

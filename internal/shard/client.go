@@ -80,6 +80,16 @@ type Options struct {
 	// never by time.
 	MatchCacheSize int
 
+	// RebalanceConcurrency bounds how many session migrations a
+	// rebalance drains concurrently (0 = DefaultRebalanceConcurrency).
+	RebalanceConcurrency int
+
+	// MigrateTimeout bounds one POST /v1/sessions/{sid}/migrate call —
+	// a migration ships a session's full state, so it gets its own
+	// budget instead of the per-request Timeout (0 =
+	// DefaultMigrateTimeout).
+	MigrateTimeout time.Duration
+
 	// FreshnessInterval is the period of the gateway's background
 	// /v1/shard/stats polling that seeds and refreshes the
 	// follower-read freshness tracker (negative = disabled; 0 =
@@ -100,6 +110,14 @@ const DefaultMatchCacheSize = 512
 // DefaultFreshnessInterval is the background freshness-polling period
 // when Options.FreshnessInterval is zero and replication is enabled.
 const DefaultFreshnessInterval = 5 * time.Second
+
+// DefaultRebalanceConcurrency bounds in-flight migrations during a
+// rebalance drain when Options.RebalanceConcurrency is zero.
+const DefaultRebalanceConcurrency = 2
+
+// DefaultMigrateTimeout bounds one migrate call when
+// Options.MigrateTimeout is zero.
+const DefaultMigrateTimeout = 60 * time.Second
 
 func (o Options) withDefaults() Options {
 	if o.Vnodes <= 0 {
@@ -134,6 +152,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MatchCacheSize == 0 {
 		o.MatchCacheSize = DefaultMatchCacheSize
+	}
+	if o.RebalanceConcurrency <= 0 {
+		o.RebalanceConcurrency = DefaultRebalanceConcurrency
+	}
+	if o.MigrateTimeout <= 0 {
+		o.MigrateTimeout = DefaultMigrateTimeout
 	}
 	if o.FreshnessInterval == 0 && o.Replicas > 1 {
 		o.FreshnessInterval = DefaultFreshnessInterval
@@ -246,6 +270,9 @@ func splitStoreSeq(tok string) (epoch string, seq uint64, ok bool) {
 // FailThreshold consecutive failures and readmits them only after
 // ReadmitThreshold consecutive successes (flap damping).
 type Pool struct {
+	// mu guards backends/byURL: the set was append-only at construction
+	// until elastic rebalancing made AddBackend a runtime operation.
+	mu       sync.RWMutex
 	backends []*Backend
 	byURL    map[string]*Backend
 	opts     Options
@@ -280,23 +307,7 @@ func NewPool(urls []string, opts Options) (*Pool, error) {
 		if _, dup := p.byURL[u]; dup {
 			return nil, fmt.Errorf("shard: duplicate backend URL %s", u)
 		}
-		transport := opts.Transport
-		if transport == nil {
-			transport = &http.Transport{
-				MaxIdleConns:        64,
-				MaxIdleConnsPerHost: 32,
-				IdleConnTimeout:     90 * time.Second,
-			}
-		}
-		b := &Backend{
-			url: u,
-			hc:  &http.Client{Transport: transport},
-		}
-		b.healthy.Store(true)
-		b.storeSeq.Store("") // non-nil slot so noteStoreSeq can CAS
-		p.met.healthy.With(u).Set(1)
-		p.backends = append(p.backends, b)
-		p.byURL[u] = b
+		p.addLocked(u)
 	}
 	if opts.HealthInterval > 0 {
 		go p.healthLoop()
@@ -312,17 +323,64 @@ func (p *Pool) Close() {
 	<-p.done
 }
 
-// Backends returns every backend, healthy or not, in configuration
-// order.
-func (p *Pool) Backends() []*Backend { return p.backends }
+// addLocked builds and registers one backend. Callers hold p.mu (or
+// own the pool exclusively, as NewPool does).
+func (p *Pool) addLocked(u string) *Backend {
+	transport := p.opts.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	b := &Backend{
+		url: u,
+		hc:  &http.Client{Transport: transport},
+	}
+	b.healthy.Store(true)
+	b.storeSeq.Store("") // non-nil slot so noteStoreSeq can CAS
+	p.met.healthy.With(u).Set(1)
+	p.backends = append(p.backends, b)
+	p.byURL[u] = b
+	return b
+}
+
+// AddBackend registers a new backend at runtime (elastic growth). It
+// is idempotent: adding a URL already in the pool returns the existing
+// backend, so a crash-recovered rebalance can re-drive the add.
+func (p *Pool) AddBackend(url string) (*Backend, error) {
+	if url == "" {
+		return nil, fmt.Errorf("shard: empty backend URL")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.byURL[url]; ok {
+		return b, nil
+	}
+	p.log.Info("backend added", slog.String("backend", url))
+	return p.addLocked(url), nil
+}
+
+// Backends returns a snapshot of every backend, healthy or not, in
+// registration order.
+func (p *Pool) Backends() []*Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]*Backend(nil), p.backends...)
+}
 
 // ByURL returns the backend with the given base URL, or nil.
-func (p *Pool) ByURL(url string) *Backend { return p.byURL[url] }
+func (p *Pool) ByURL(url string) *Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.byURL[url]
+}
 
 // NumHealthy returns the number of currently admitted backends.
 func (p *Pool) NumHealthy() int {
 	n := 0
-	for _, b := range p.backends {
+	for _, b := range p.Backends() {
 		if b.Healthy() {
 			n++
 		}
@@ -506,7 +564,7 @@ func (p *Pool) healthLoop() {
 // ejection/readmission.
 func (p *Pool) ProbeAll() {
 	var wg sync.WaitGroup
-	for _, b := range p.backends {
+	for _, b := range p.Backends() {
 		wg.Add(1)
 		go func(b *Backend) {
 			defer wg.Done()

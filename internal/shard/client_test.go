@@ -175,7 +175,7 @@ func TestStoreSeqNewer(t *testing.T) {
 		a, cur string
 		want   bool
 	}{
-		{"100-5", "", true},     // anything supersedes the unknown token
+		{"100-5", "", true}, // anything supersedes the unknown token
 		{"100-6", "100-5", true},
 		{"100-5", "100-5", false},
 		{"100-4", "100-5", false},

@@ -66,6 +66,10 @@ type Gateway struct {
 	fresh *freshTracker
 	cache *matchCache
 
+	// migClient carries migrate calls (see rebalance.go): its timeout
+	// budgets a full session drain, not one proxied request.
+	migClient *http.Client
+
 	// stopFresh/freshDone bound the optional background freshness
 	// poller started when Options.FreshnessInterval > 0.
 	stopFresh chan struct{}
@@ -110,6 +114,7 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 		freshDone: make(chan struct{}),
 	}
 	g.cache = newMatchCache(opts.MatchCacheSize, pool.met)
+	g.migClient = &http.Client{Timeout: opts.MigrateTimeout, Transport: opts.Transport}
 	obs.RegisterBuildInfo(obs.Default())
 	if opts.FreshnessInterval > 0 {
 		go g.freshLoop(opts.FreshnessInterval)
@@ -128,6 +133,8 @@ func NewGateway(backends []string, opts Options) (*Gateway, error) {
 	g.route("GET /v1/subscriptions/{id}/events", "subscription_events", g.handleSubEvents)
 	g.route("GET /v1/stats", "stats", g.handleStats)
 	g.route("GET /v1/healthz", "healthz", g.handleHealthz)
+	g.route("POST /v1/admin/backends", "admin_add_backend", g.handleAddBackend)
+	g.route("POST /v1/admin/rebalance", "admin_rebalance", g.handleRebalance)
 	g.mux.Handle("GET /v1/traces", g.http.Wrap("traces", g.col.Handler()))
 	// /metrics stays out of the access log and traces, but still counts
 	// in the request metrics like any other route.
@@ -383,6 +390,21 @@ func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
 		gwError(w, http.StatusBadGateway, err)
 		return
 	}
+	if status == http.StatusGone {
+		// The session migrated away: the placement cache pointed at a
+		// tombstoned source. Invalidate, follow the redirect hint (or
+		// rediscover from the shards' inventories), and retry exactly
+		// once on the new owner — converging without bouncing the
+		// client.
+		if nb := g.placementAfterGone(r, sid, pl, respHdr); nb != nil && nb.URL() != b.URL() {
+			b = nb
+			status, respBody, respHdr, err = g.pool.doHdr(r.Context(), b, r.Method, path, body, nil, idempotent)
+			if err != nil {
+				gwError(w, http.StatusBadGateway, err)
+				return
+			}
+		}
+	}
 	if status == http.StatusOK {
 		g.mu.Lock()
 		pid := pl.patientID
@@ -397,6 +419,45 @@ func (g *Gateway) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
 	}
 	relayFreshnessHeaders(w, respHdr)
 	relay(w, status, respBody)
+}
+
+// placementAfterGone repairs a session's cached placement after a 410
+// tombstone response: the Location header names the new owner when the
+// source knew it; otherwise the stale entry is dropped and rebuilt
+// from the shards' inventories. Returns the backend to retry on, or
+// nil when no new owner could be resolved.
+func (g *Gateway) placementAfterGone(r *http.Request, sid string, pl *placement, respHdr http.Header) *Backend {
+	g.met.placementInvalidations.Inc()
+	if hint := respHdr.Get("Location"); hint != "" {
+		if nb := g.pool.ByURL(hint); nb != nil && nb.Healthy() {
+			g.mu.Lock()
+			pl.primary = hint
+			if pid := pl.patientID; pid != "" {
+				if desired := g.ring.Owners(pid, g.opts.Replicas); len(desired) > 0 {
+					pl.owners = append([]string(nil), desired...)
+				}
+			}
+			has := false
+			for _, u := range pl.owners {
+				has = has || u == hint
+			}
+			if !has {
+				pl.owners = append([]string{hint}, pl.owners...)
+			}
+			g.mu.Unlock()
+			g.log.Info("placement repaired from tombstone hint",
+				slog.String("sessionId", sid), slog.String("backend", hint))
+			return nb
+		}
+	}
+	g.mu.Lock()
+	delete(g.places, sid)
+	g.mu.Unlock()
+	npl, err := g.placementFor(r, sid)
+	if err != nil {
+		return nil
+	}
+	return g.primaryBackend(npl)
 }
 
 // primaryBackend returns the backend currently serving a session, or

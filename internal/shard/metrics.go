@@ -23,6 +23,12 @@ type shardMetrics struct {
 	followerReads  *obs.Counter // patient arcs assigned to a follower leg
 	readRefusals   *obs.Counter // patients refused by a shard's freshness check
 	retryLegs      *obs.Counter // extra legs sent to recover refused/failed patients
+
+	// Elastic rebalancing (see rebalance.go).
+	rebalances             *obs.Counter
+	rebalanceMoved         *obs.Counter
+	rebalanceFailures      *obs.Counter
+	placementInvalidations *obs.Counter // placements dropped on a 410 tombstone
 }
 
 func newShardMetrics(r *obs.Registry) *shardMetrics {
@@ -59,5 +65,13 @@ func newShardMetrics(r *obs.Registry) *shardMetrics {
 			"Patients a shard refused to serve under the query's max-lag bound."),
 		retryLegs: r.Counter("stsmatch_gateway_match_retry_legs_total",
 			"Extra scatter legs sent to recover refused or failed patients."),
+		rebalances: r.Counter("stsmatch_gateway_rebalances_total",
+			"Rebalance passes run (membership change or explicit re-drive)."),
+		rebalanceMoved: r.Counter("stsmatch_gateway_rebalance_sessions_moved_total",
+			"Sessions migrated onto their ring-designated owner by a rebalance."),
+		rebalanceFailures: r.Counter("stsmatch_gateway_rebalance_failures_total",
+			"Session migrations a rebalance could not complete after retries."),
+		placementInvalidations: r.Counter("stsmatch_gateway_placement_invalidations_total",
+			"Cached session placements invalidated by a 410 tombstone response."),
 	}
 }

@@ -211,6 +211,61 @@ func (r *Ring) Covered(node string, replicas int, ok func(string) bool) bool {
 	return true
 }
 
+// Clone returns an independent copy of the ring. Add is deterministic
+// and order-independent, so rebuilding from the node set reproduces
+// the layout exactly — rebalance planning diffs a clone against the
+// mutated original.
+func (r *Ring) Clone() *Ring {
+	c := NewRing(r.replicas)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := range r.nodes {
+		c.addNoLock(n)
+	}
+	return c
+}
+
+// addNoLock is Add without taking c's lock; Clone owns c exclusively.
+func (r *Ring) addNoLock(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		h := hashKey(vnodeKey(node, i))
+		if prev, ok := r.owner[h]; ok {
+			if node < prev {
+				r.owner[h] = node
+			}
+			continue
+		}
+		r.owner[h] = node
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(a, b int) bool { return r.hashes[a] < r.hashes[b] })
+}
+
+// MovedKeys returns the keys (in input order) whose primary owner
+// differs between two ring layouts — the minimal session set a
+// membership change requires moving. Keys whose replica tail changed
+// but whose primary stayed put are not returned: the migration
+// protocol fixes the tail as part of any move, and a tail-only change
+// converges through ordinary replication without a cutover.
+func MovedKeys(before, after *Ring, keys []string, n int) []string {
+	var out []string
+	for _, k := range keys {
+		b := before.Owners(k, n)
+		a := after.Owners(k, n)
+		if len(b) == 0 || len(a) == 0 {
+			continue
+		}
+		if b[0] != a[0] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // Nodes returns the backends currently in the ring, sorted.
 func (r *Ring) Nodes() []string {
 	r.mu.RLock()

@@ -276,3 +276,106 @@ func TestRingEmptyAndMembership(t *testing.T) {
 		t.Errorf("Nodes = %v, want empty", n)
 	}
 }
+
+// TestRingMovedKeysMinimalMovement is the arc-diff contract behind
+// elastic rebalancing: a membership change must move exactly the keys
+// whose primary arc changed hands — every moved key's new primary is
+// determined by the change, every unmoved key keeps its primary, and
+// the moved fraction stays near the theoretical 1/N.
+func TestRingMovedKeysMinimalMovement(t *testing.T) {
+	base := []string{"http://s1", "http://s2", "http://s3"}
+	keys := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, fmt.Sprintf("P%04d", i))
+	}
+	build := func(nodes []string) *Ring {
+		r := NewRing(DefaultVnodes)
+		for _, n := range nodes {
+			r.Add(n)
+		}
+		return r
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(r *Ring)
+		// wantNewPrimary, when non-empty, is the only allowed new
+		// primary for every moved key (the added node); otherwise the
+		// moved keys' old primary must be the removed node.
+		wantNewPrimary string
+		wantOldPrimary string
+		maxFraction    float64
+	}{
+		{
+			name:           "add s4",
+			mutate:         func(r *Ring) { r.Add("http://s4") },
+			wantNewPrimary: "http://s4",
+			maxFraction:    0.40, // ~1/4 expected
+		},
+		{
+			name:           "remove s2",
+			mutate:         func(r *Ring) { r.Remove("http://s2") },
+			wantOldPrimary: "http://s2",
+			maxFraction:    0.50, // ~1/3 expected
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := build(base)
+			after := before.Clone()
+			tc.mutate(after)
+
+			moved := map[string]bool{}
+			for _, k := range MovedKeys(before, after, keys, 2) {
+				moved[k] = true
+			}
+			if len(moved) == 0 {
+				t.Fatal("membership change moved no keys")
+			}
+			if frac := float64(len(moved)) / float64(len(keys)); frac > tc.maxFraction {
+				t.Errorf("moved %.0f%% of keys, want <= %.0f%% (not minimal)",
+					frac*100, tc.maxFraction*100)
+			}
+			for _, k := range keys {
+				bp, ap := before.Owner(k), after.Owner(k)
+				if moved[k] {
+					if tc.wantNewPrimary != "" && ap != tc.wantNewPrimary {
+						t.Fatalf("moved key %s: new primary %s, want %s", k, ap, tc.wantNewPrimary)
+					}
+					if tc.wantOldPrimary != "" && bp != tc.wantOldPrimary {
+						t.Fatalf("moved key %s: old primary %s, want %s", k, bp, tc.wantOldPrimary)
+					}
+					if bp == ap {
+						t.Fatalf("key %s reported moved but primary unchanged (%s)", k, bp)
+					}
+					continue
+				}
+				if bp != ap {
+					t.Fatalf("key %s not reported moved but primary changed %s -> %s", k, bp, ap)
+				}
+			}
+		})
+	}
+}
+
+// TestRingCloneIndependent: a clone reproduces the layout exactly and
+// mutating it leaves the original untouched.
+func TestRingCloneIndependent(t *testing.T) {
+	r := NewRing(64)
+	r.Add("http://s1")
+	r.Add("http://s2")
+	c := r.Clone()
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("P%03d", i)
+		if r.Owner(k) != c.Owner(k) {
+			t.Fatalf("clone layout diverges at key %s", k)
+		}
+	}
+	c.Add("http://s3")
+	if r.Len() != 2 || c.Len() != 3 {
+		t.Fatalf("Len = %d/%d, want 2/3: clone shares state with the original", r.Len(), c.Len())
+	}
+	if got := len(MovedKeys(r, c, []string{"P001"}, 1)); r.Owner("P001") == c.Owner("P001") && got != 0 {
+		t.Errorf("MovedKeys reported %d moves for an unmoved key", got)
+	}
+}

@@ -208,6 +208,32 @@ func (m *Manager) Delete(id string) bool {
 	return true
 }
 
+// Expel removes a subscription locally AND wakes any consumer stream
+// blocked on its notify channel, so attached readers disconnect
+// immediately instead of waiting out a heartbeat. This is the
+// migration-handoff path, not a consumer-visible deletion: the
+// subscription lives on at the session's new home (it was shipped
+// inside the catch-up snapshot), and a woken gateway proxy re-resolves
+// the placement and resumes the stream there from its Last-Event-ID.
+func (m *Manager) Expel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[id]
+	if !ok {
+		return false
+	}
+	delete(m.subs, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	close(s.notify)
+	mActive.Dec()
+	return true
+}
+
 // Ack advances a subscription's delivery high-water mark and drops
 // acknowledged events from the buffer. It reports whether the
 // subscription exists.

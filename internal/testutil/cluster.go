@@ -3,6 +3,7 @@ package testutil
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"stsmatch/internal/core"
@@ -16,11 +17,23 @@ type Node struct {
 	URL    string
 	Server *server.Server
 	ts     *httptest.Server
-	killed bool
+	killed atomic.Bool // listener closed or partitioned off
+	dead   atomic.Bool // inbound requests aborted without a response
 }
 
-// Killed reports whether the node's listener has been shut down.
-func (n *Node) Killed() bool { return n.killed }
+// Killed reports whether the node has been killed or partitioned off.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// PartitionOff makes the node unreachable to every subsequent inbound
+// request (connections are aborted without a response, like a machine
+// dropping off the network) while leaving the listener open. Unlike
+// Kill it is safe to call from inside one of the node's own request
+// handlers — e.g. a migration-phase hook — where closing the listener
+// would deadlock waiting for the very handler that called it.
+func (n *Node) PartitionOff() {
+	n.killed.Store(true)
+	n.dead.Store(true)
+}
 
 // Cluster is an in-process sharded deployment: N streamd backends on
 // loopback listeners behind a replication-aware gateway. Health
@@ -66,6 +79,9 @@ func StartCluster(t testing.TB, n, replicas int, conf ...func(*ClusterConfig)) *
 		// URL) can exist before the server it fronts: backends need
 		// their own URL at construction time to advertise it.
 		node.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if node.dead.Load() {
+				panic(http.ErrAbortHandler) // sever without a response
+			}
 			node.Server.ServeHTTP(w, r)
 		}))
 		node.URL = node.ts.URL
@@ -113,6 +129,39 @@ func StartCluster(t testing.TB, n, replicas int, conf ...func(*ClusterConfig)) *
 	return c
 }
 
+// AddNode boots one additional streamd backend after the cluster is
+// running and appends it to c.Nodes. The gateway is NOT told about it:
+// tests grow the deployment the way an operator would, via
+// Gateway.AddBackend or POST /v1/admin/backends, which also triggers
+// the rebalance that moves sessions onto the new node. configure, when
+// non-nil, mutates the backend's server options before construction.
+func (c *Cluster) AddNode(configure func(o *server.Options)) *Node {
+	if h, ok := c.t.(interface{ Helper() }); ok {
+		h.Helper()
+	}
+	node := &Node{}
+	node.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if node.dead.Load() {
+			panic(http.ErrAbortHandler) // sever without a response
+		}
+		node.Server.ServeHTTP(w, r)
+	}))
+	node.URL = node.ts.URL
+	opts := server.Options{AdvertiseURL: node.URL}
+	if configure != nil {
+		configure(&opts)
+	}
+	srv, err := server.NewWithOptions(nil, core.DefaultParams(), fsm.DefaultConfig(), opts)
+	if err != nil {
+		node.ts.Close()
+		c.t.Fatalf("testutil: added backend: %v", err)
+	}
+	node.Server = srv
+	c.Nodes = append(c.Nodes, node)
+	c.t.Cleanup(node.ts.Close)
+	return node
+}
+
 // Node returns the backend with the given base URL.
 func (c *Cluster) Node(url string) *Node {
 	for _, n := range c.Nodes {
@@ -130,7 +179,8 @@ func (c *Cluster) Node(url string) *Node {
 // like a machine dropping off the network.
 func (c *Cluster) Kill(url string) {
 	n := c.Node(url)
-	n.killed = true
+	n.killed.Store(true)
+	n.dead.Store(true)
 	n.ts.CloseClientConnections()
 	n.ts.Close()
 }

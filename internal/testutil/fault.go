@@ -118,6 +118,15 @@ func (ft *FaultTransport) SeedRandom(seed int64, prob float64, menu ...Fault) *F
 	return ft
 }
 
+// DropWhile drops every request for which active reports true and
+// passes everything else through untouched — a kill switch a test can
+// flip from a migration-phase hook so a node's outbound traffic dies
+// at an exact protocol point.
+func (ft *FaultTransport) DropWhile(active func() bool) *FaultTransport {
+	return ft.Only(func(*http.Request) bool { return active() }).
+		SeedRandom(1, 1.0, FaultDrop)
+}
+
 // Only restricts fault injection (and index counting) to requests the
 // predicate matches; everything else passes straight through.
 func (ft *FaultTransport) Only(match func(*http.Request) bool) *FaultTransport {

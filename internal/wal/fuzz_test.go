@@ -37,6 +37,8 @@ func FuzzWALDecode(f *testing.F) {
 		}},
 		{Type: TypeSubDelete, LSN: 10, SubID: "sub-1"},
 		{Type: TypeSubAck, LSN: 11, SubID: "sub-1", SubAck: 42},
+		{Type: TypeSessionMigrate, LSN: 12, PatientID: "P1", SessionID: "S1",
+			Target: "http://b", Epoch: 3, Phase: MigratePrepare},
 	} {
 		stream = appendFrame(stream, encodePayload(rec))
 	}

@@ -169,7 +169,7 @@ func TestSnapshotV1StillReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, sessions, ic, _, lsn, err := readSnapshotFile(path)
+	got, sessions, ic, _, _, lsn, err := readSnapshotFile(path)
 	if err != nil {
 		t.Fatalf("v1 snapshot unreadable: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestSnapshotV2EmbedsIndexConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, ic, _, gotLSN, err := readSnapshotFile(filepath.Join(dir, snapshotName(lsn)))
+	_, _, ic, _, _, gotLSN, err := readSnapshotFile(filepath.Join(dir, snapshotName(lsn)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,7 +79,38 @@ const (
 	// Last-Event-ID), so a recovered node knows which events were
 	// already delivered.
 	TypeSubAck Type = 11
+
+	// TypeSessionMigrate journals one phase transition of a live
+	// session migration (PR 10). The source journals MigratePrepare
+	// (fsynced) before asking the target to promote — a restart then
+	// resumes the session fenced, so no write can land in the ambiguous
+	// window — and MigrateCommit (fsynced) once the target is primary:
+	// the session is closed here and a durable tombstone answers stale
+	// routes with 410 + the target URL. MigrateAbort rolls a prepare
+	// back (cutover failed; the session keeps serving here). Snapshots
+	// embed the surviving migration states so compaction cannot lose a
+	// tombstone or an in-flight prepare.
+	TypeSessionMigrate Type = 12
 )
+
+// Migration phases carried by TypeSessionMigrate records and
+// MigrationState entries.
+const (
+	MigratePrepare uint8 = 1 // fenced; cutover to Target in flight
+	MigrateCommit  uint8 = 2 // target promoted; session tombstoned here
+	MigrateAbort   uint8 = 3 // cutover failed; prepare rolled back
+)
+
+// MigrationState is the durable migration state of one session on the
+// source shard: an in-flight prepare (the session resumes fenced) or a
+// committed tombstone (the session is gone; Target says where).
+type MigrationState struct {
+	SessionID string
+	PatientID string
+	Target    string // target shard's advertised base URL
+	Epoch     uint64 // target's fencing epoch at cutover (0 until commit)
+	Phase     uint8  // MigratePrepare or MigrateCommit
+}
 
 // String returns the record type name.
 func (t Type) String() string {
@@ -106,6 +137,8 @@ func (t Type) String() string {
 		return "sub-delete"
 	case TypeSubAck:
 		return "sub-ack"
+	case TypeSessionMigrate:
+		return "session-migrate"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -129,7 +162,12 @@ type Record struct {
 	// Epoch is the replication fencing term (TypeReplicaPromote): each
 	// promotion increments it, and followers reject batches from lower
 	// epochs so a deposed primary cannot overwrite a promoted one.
-	Epoch uint64 // TypeReplicaPromote
+	Epoch uint64 // TypeReplicaPromote, TypeSessionMigrate
+
+	// Target is the migration target's advertised base URL; Phase is
+	// the migration phase (MigratePrepare/Commit/Abort).
+	Target string // TypeSessionMigrate
+	Phase  uint8  // TypeSessionMigrate
 
 	// Index is the window-signature index configuration.
 	Index IndexConfig // TypeIndexConfig
@@ -274,6 +312,12 @@ func encodePayload(rec Record) []byte {
 	case TypeSubAck:
 		b = appendString(b, rec.SubID)
 		b = binary.AppendUvarint(b, rec.SubAck)
+	case TypeSessionMigrate:
+		b = appendString(b, rec.PatientID)
+		b = appendString(b, rec.SessionID)
+		b = appendString(b, rec.Target)
+		b = binary.AppendUvarint(b, rec.Epoch)
+		b = append(b, rec.Phase)
 	}
 	return b
 }
@@ -393,6 +437,15 @@ func decodePayload(b []byte) (Record, error) {
 	case TypeSubAck:
 		rec.SubID = d.str()
 		rec.SubAck = d.uvarint()
+	case TypeSessionMigrate:
+		rec.PatientID = d.str()
+		rec.SessionID = d.str()
+		rec.Target = d.str()
+		rec.Epoch = d.uvarint()
+		rec.Phase = d.u8()
+		if d.err == nil && (rec.Phase < MigratePrepare || rec.Phase > MigrateAbort) {
+			return rec, fmt.Errorf("%w: invalid migration phase %d", ErrTorn, rec.Phase)
+		}
 	default:
 		return rec, fmt.Errorf("%w: unknown record type %d", ErrTorn, rec.Type)
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"stsmatch/internal/plr"
@@ -63,6 +64,14 @@ type RecoveryResult struct {
 	// streams).
 	Subscriptions []SubState
 	SubOps        []SubReplayOp
+
+	// Migrations are the surviving session-migration states, from the
+	// snapshot with the WAL tail's TypeSessionMigrate records replayed
+	// on top: committed tombstones (the session migrated away; the
+	// owner answers stale routes with 410 + Target) and in-flight
+	// prepares (the session is in Sessions but must resume fenced —
+	// a cutover was racing when the node went down).
+	Migrations []MigrationState
 
 	// Duration is the wall time of snapshot load plus replay.
 	Duration time.Duration
@@ -124,11 +133,12 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	var sessions []SessionState
 	var snapIdxConf *IndexConfig
 	var snapSubs []SubState
+	var snapMigs []MigrationState
 	var snapLSN uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		d, ss, ic, sb, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
+		d, ss, ic, sb, mg, lsn, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotName(snaps[i])))
 		if err == nil {
-			db, sessions, snapIdxConf, snapSubs, snapLSN = d, ss, ic, sb, lsn
+			db, sessions, snapIdxConf, snapSubs, snapMigs, snapLSN = d, ss, ic, sb, mg, lsn
 			break
 		}
 	}
@@ -141,12 +151,21 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	}
 	res.SnapshotLSN = snapLSN
 
-	rs := &replayState{db: db, idx: make(map[string]int), indexConf: snapIdxConf, subs: make(map[string]bool)}
+	rs := &replayState{
+		db:         db,
+		idx:        make(map[string]int),
+		indexConf:  snapIdxConf,
+		subs:       make(map[string]bool),
+		migrations: make(map[string]MigrationState),
+	}
 	for _, ss := range sessions {
 		rs.open(ss)
 	}
 	for i := range snapSubs {
 		rs.subs[snapSubs[i].ID] = true
+	}
+	for _, m := range snapMigs {
+		rs.migrations[m.SessionID] = m
 	}
 
 	// Replay segments in LSN order, verifying checksums and LSN
@@ -197,6 +216,7 @@ func Open(opts Options, initial *store.DB) (*Log, *RecoveryResult, error) {
 	res.IndexConfig = rs.indexConf
 	res.Subscriptions = snapSubs
 	res.SubOps = rs.subOps
+	res.Migrations = rs.migrationList()
 	// Carry the recovered config forward so the next snapshot embeds it
 	// even if the owner never calls SetIndexConfig again.
 	l.idxConf.Store(rs.indexConf)
@@ -305,13 +325,14 @@ func replaySegment(path string, nameLSN, snapLSN uint64, rs *replayState, res *R
 // snapshot: existing patients/streams are reused and vertices that do
 // not advance a stream are skipped.
 type replayState struct {
-	db        *store.DB
-	sessions  []SessionState
-	idx       map[string]int  // sessionID -> index in sessions, -1 when closed
-	indexConf *IndexConfig    // latest TypeIndexConfig seen (snapshot-seeded)
-	subs      map[string]bool // live subscription IDs (snapshot-seeded)
-	subOps    []SubReplayOp   // subscription-relevant history, log order
-	applied   uint64
+	db         *store.DB
+	sessions   []SessionState
+	idx        map[string]int            // sessionID -> index in sessions, -1 when closed
+	indexConf  *IndexConfig              // latest TypeIndexConfig seen (snapshot-seeded)
+	subs       map[string]bool           // live subscription IDs (snapshot-seeded)
+	subOps     []SubReplayOp             // subscription-relevant history, log order
+	migrations map[string]MigrationState // surviving migration states (snapshot-seeded)
+	applied    uint64
 }
 
 func (rs *replayState) open(ss SessionState) {
@@ -320,6 +341,17 @@ func (rs *replayState) open(ss SessionState) {
 	}
 	rs.idx[ss.SessionID] = len(rs.sessions)
 	rs.sessions = append(rs.sessions, ss)
+}
+
+// migrationList returns the surviving migration states sorted by
+// session ID, so recovery output is deterministic.
+func (rs *replayState) migrationList() []MigrationState {
+	out := make([]MigrationState, 0, len(rs.migrations))
+	for _, m := range rs.migrations {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SessionID < out[b].SessionID })
+	return out
 }
 
 func (rs *replayState) list() []SessionState {
@@ -397,7 +429,9 @@ func (rs *replayState) apply(rec Record) error {
 	case TypeReplicaPromote:
 		// This node took over the session at a failover: reopen it with
 		// the promoted anchor so a later crash still recovers it as
-		// primary.
+		// primary. A session that migrated away and came back sheds its
+		// tombstone — this node owns it again.
+		delete(rs.migrations, rec.SessionID)
 		rs.open(SessionState{PatientID: rec.PatientID, SessionID: rec.SessionID})
 		if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
 			rs.sessions[i].Samples = rec.Samples
@@ -419,6 +453,30 @@ func (rs *replayState) apply(rec Record) error {
 	case TypeSubAck:
 		if rs.subs[rec.SubID] {
 			rs.subOps = append(rs.subOps, SubReplayOp{AckID: rec.SubID, Ack: rec.SubAck})
+		}
+	case TypeSessionMigrate:
+		switch rec.Phase {
+		case MigratePrepare:
+			// The session stays open (it resumes fenced on the source);
+			// the prepare marks the cutover as re-drivable.
+			rs.migrations[rec.SessionID] = MigrationState{
+				SessionID: rec.SessionID, PatientID: rec.PatientID,
+				Target: rec.Target, Epoch: rec.Epoch, Phase: MigratePrepare,
+			}
+		case MigrateCommit:
+			// The target is primary now: close the session here and keep
+			// a tombstone so stale routes are answered 410 + Target.
+			if i, ok := rs.idx[rec.SessionID]; ok && i >= 0 {
+				rs.idx[rec.SessionID] = -1
+			}
+			rs.migrations[rec.SessionID] = MigrationState{
+				SessionID: rec.SessionID, PatientID: rec.PatientID,
+				Target: rec.Target, Epoch: rec.Epoch, Phase: MigrateCommit,
+			}
+		case MigrateAbort:
+			delete(rs.migrations, rec.SessionID)
+		default:
+			return fmt.Errorf("unknown migration phase %d", rec.Phase)
 		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)

@@ -18,9 +18,12 @@ const (
 	// snapVersion 2 (PR 7) inserts a window-signature index-config
 	// section between the session manifest and the database payload;
 	// version 3 (PR 8) inserts a standing-subscription section after
-	// the index section. The reader still accepts versions 1 and 2, so
+	// the index section; version 4 (PR 10) inserts a session-migration
+	// section (in-flight prepares and committed tombstones) after the
+	// subscription section. The reader still accepts versions 1-3, so
 	// older snapshots recover cleanly.
-	snapVersion   = 3
+	snapVersion   = 4
+	snapVersionV3 = 3
 	snapVersionV2 = 2
 	snapVersionV1 = 1
 )
@@ -45,7 +48,7 @@ type SessionState struct {
 // The caller must guarantee the database is quiescent for the duration
 // (the server holds its session lock), so the snapshot is exactly the
 // state produced by every record below the returned LSN.
-func (l *Log) Snapshot(db *store.DB, sessions []SessionState, subs []SubState) (uint64, error) {
+func (l *Log) Snapshot(db *store.DB, sessions []SessionState, subs []SubState, migrations ...MigrationState) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -58,7 +61,7 @@ func (l *Log) Snapshot(db *store.DB, sessions []SessionState, subs []SubState) (
 	lsn := l.nextLSN
 	final := filepath.Join(l.opts.Dir, snapshotName(lsn))
 	tmp := final + ".tmp"
-	if err := writeSnapshotFile(tmp, lsn, db, sessions, l.idxConf.Load(), subs); err != nil {
+	if err := writeSnapshotFile(tmp, lsn, db, sessions, l.idxConf.Load(), subs, migrations); err != nil {
 		os.Remove(tmp) //nolint:errcheck
 		l.fail(err)
 		return 0, l.err
@@ -76,7 +79,7 @@ func (l *Log) Snapshot(db *store.DB, sessions []SessionState, subs []SubState) (
 }
 
 // writeSnapshotFile writes and fsyncs one snapshot file.
-func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []SessionState, idxConf *IndexConfig, subs []SubState) error {
+func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []SessionState, idxConf *IndexConfig, subs []SubState, migrations []MigrationState) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
@@ -126,6 +129,18 @@ func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []Session
 		b = binary.AppendUvarint(b, uint64(len(blob)))
 		b = append(b, blob...)
 	}
+	// v4: session-migration section — count, then each state. Migration
+	// state must live in snapshots because compaction may delete the
+	// segment holding the TypeSessionMigrate record while the tombstone
+	// (or an in-flight prepare) is still load-bearing.
+	b = binary.AppendUvarint(b, uint64(len(migrations)))
+	for _, m := range migrations {
+		b = appendString(b, m.SessionID)
+		b = appendString(b, m.PatientID)
+		b = appendString(b, m.Target)
+		b = binary.AppendUvarint(b, m.Epoch)
+		b = append(b, m.Phase)
+	}
 	if _, err := w.Write(b); err != nil {
 		return err
 	}
@@ -138,63 +153,64 @@ func writeSnapshotFile(path string, lsn uint64, db *store.DB, sessions []Session
 	return f.Sync()
 }
 
-// readSnapshotFile loads one snapshot file (version 1, 2, or 3). The
+// readSnapshotFile loads one snapshot file (version 1 through 4). The
 // returned IndexConfig is nil for v1 snapshots and for newer snapshots
-// written without an index; the subscription list is nil below v3.
-func readSnapshotFile(path string) (*store.DB, []SessionState, *IndexConfig, []SubState, uint64, error) {
+// written without an index; the subscription list is nil below v3 and
+// the migration list nil below v4.
+func readSnapshotFile(path string) (*store.DB, []SessionState, *IndexConfig, []SubState, []MigrationState, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, nil, 0, err
+		return nil, nil, nil, nil, nil, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var hdr [4 + 2 + 8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot header: %w", err)
+		return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot header: %w", err)
 	}
 	if string(hdr[:4]) != snapMagic {
-		return nil, nil, nil, nil, 0, fmt.Errorf("wal: bad snapshot magic %q", hdr[:4])
+		return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: bad snapshot magic %q", hdr[:4])
 	}
 	version := binary.LittleEndian.Uint16(hdr[4:6])
-	if version != snapVersion && version != snapVersionV2 && version != snapVersionV1 {
-		return nil, nil, nil, nil, 0, fmt.Errorf("wal: unsupported snapshot version %d", version)
+	if version < snapVersionV1 || version > snapVersion {
+		return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: unsupported snapshot version %d", version)
 	}
 	lsn := binary.LittleEndian.Uint64(hdr[6:])
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, nil, nil, nil, 0, err
+		return nil, nil, nil, nil, nil, 0, err
 	}
 	if n > 1<<20 {
-		return nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible session count %d", n)
+		return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible session count %d", n)
 	}
 	sessions := make([]SessionState, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var ss SessionState
 		if ss.PatientID, err = readSnapString(r); err != nil {
-			return nil, nil, nil, nil, 0, err
+			return nil, nil, nil, nil, nil, 0, err
 		}
 		if ss.SessionID, err = readSnapString(r); err != nil {
-			return nil, nil, nil, nil, 0, err
+			return nil, nil, nil, nil, nil, 0, err
 		}
 		if ss.Samples, err = binary.ReadUvarint(r); err != nil {
-			return nil, nil, nil, nil, 0, err
+			return nil, nil, nil, nil, nil, 0, err
 		}
 		var tbuf [8]byte
 		if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-			return nil, nil, nil, nil, 0, err
+			return nil, nil, nil, nil, nil, 0, err
 		}
 		ss.LastT = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 		dims, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, nil, nil, nil, 0, err
+			return nil, nil, nil, nil, nil, 0, err
 		}
 		if dims > maxDims {
-			return nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible anchor dims %d", dims)
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible anchor dims %d", dims)
 		}
 		ss.LastPos = make([]float64, dims)
 		for j := range ss.LastPos {
 			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			ss.LastPos[j] = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 		}
@@ -204,71 +220,103 @@ func readSnapshotFile(path string) (*store.DB, []SessionState, *IndexConfig, []S
 	if version >= snapVersionV2 {
 		present, err := r.ReadByte()
 		if err != nil {
-			return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot index section: %w", err)
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot index section: %w", err)
 		}
 		if present != 0 {
 			var ic IndexConfig
 			minSeg, err := binary.ReadUvarint(r)
 			if err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			maxSeg, err := binary.ReadUvarint(r)
 			if err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			if minSeg > math.MaxUint32 || maxSeg > math.MaxUint32 {
-				return nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible index config %d/%d", minSeg, maxSeg)
+				return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible index config %d/%d", minSeg, maxSeg)
 			}
 			ic.MinSegments, ic.MaxSegments = uint32(minSeg), uint32(maxSeg)
 			var tbuf [8]byte
 			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			ic.AmpBucket = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 			if _, err := io.ReadFull(r, tbuf[:]); err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			ic.DurBucket = math.Float64frombits(binary.LittleEndian.Uint64(tbuf[:]))
 			idxConf = &ic
 		}
 	}
 	var subs []SubState
-	if version >= snapVersion {
+	if version >= snapVersionV3 {
 		ns, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription section: %w", err)
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription section: %w", err)
 		}
 		if ns > 1<<20 {
-			return nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible subscription count %d", ns)
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible subscription count %d", ns)
 		}
 		for i := uint64(0); i < ns; i++ {
 			sz, err := binary.ReadUvarint(r)
 			if err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			if sz > maxPayload {
-				return nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible subscription blob length %d", sz)
+				return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible subscription blob length %d", sz)
 			}
 			blob := make([]byte, sz)
 			if _, err := io.ReadFull(r, blob); err != nil {
-				return nil, nil, nil, nil, 0, err
+				return nil, nil, nil, nil, nil, 0, err
 			}
 			d := decoder{b: blob}
 			st := d.subState()
 			if d.err != nil {
-				return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription %d: %w", i, d.err)
+				return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription %d: %w", i, d.err)
 			}
 			if d.off != len(d.b) {
-				return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription %d: %d trailing bytes", i, len(d.b)-d.off)
+				return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot subscription %d: %d trailing bytes", i, len(d.b)-d.off)
 			}
 			subs = append(subs, *st)
 		}
 	}
+	var migrations []MigrationState
+	if version >= snapVersion {
+		nm, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot migration section: %w", err)
+		}
+		if nm > 1<<20 {
+			return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: implausible migration count %d", nm)
+		}
+		for i := uint64(0); i < nm; i++ {
+			var m MigrationState
+			if m.SessionID, err = readSnapString(r); err != nil {
+				return nil, nil, nil, nil, nil, 0, err
+			}
+			if m.PatientID, err = readSnapString(r); err != nil {
+				return nil, nil, nil, nil, nil, 0, err
+			}
+			if m.Target, err = readSnapString(r); err != nil {
+				return nil, nil, nil, nil, nil, 0, err
+			}
+			if m.Epoch, err = binary.ReadUvarint(r); err != nil {
+				return nil, nil, nil, nil, nil, 0, err
+			}
+			if m.Phase, err = r.ReadByte(); err != nil {
+				return nil, nil, nil, nil, nil, 0, err
+			}
+			if m.Phase < MigratePrepare || m.Phase > MigrateAbort {
+				return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot migration %d: invalid phase %d", i, m.Phase)
+			}
+			migrations = append(migrations, m)
+		}
+	}
 	db, err := store.ReadBinary(r)
 	if err != nil {
-		return nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot payload: %w", err)
+		return nil, nil, nil, nil, nil, 0, fmt.Errorf("wal: snapshot payload: %w", err)
 	}
-	return db, sessions, idxConf, subs, lsn, nil
+	return db, sessions, idxConf, subs, migrations, lsn, nil
 }
 
 func readSnapString(r *bufio.Reader) (string, error) {
